@@ -1,0 +1,227 @@
+// Command ftexperiments regenerates the evaluation of Izosimov et al.
+// (DATE 2008): Fig. 9a, Fig. 9b, Table 1 and the cruise-controller case
+// study.
+//
+// Usage:
+//
+//	ftexperiments -exp all                      # CI-sized defaults
+//	ftexperiments -exp fig9 -apps 50 -scenarios 20000   # paper-sized
+//	ftexperiments -exp table1 -apps 50 -scenarios 20000
+//	ftexperiments -exp cc -scenarios 20000
+//
+// See EXPERIMENTS.md for recorded outputs and their comparison to the
+// paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ftsched/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig9, table1, cc, all")
+		apps      = flag.Int("apps", 0, "applications per configuration (0 = default)")
+		scenarios = flag.Int("scenarios", 0, "Monte-Carlo scenarios (0 = default)")
+		seed      = flag.Int64("seed", 0, "random seed (0 = default)")
+		m         = flag.Int("m", 0, "FTQS tree bound for fig9/cc (0 = default)")
+		trim      = flag.Bool("trim", false, "apply simulation-based arc trimming (table1)")
+	)
+	flag.Parse()
+
+	runFig9 := func() {
+		cfg := experiments.DefaultFig9()
+		if *apps > 0 {
+			cfg.AppsPerSize = *apps
+		}
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		t0 := time.Now()
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d apps/size, %d scenarios, M=%d, %s)\n\n",
+			cfg.AppsPerSize, cfg.Scenarios, cfg.M, time.Since(t0).Round(time.Millisecond))
+	}
+	runTable1 := func() {
+		cfg := experiments.DefaultTable1()
+		if *apps > 0 {
+			cfg.Apps = *apps
+		}
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		cfg.Trim = *trim
+		t0 := time.Now()
+		res, err := experiments.Table1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d apps × %d processes, %d scenarios, %s)\n\n",
+			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
+	}
+	runCC := func() {
+		cfg := experiments.DefaultCC()
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		t0 := time.Now()
+		res, err := experiments.CruiseController(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d scenarios, %s)\n\n", cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
+	}
+
+	runOverhead := func() {
+		cfg := experiments.DefaultOverhead()
+		if *apps > 0 {
+			cfg.Apps = *apps
+		}
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		t0 := time.Now()
+		res, err := experiments.Overhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d apps × %d processes, %d scenarios, %s)\n\n",
+			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
+	}
+
+	runOptGap := func() {
+		cfg := experiments.DefaultOptGap()
+		if *apps > 0 {
+			cfg.Apps = *apps
+		}
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		t0 := time.Now()
+		res, err := experiments.OptGap(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d apps × %d processes, %d scenarios, %s)\n\n",
+			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
+	}
+
+	runHardRatio := func() {
+		cfg := experiments.DefaultHardRatio()
+		if *apps > 0 {
+			cfg.Apps = *apps
+		}
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		t0 := time.Now()
+		res, err := experiments.HardRatio(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d apps × %d processes per point, %d scenarios, %s)\n\n",
+			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
+	}
+
+	runFTCost := func() {
+		cfg := experiments.DefaultFTCost()
+		if *apps > 0 {
+			cfg.Apps = *apps
+		}
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		t0 := time.Now()
+		res, err := experiments.FTCost(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d apps × %d processes, %d scenarios, %s)\n\n",
+			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
+	}
+
+	switch *exp {
+	case "fig9", "fig9a", "fig9b":
+		runFig9()
+	case "table1":
+		runTable1()
+	case "cc", "cruise":
+		runCC()
+	case "overhead":
+		runOverhead()
+	case "optgap":
+		runOptGap()
+	case "hardratio":
+		runHardRatio()
+	case "ftcost":
+		runFTCost()
+	case "all":
+		runFig9()
+		runTable1()
+		runCC()
+		runOverhead()
+		runOptGap()
+		runHardRatio()
+		runFTCost()
+	default:
+		fatal(fmt.Errorf("unknown experiment %q (want fig9, table1, cc, overhead, optgap, hardratio, ftcost or all)", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftexperiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command ftgen generates random benchmark applications following the
+// experimental setup of Izosimov et al. (DATE 2008) §6 and writes them as
+// JSON.
+//
+// Usage:
+//
+//	ftgen -n 30 -seed 7 -o app.json
+//	ftgen -n 20 -k 2 -mu 10 -hard 0.4        # to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ftsched/internal/appio"
+	"ftsched/internal/cli"
+	"ftsched/internal/core"
+	"ftsched/internal/gen"
+	"ftsched/internal/model"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20, "number of processes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		k        = flag.Int("k", 3, "maximum number of transient faults per cycle")
+		mu       = flag.Int64("mu", 15, "recovery overhead µ")
+		hard     = flag.Float64("hard", 0.5, "fraction of hard processes")
+		out      = flag.String("o", "-", "output file (- for stdout)")
+		ensure   = flag.Bool("schedulable", true, "regenerate until FTSS finds a fault-tolerant schedule")
+		attempts = flag.Int("attempts", 50, "regeneration attempts when -schedulable is set")
+		edgeProb = flag.Float64("edges", 0.15, "dependency probability per forward pair (layered shape)")
+		shape    = flag.String("shape", "layered", "graph shape: layered, sp (series-parallel), chains")
+		slackLo  = flag.Float64("slack-min", 0.95, "minimum period slack over the worst-case load")
+		slackHi  = flag.Float64("slack-max", 1.15, "maximum period slack over the worst-case load")
+	)
+	flag.Parse()
+
+	cfg := gen.Default(*n)
+	cfg.K = *k
+	cfg.Mu = model.Time(*mu)
+	cfg.HardRatio = *hard
+	cfg.EdgeProb = *edgeProb
+	cfg.PeriodSlackMin = *slackLo
+	cfg.PeriodSlackMax = *slackHi
+	switch *shape {
+	case "layered", "":
+		cfg.Shape = gen.Layered
+	case "sp", "series-parallel":
+		cfg.Shape = gen.SeriesParallel
+	case "chains":
+		cfg.Shape = gen.Chains
+	default:
+		fatal(fmt.Errorf("unknown shape %q (want layered, sp or chains)", *shape))
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var app *model.Application
+	var err error
+	for i := 0; ; i++ {
+		app, err = gen.Generate(rng, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if !*ensure {
+			break
+		}
+		if _, serr := core.FTSS(app); serr == nil {
+			break
+		}
+		if i+1 >= *attempts {
+			fatal(fmt.Errorf("no schedulable application in %d attempts", *attempts))
+		}
+	}
+
+	w, done, err := cli.OutputWriter(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer done()
+	if err := appio.EncodeApplication(w, app); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s\n", app)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command ftsched synthesises fault-tolerant schedules: the static FTSS
+// f-schedule, the FTSF baseline, or the FTQS quasi-static tree, for a JSON
+// application or a built-in fixture.
+//
+// Usage:
+//
+//	ftsched -fixture fig1 -algo ftqs -m 12
+//	ftsched -app app.json -algo ftss
+//	ftsched -fixture cc -algo ftqs -m 39 -format dot > tree.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftsched/internal/appio"
+	"ftsched/internal/baseline"
+	"ftsched/internal/cli"
+	"ftsched/internal/core"
+	"ftsched/internal/schedule"
+	"ftsched/internal/sim"
+)
+
+func main() {
+	var (
+		fixture = flag.String("fixture", "", "built-in application: fig1, fig4c, fig8, cc")
+		appPath = flag.String("app", "", "JSON application file")
+		algo    = flag.String("algo", "ftqs", "algorithm: ftss, ftsf, ftqs")
+		m       = flag.Int("m", 16, "maximum quasi-static tree size (ftqs)")
+		format  = flag.String("format", "text", "output format: text, dot")
+		out     = flag.String("o", "-", "output file (- for stdout)")
+		verify  = flag.Bool("verify", false, "audit the synthesised tree (ftqs only)")
+		trim    = flag.Int("trim", 0, "trim arcs by paired simulation with this many scenarios per fault count (ftqs only)")
+		treeOut = flag.String("tree-out", "", "also write the synthesised tree as JSON (ftqs only)")
+	)
+	flag.Parse()
+
+	app, err := cli.LoadApp(*fixture, *appPath)
+	if err != nil {
+		fatal(err)
+	}
+	w, done, err := cli.OutputWriter(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer done()
+
+	switch *algo {
+	case "ftss", "ftsf":
+		var s *schedule.FSchedule
+		if *algo == "ftss" {
+			s, err = core.FTSS(app)
+		} else {
+			s, err = baseline.FTSF(app)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *format == "dot" {
+			tree := sim.StaticTree(app, s)
+			if err := appio.WriteTreeDOT(w, tree); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Fprintf(w, "%s\n", app)
+		fmt.Fprintf(w, "schedule: %s\n", s.Format(app))
+		fmt.Fprintf(w, "expected no-fault utility: %.2f\n\n", schedule.ExpectedUtility(app, s))
+		fmt.Fprint(w, schedule.TimingReport(app, s, app.K()))
+	case "ftqs":
+		tree, err := core.FTQS(app, core.FTQSOptions{M: *m})
+		if err != nil {
+			fatal(err)
+		}
+		if *trim > 0 {
+			removed, err := sim.Trim(tree, sim.TrimConfig{Scenarios: *trim, Seed: 1})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trimmed %d arcs; %d schedules remain\n", removed, tree.Size())
+		}
+		if *treeOut != "" {
+			f, err := os.Create(*treeOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := appio.EncodeTree(f, tree); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tree written to %s\n", *treeOut)
+		}
+		if *verify {
+			if err := core.VerifyTree(tree); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "tree verified: all switch guards safe")
+		}
+		if *format == "dot" {
+			if err := appio.WriteTreeDOT(w, tree); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Fprintf(w, "%s\n", app)
+		fmt.Fprintf(w, "quasi-static tree: %d schedules, %d bytes\n",
+			tree.Size(), tree.MemoryFootprint())
+		fmt.Fprint(w, tree.Format())
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q (want ftss, ftsf or ftqs)", *algo))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command ftsim evaluates the three scheduling algorithms on an
+// application by Monte-Carlo simulation: mean utility under 0..k injected
+// transient faults, schedule switches, re-executions, and a hard-deadline
+// audit.
+//
+// Usage:
+//
+//	ftsim -fixture cc -m 39 -scenarios 20000
+//	ftsim -app app.json -scenarios 5000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"math/rand"
+
+	"ftsched/internal/appio"
+	"ftsched/internal/baseline"
+	"ftsched/internal/cli"
+	"ftsched/internal/core"
+	"ftsched/internal/sim"
+	"ftsched/internal/stats"
+)
+
+func main() {
+	var (
+		fixture   = flag.String("fixture", "", "built-in application: fig1, fig4c, fig8, cc")
+		appPath   = flag.String("app", "", "JSON application file")
+		m         = flag.Int("m", 16, "maximum quasi-static tree size")
+		scenarios = flag.Int("scenarios", 5000, "Monte-Carlo scenarios per configuration")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		trace     = flag.Bool("trace", false, "render one sample scenario per fault count as a Gantt chart")
+		treeIn    = flag.String("tree", "", "load a stored quasi-static tree (JSON) instead of synthesising one; it is verified before use")
+	)
+	flag.Parse()
+
+	app, err := cli.LoadApp(*fixture, *appPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(app)
+
+	ftss, err := core.FTSS(app)
+	if err != nil {
+		fatal(err)
+	}
+	var tree *core.Tree
+	if *treeIn != "" {
+		f, err := os.Open(*treeIn)
+		if err != nil {
+			fatal(err)
+		}
+		tree, err = appio.DecodeTree(f, app)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.VerifyTree(tree); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded and verified tree from %s\n", *treeIn)
+	} else {
+		tree, err = core.FTQSFromRoot(app, ftss, core.FTQSOptions{M: *m})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	trees := []struct {
+		name string
+		t    *core.Tree
+	}{
+		{"FTQS", tree},
+		{"FTSS", sim.StaticTree(app, ftss)},
+	}
+	ftsf, err := baseline.FTSF(app)
+	if err != nil {
+		fmt.Printf("FTSF baseline: unschedulable (%v) — omitted\n", err)
+		fmt.Printf("FTQS tree: %d schedules; FTSS: %d entries\n\n", tree.Size(), len(ftss.Entries))
+	} else {
+		trees = append(trees, struct {
+			name string
+			t    *core.Tree
+		}{"FTSF", sim.StaticTree(app, ftsf)})
+		fmt.Printf("FTQS tree: %d schedules; FTSS: %d entries; FTSF: %d entries\n\n",
+			tree.Size(), len(ftss.Entries), len(ftsf.Entries))
+	}
+
+	var base float64
+	fmt.Printf("%-6s %-7s %10s %8s %9s %9s %9s %9s %6s\n",
+		"algo", "faults", "utility", "norm%", "p5", "p95", "switches", "recov", "viol")
+	for f := 0; f <= app.K(); f++ {
+		for _, tr := range trees {
+			st, err := sim.MonteCarlo(tr.t, sim.MCConfig{Scenarios: *scenarios, Faults: f, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			if tr.name == "FTQS" && f == 0 {
+				base = st.MeanUtility
+			}
+			fmt.Printf("%-6s %-7d %10.2f %8.1f %9.1f %9.1f %9.2f %9.2f %6d\n",
+				tr.name, f, st.MeanUtility, stats.Ratio(st.MeanUtility, base),
+				st.P05, st.P95, st.MeanSwitches, st.MeanRecoveries, st.HardViolations)
+		}
+	}
+
+	if *trace {
+		rng := rand.New(rand.NewSource(*seed))
+		for f := 0; f <= app.K(); f++ {
+			sc := sim.Sample(app, rng, f, nil)
+			res, events := sim.RunTrace(tree, sc)
+			fmt.Printf("\nsample scenario with %d fault(s): utility %.1f, %d switch(es)\n",
+				f, res.Utility, res.Switches)
+			if err := appio.WriteGantt(os.Stdout, app, events, 0, 84); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftsim:", err)
+	os.Exit(1)
+}

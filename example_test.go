@@ -1,0 +1,86 @@
+package ftsched_test
+
+import (
+	"fmt"
+
+	"ftsched"
+)
+
+// Example synthesises a static fault-tolerant schedule for the paper's
+// running example and prints its expected utility.
+func Example() {
+	app := ftsched.PaperFig1()
+	s, err := ftsched.FTSS(app)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Format(app))
+	fmt.Printf("expected utility: %.0f\n", ftsched.ExpectedUtility(app, s))
+	// Output:
+	// P1(f=1) P3 P2(f=1)
+	// expected utility: 60
+}
+
+// ExampleFTQS builds a quasi-static tree and shows its size and memory
+// footprint.
+func ExampleFTQS() {
+	app := ftsched.PaperFig1()
+	tree, err := ftsched.FTQS(app, ftsched.FTQSOptions{M: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d schedules, root: %s\n", tree.Size(), tree.Root.Schedule.Format(app))
+	if err := ftsched.VerifyTree(tree); err != nil {
+		panic(err)
+	}
+	fmt.Println("verified")
+	// Output:
+	// 4 schedules, root: P1(f=1) P3 P2(f=1)
+	// verified
+}
+
+// ExampleRun executes one deterministic scenario — a transient fault hits
+// the hard process P1, which re-executes inside its recovery slack and
+// still meets its deadline.
+func ExampleRun() {
+	app := ftsched.PaperFig1()
+	s, err := ftsched.FTSS(app)
+	if err != nil {
+		panic(err)
+	}
+	tree := ftsched.StaticTree(app, s)
+
+	sc := ftsched.Scenario{
+		Durations: make([]ftsched.Time, app.N()),
+		FaultsAt:  make([]int, app.N()),
+	}
+	for id := 0; id < app.N(); id++ {
+		sc.Durations[id] = app.Proc(ftsched.ProcessID(id)).AET
+	}
+	p1 := app.IDByName("P1")
+	sc.FaultsAt[p1] = 1
+	sc.NFaults = 1
+
+	r := ftsched.Run(tree, sc)
+	fmt.Printf("P1 completed at %d (deadline %d), re-executions %d, violations %d\n",
+		r.CompletionTimes[p1], app.Proc(p1).Deadline, r.Recoveries, len(r.HardViolations))
+	// Output:
+	// P1 completed at 110 (deadline 180), re-executions 1, violations 0
+}
+
+// ExampleOptimalSchedule compares FTSS against the exact optimum on the
+// paper's running example (they coincide there).
+func ExampleOptimalSchedule() {
+	app := ftsched.PaperFig1()
+	_, best, err := ftsched.OptimalSchedule(app)
+	if err != nil {
+		panic(err)
+	}
+	s, err := ftsched.FTSS(app)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("FTSS %.0f of optimal %.0f\n", ftsched.ExpectedUtility(app, s), best)
+	// Output:
+	// FTSS 60 of optimal 60
+}

@@ -1,0 +1,76 @@
+// Deployment: the full production workflow for a quasi-static tree —
+// synthesise off-line, trim the arcs that don't pay, audit the safety
+// guards, persist to storage, load it back (as the embedded target would),
+// re-verify, and run. Every step uses the public API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ftsched"
+)
+
+func main() {
+	app := ftsched.CruiseController()
+	fmt.Println(app)
+
+	// 1. Synthesise with a generous tree bound.
+	tree, err := ftsched.FTQS(app, ftsched.FTQSOptions{M: 39})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesised: %d schedules, %d bytes of tables\n",
+		tree.Size(), tree.MemoryFootprint())
+
+	// 2. Trim: replay a fixed scenario set and drop every switch arc
+	// whose measured effect is non-positive. Safety cannot degrade —
+	// staying on the current schedule is always covered by its slack.
+	removed, err := ftsched.TrimTree(tree, ftsched.TrimConfig{Scenarios: 400, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trimmed: %d arcs removed, %d schedules and %d bytes remain\n",
+		removed, tree.Size(), tree.MemoryFootprint())
+
+	// 3. Audit: every guard must keep the hard deadlines at its upper
+	// bound, budgets must be consistent, prefixes shared.
+	if err := ftsched.VerifyTree(tree); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("audited: all switch guards safe")
+
+	// 4. Persist (here to a buffer; a real deployment writes a file the
+	// target firmware embeds).
+	var store bytes.Buffer
+	if err := ftsched.WriteTree(&store, tree); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored: %d bytes of JSON\n", store.Len())
+
+	// 5. Load on the "target" and re-verify before trusting it.
+	loaded, err := ftsched.ReadTree(&store, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ftsched.VerifyTree(loaded); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loaded and re-verified")
+
+	// 6. Run: 20 000 cycles per fault count, hard deadlines audited.
+	for faults := 0; faults <= app.K(); faults++ {
+		st, err := ftsched.MonteCarlo(loaded, ftsched.MCConfig{
+			Scenarios: 20000, Faults: faults, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.HardViolations != 0 {
+			log.Fatalf("hard violations with %d faults", faults)
+		}
+		fmt.Printf("faults=%d: mean utility %.1f (min %.1f), %.2f switches/cycle\n",
+			faults, st.MeanUtility, st.MinUtility, st.MeanSwitches)
+	}
+}

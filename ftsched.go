@@ -1,0 +1,301 @@
+// Package ftsched synthesises fault-tolerant schedules for embedded
+// applications with mixed soft and hard real-time constraints, implementing
+// the quasi-static scheduling approach of
+//
+//	V. Izosimov, P. Pop, P. Eles, Z. Peng:
+//	"Scheduling of Fault-Tolerant Embedded Systems with Soft and Hard
+//	Timing Constraints", DATE 2008, pp. 915-920.
+//
+// Applications are directed acyclic graphs of non-preemptable processes on
+// a single computation node. Hard processes carry deadlines that must hold
+// under up to K transient faults (tolerated by re-execution with recovery
+// overhead µ); soft processes carry non-increasing time/utility functions
+// and may be dropped, degrading their successors through stale-value
+// coefficients.
+//
+// The library offers three synthesis algorithms:
+//
+//   - FTSS — a static f-schedule with shared recovery slack that
+//     guarantees the hard deadlines in the worst case while maximising the
+//     expected utility (paper §5.2);
+//   - FTQS — a quasi-static tree of f-schedules with guarded switch arcs
+//     derived by interval partitioning; a trivial online scheduler follows
+//     the tree, adapting to observed completion times and faults
+//     (paper §5.1);
+//   - FTSF — the straightforward baseline used in the paper's evaluation.
+//
+// Synthesised schedules and trees are executed and evaluated by the
+// Monte-Carlo simulator in Run/MonteCarlo. The package is a thin facade
+// over the internal packages; everything needed to build, synthesise,
+// simulate, serialise and benchmark lives here.
+//
+// # Quick start
+//
+//	app := ftsched.NewApplication("demo", 300, 1, 10)
+//	p1 := app.AddProcess(ftsched.Process{Name: "P1", Kind: ftsched.Hard,
+//		BCET: 30, AET: 50, WCET: 70, Deadline: 180})
+//	p2 := app.AddProcess(ftsched.Process{Name: "P2", Kind: ftsched.Soft,
+//		BCET: 30, AET: 50, WCET: 70,
+//		Utility: ftsched.MustStepUtility([]ftsched.Time{90, 200}, []float64{40, 20})})
+//	app.MustAddEdge(p1, p2)
+//	if err := app.Validate(); err != nil { ... }
+//	tree, err := ftsched.FTQS(app, ftsched.FTQSOptions{M: 16})
+//	stats, err := ftsched.MonteCarlo(tree, ftsched.MCConfig{Scenarios: 10000})
+package ftsched
+
+import (
+	"io"
+
+	"ftsched/internal/appio"
+	"ftsched/internal/apps"
+	"ftsched/internal/baseline"
+	"ftsched/internal/core"
+	"ftsched/internal/gen"
+	"ftsched/internal/model"
+	"ftsched/internal/optimal"
+	"ftsched/internal/schedule"
+	"ftsched/internal/sim"
+	"ftsched/internal/utility"
+
+	"math/rand"
+)
+
+// Core model types.
+type (
+	// Time is the discrete time base of the library (milliseconds in the
+	// paper's examples).
+	Time = model.Time
+	// ProcessID identifies a process within its application.
+	ProcessID = model.ProcessID
+	// Kind classifies a process as Hard or Soft.
+	Kind = model.Kind
+	// Process describes one node of the application graph.
+	Process = model.Process
+	// Application is a validated process graph plus fault parameters.
+	Application = model.Application
+	// UtilityFunction is a non-increasing time/utility function U(t).
+	UtilityFunction = utility.Function
+	// UtilityPoint is a breakpoint of a tabulated utility function.
+	UtilityPoint = utility.Point
+)
+
+// Schedule types.
+type (
+	// Entry is one scheduled process with its recovery budget.
+	Entry = schedule.Entry
+	// FSchedule is a fault-tolerant static schedule.
+	FSchedule = schedule.FSchedule
+	// Tree is a quasi-static tree of f-schedules.
+	Tree = core.Tree
+	// Node is one schedule of a quasi-static tree.
+	Node = core.Node
+	// Arc is a guarded switch between schedules.
+	Arc = core.Arc
+	// FTQSOptions tunes the tree synthesis.
+	FTQSOptions = core.FTQSOptions
+)
+
+// Simulation types.
+type (
+	// Scenario fixes execution times and fault victims for one cycle.
+	Scenario = sim.Scenario
+	// RunResult is the outcome of executing one scenario.
+	RunResult = sim.Result
+	// ProcessOutcome records how a process ended in a simulated cycle.
+	ProcessOutcome = sim.ProcessOutcome
+	// RescheduleResult is the outcome (and cost profile) of the purely
+	// online rescheduling comparator.
+	RescheduleResult = sim.RescheduleResult
+	// TraceEvent is one timestamped event of a simulated cycle.
+	TraceEvent = sim.TraceEvent
+	// TraceEventKind classifies trace events.
+	TraceEventKind = sim.TraceEventKind
+	// MCConfig parametrises a Monte-Carlo evaluation.
+	MCConfig = sim.MCConfig
+	// MCStats aggregates a Monte-Carlo evaluation.
+	MCStats = sim.MCStats
+	// GenConfig parametrises the random application generator.
+	GenConfig = gen.Config
+)
+
+// Process kinds.
+const (
+	Hard = model.Hard
+	Soft = model.Soft
+)
+
+// Simulated process outcomes.
+const (
+	// NotScheduled: dropped off-line or skipped after a switch.
+	NotScheduled = sim.NotScheduled
+	// Completed: ran to completion, possibly after re-execution.
+	Completed = sim.Completed
+	// AbandonedByFault: hit by a fault with no recovery budget left.
+	AbandonedByFault = sim.AbandonedByFault
+)
+
+// NoProcess is the sentinel for "no process".
+const NoProcess = model.NoProcess
+
+// ErrUnschedulable is returned when no schedule can guarantee the hard
+// deadlines under k faults.
+var ErrUnschedulable = core.ErrUnschedulable
+
+// NewApplication creates an empty application with period T, fault bound k
+// and default recovery overhead µ. Add processes and edges, then Validate.
+func NewApplication(name string, period Time, k int, mu Time) *Application {
+	return model.NewApplication(name, period, k, mu)
+}
+
+// Merge combines validated multi-rate applications into one application
+// over their hyper-period (LCM of the periods), replicating activations
+// with shifted releases, deadlines and utility functions.
+func Merge(name string, k int, mu Time, graphs ...*Application) (*Application, error) {
+	return model.Merge(name, k, mu, graphs...)
+}
+
+// StepUtility builds a staircase utility function: vs[i] up to and
+// including ts[i], then 0 after the last step.
+func StepUtility(ts []Time, vs []float64) (UtilityFunction, error) {
+	return utility.NewStep(ts, vs)
+}
+
+// MustStepUtility is StepUtility that panics on invalid input.
+func MustStepUtility(ts []Time, vs []float64) UtilityFunction {
+	return utility.MustStep(ts, vs)
+}
+
+// LinearDropUtility builds a utility worth v0 until tStart, decaying
+// linearly to zero at tEnd.
+func LinearDropUtility(v0 float64, tStart, tEnd Time) (UtilityFunction, error) {
+	return utility.NewLinearDrop(v0, tStart, tEnd)
+}
+
+// FTSS synthesises the static fault-tolerant schedule of §5.2.
+func FTSS(app *Application) (*FSchedule, error) { return core.FTSS(app) }
+
+// FTQS synthesises a quasi-static tree of at most opts.M schedules (§5.1).
+func FTQS(app *Application, opts FTQSOptions) (*Tree, error) { return core.FTQS(app, opts) }
+
+// FTSF synthesises the paper's baseline: a value-maximal non-fault-tolerant
+// schedule patched with recovery slack for the hard processes.
+func FTSF(app *Application) (*FSchedule, error) { return baseline.FTSF(app) }
+
+// VerifyTree statically audits a quasi-static tree: structural invariants,
+// fault-budget consistency, and the safety of every switch guard (hard
+// deadlines hold when a switch is taken at the guard's upper bound). Use
+// it before deploying a tree that was stored, transferred or modified.
+func VerifyTree(tree *Tree) error { return core.VerifyTree(tree) }
+
+// OptimalSchedule computes the utility-optimal static f-schedule by exact
+// dynamic programming, for release-free applications with at most
+// optimal.MaxProcesses (20) processes — a quality yardstick for FTSS.
+func OptimalSchedule(app *Application) (*FSchedule, float64, error) {
+	res, err := optimal.Schedule(app)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Schedule, res.Utility, nil
+}
+
+// ExpectedUtility evaluates the no-fault expected utility of a schedule
+// under average execution times — the paper's static figure of merit.
+func ExpectedUtility(app *Application, s *FSchedule) float64 {
+	return schedule.ExpectedUtility(app, s)
+}
+
+// CheckSchedulable verifies the worst-case fault scenario of a schedule:
+// every hard deadline and the period hold with up to k faults from start.
+func CheckSchedulable(app *Application, entries []Entry, start Time, k int) error {
+	return schedule.CheckSchedulable(app, entries, start, k)
+}
+
+// TimingReport renders a per-entry timing table (starts, finishes,
+// worst-case completions under k faults, deadlines and laxities).
+func TimingReport(app *Application, s *FSchedule, k int) string {
+	return schedule.TimingReport(app, s, k)
+}
+
+// StaticTree wraps a static schedule as a one-node tree so it can be
+// simulated by Run/MonteCarlo.
+func StaticTree(app *Application, s *FSchedule) *Tree { return sim.StaticTree(app, s) }
+
+// SampleScenario draws random execution times and fault victims.
+func SampleScenario(app *Application, rng *rand.Rand, faults int, candidates []ProcessID) Scenario {
+	return sim.Sample(app, rng, faults, candidates)
+}
+
+// Run executes one scenario against a tree with the online scheduler.
+func Run(tree *Tree, sc Scenario) RunResult { return sim.Run(tree, sc) }
+
+// MonteCarlo evaluates a tree over cfg.Scenarios random scenarios.
+func MonteCarlo(tree *Tree, cfg MCConfig) (MCStats, error) { return sim.MonteCarlo(tree, cfg) }
+
+// TrimConfig parametrises simulation-based arc trimming.
+type TrimConfig = sim.TrimConfig
+
+// TrimTree removes switch arcs whose measured effect on the mean utility
+// is non-positive (paired Monte-Carlo replay), pruning nodes that become
+// unreachable. An extension beyond the paper: interval partitioning prices
+// arcs with an estimate, and trimming removes the marginal arcs that the
+// estimate got wrong. Safety is unaffected. Returns the number of arcs
+// removed.
+func TrimTree(tree *Tree, cfg TrimConfig) (int, error) { return sim.Trim(tree, cfg) }
+
+// RunOnlineReschedule executes one scenario with the idealised purely
+// online scheduler the paper argues against (§1): the remaining schedule
+// is re-synthesised after every completion. It upper-bounds the utility a
+// quasi-static tree can reach and reports the synthesis overhead the tree
+// avoids.
+func RunOnlineReschedule(app *Application, root *FSchedule, sc Scenario) RescheduleResult {
+	return sim.RunOnlineReschedule(app, root, sc)
+}
+
+// Generate builds a random benchmark application (paper §6 setup).
+func Generate(rng *rand.Rand, cfg GenConfig) (*Application, error) { return gen.Generate(rng, cfg) }
+
+// DefaultGenConfig returns the paper's generator parameters for n
+// processes.
+func DefaultGenConfig(n int) GenConfig { return gen.Default(n) }
+
+// CruiseController builds the 32-process vehicle cruise controller of the
+// paper's case study (9 hard processes, k = 2, µ = 10% WCET).
+func CruiseController() *Application { return apps.CruiseController() }
+
+// PaperFig1 builds the paper's running example (Fig. 1 application).
+func PaperFig1() *Application { return apps.Fig1() }
+
+// PaperFig8 builds the paper's Fig. 8 application G2.
+func PaperFig8() *Application { return apps.Fig8() }
+
+// EncodeApplication writes an application as JSON.
+func EncodeApplication(w io.Writer, app *Application) error {
+	return appio.EncodeApplication(w, app)
+}
+
+// DecodeApplication reads and validates a JSON application.
+func DecodeApplication(r io.Reader) (*Application, error) {
+	return appio.DecodeApplication(r)
+}
+
+// WriteDOT renders the process graph in Graphviz format.
+func WriteDOT(w io.Writer, app *Application) error { return appio.WriteDOT(w, app) }
+
+// WriteTreeDOT renders a quasi-static tree in Graphviz format.
+func WriteTreeDOT(w io.Writer, tree *Tree) error { return appio.WriteTreeDOT(w, tree) }
+
+// WriteTree persists a quasi-static tree as JSON (paired with the
+// application's JSON encoding; process references are by name).
+func WriteTree(w io.Writer, tree *Tree) error { return appio.EncodeTree(w, tree) }
+
+// ReadTree loads a stored quasi-static tree and rebinds it to the
+// application. Run VerifyTree on the result before trusting it.
+func ReadTree(r io.Reader, app *Application) (*Tree, error) { return appio.DecodeTree(r, app) }
+
+// RunTrace is Run with full event recording, for visualisation.
+func RunTrace(tree *Tree, sc Scenario) (RunResult, []TraceEvent) { return sim.RunTrace(tree, sc) }
+
+// WriteGantt renders a recorded trace as a time-scaled ASCII Gantt chart.
+func WriteGantt(w io.Writer, app *Application, events []TraceEvent, span Time, width int) error {
+	return appio.WriteGantt(w, app, events, span, width)
+}

@@ -1,0 +1,72 @@
+package appio
+
+import (
+	"fmt"
+	"io"
+
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+)
+
+// WriteDOT renders the application's process graph in Graphviz DOT format:
+// hard processes as double octagons annotated with their deadlines, soft
+// processes as ellipses.
+func WriteDOT(w io.Writer, app *model.Application) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n", app.Name()); err != nil {
+		return err
+	}
+	for id := 0; id < app.N(); id++ {
+		p := app.Proc(model.ProcessID(id))
+		switch p.Kind {
+		case model.Hard:
+			if _, err := fmt.Fprintf(w,
+				"  %q [shape=doubleoctagon, label=\"%s\\nw=%d d=%d\"];\n",
+				p.Name, p.Name, p.WCET, p.Deadline); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w,
+				"  %q [shape=ellipse, label=\"%s\\nw=%d\"];\n",
+				p.Name, p.Name, p.WCET); err != nil {
+				return err
+			}
+		}
+	}
+	for id := 0; id < app.N(); id++ {
+		from := app.Proc(model.ProcessID(id)).Name
+		for _, s := range app.Succs(model.ProcessID(id)) {
+			if _, err := fmt.Fprintf(w, "  %q -> %q;\n", from, app.Proc(s).Name); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteTreeDOT renders a quasi-static tree: one node per schedule, one edge
+// per switching arc, labelled with the guarded process, the arc kind and
+// the completion-time interval.
+func WriteTreeDOT(w io.Writer, tree *core.Tree) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n",
+		tree.App.Name()+"-tree"); err != nil {
+		return err
+	}
+	for _, n := range tree.Nodes {
+		if _, err := fmt.Fprintf(w, "  S%d [label=\"S%d (k=%d)\\n%s\"];\n",
+			n.ID, n.ID, n.KRem, n.Schedule.Format(tree.App)); err != nil {
+			return err
+		}
+	}
+	for _, n := range tree.Nodes {
+		for _, a := range n.Arcs {
+			proc := tree.App.Proc(n.Schedule.Entries[a.Pos].Proc).Name
+			if _, err := fmt.Fprintf(w, "  S%d -> S%d [label=\"%s %s [%d,%d]\"];\n",
+				n.ID, a.Child.ID, proc, a.Kind, a.Lo, a.Hi); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,56 @@
+package appio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftsched/internal/apps"
+)
+
+// FuzzDecodeApplication: the decoder must never panic and, when it
+// accepts, must produce a validated application that re-encodes and
+// re-decodes to an equivalent one.
+func FuzzDecodeApplication(f *testing.F) {
+	// Seed with the real fixtures and a few near-valid corpus entries.
+	for _, app := range []interface{ Name() string }{} {
+		_ = app
+	}
+	var buf bytes.Buffer
+	if err := EncodeApplication(&buf, apps.Fig1()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	buf.Reset()
+	if err := EncodeApplication(&buf, apps.Fig8()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"name":"x","period":10,"k":0,"mu":1,"processes":[],"edges":[]}`)
+	f.Add(`{"name":"x","period":10,"k":1,"mu":1,"processes":[{"name":"A","kind":"hard","bcet":1,"aet":1,"wcet":1,"deadline":5}],"edges":[]}`)
+	f.Add(`{"name":"x","period":-1}`)
+	f.Add(`not json at all`)
+	f.Add(`{"processes":[{"kind":"soft"}]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		app, err := DecodeApplication(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted applications are fully validated and reusable.
+		if app.N() == 0 {
+			t.Fatal("decoder accepted an empty application")
+		}
+		var out bytes.Buffer
+		if err := EncodeApplication(&out, app); err != nil {
+			t.Fatalf("accepted application does not re-encode: %v", err)
+		}
+		back, err := DecodeApplication(&out)
+		if err != nil {
+			t.Fatalf("re-encoded application does not decode: %v", err)
+		}
+		if back.N() != app.N() || back.Period() != app.Period() || back.K() != app.K() {
+			t.Fatal("round trip changed the application")
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package appio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/sim"
+)
+
+func traceScenario(t *testing.T, faults map[string]int, durs map[string]model.Time) (*model.Application, []sim.TraceEvent, sim.Result) {
+	t.Helper()
+	app := apps.Fig1()
+	tree, err := core.FTQS(app, core.FTQSOptions{M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.Scenario{
+		Durations: make([]model.Time, app.N()),
+		FaultsAt:  make([]int, app.N()),
+	}
+	for id := 0; id < app.N(); id++ {
+		sc.Durations[id] = app.Proc(model.ProcessID(id)).AET
+	}
+	for n, d := range durs {
+		sc.Durations[app.IDByName(n)] = d
+	}
+	for n, f := range faults {
+		sc.FaultsAt[app.IDByName(n)] = f
+		sc.NFaults += f
+	}
+	res, events := sim.RunTrace(tree, sc)
+	return app, events, res
+}
+
+func TestRunTraceEvents(t *testing.T) {
+	app, events, res := traceScenario(t, map[string]int{"P1": 1}, nil)
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	var kinds []sim.TraceEventKind
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+		if e.At < 0 || e.At > app.Period() {
+			t.Errorf("event time %d outside cycle", e.At)
+		}
+	}
+	// P1 faults once: expect start, fault, recovery, start, complete as
+	// the first five events.
+	want := []sim.TraceEventKind{sim.TraceStart, sim.TraceFault, sim.TraceRecovery, sim.TraceStart, sim.TraceComplete}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("event %d = %v, want %v (all: %v)", i, kinds[i], k, kinds)
+		}
+	}
+	if res.Recoveries != 1 {
+		t.Errorf("recoveries = %d", res.Recoveries)
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestRunTraceMatchesRun(t *testing.T) {
+	app, _, traced := traceScenario(t, nil, map[string]model.Time{"P1": 30})
+	tree, err := core.FTQS(app, core.FTQSOptions{M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.Scenario{
+		Durations: make([]model.Time, app.N()),
+		FaultsAt:  make([]int, app.N()),
+	}
+	for id := 0; id < app.N(); id++ {
+		sc.Durations[id] = app.Proc(model.ProcessID(id)).AET
+	}
+	sc.Durations[app.IDByName("P1")] = 30
+	plain := sim.Run(tree, sc)
+	if plain.Utility != traced.Utility || plain.Switches != traced.Switches {
+		t.Errorf("traced run diverges: %v vs %v", traced, plain)
+	}
+}
+
+func TestWriteGantt(t *testing.T) {
+	app, events, _ := traceScenario(t, map[string]int{"P1": 1, "P3": 1}, nil)
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, app, events, 0, 72); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"P1*|", "P2 |", "x", "#", ".", "!"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Switch row appears when a switch happened.
+	_, events2, res2 := traceScenario(t, nil, map[string]model.Time{"P1": 30})
+	if res2.Switches > 0 {
+		var buf2 bytes.Buffer
+		if err := WriteGantt(&buf2, app, events2, 0, 72); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf2.String(), "^") {
+			t.Errorf("gantt missing switch marker:\n%s", buf2.String())
+		}
+	}
+	// Errors.
+	bad := bytes.Buffer{}
+	if err := WriteGantt(&bad, app, events, -1, 72); err == nil {
+		// span<=0 falls back to the period, which is positive here; force
+		// a zero-period failure path by passing span via a zero value:
+		t.Log("period fallback used")
+	}
+}
+
+func TestTraceEventKindString(t *testing.T) {
+	kinds := []sim.TraceEventKind{sim.TraceStart, sim.TraceFault, sim.TraceRecovery,
+		sim.TraceComplete, sim.TraceAbandon, sim.TraceSwitch}
+	want := []string{"start", "fault", "recovery", "complete", "abandon", "switch"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if sim.TraceEventKind(99).String() != "TraceEventKind(?)" {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,171 @@
+// Package appio serialises applications, schedules and quasi-static trees:
+// a JSON interchange format for applications (used by the command-line
+// tools) and Graphviz DOT renderings of process graphs and trees.
+package appio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ftsched/internal/model"
+	"ftsched/internal/utility"
+)
+
+// jsonApp is the on-disk application format.
+type jsonApp struct {
+	Name      string        `json:"name"`
+	Period    model.Time    `json:"period"`
+	K         int           `json:"k"`
+	Mu        model.Time    `json:"mu"`
+	Processes []jsonProcess `json:"processes"`
+	Edges     [][2]string   `json:"edges"`
+}
+
+type jsonProcess struct {
+	Name     string       `json:"name"`
+	Kind     string       `json:"kind"` // "hard" | "soft"
+	BCET     model.Time   `json:"bcet"`
+	AET      model.Time   `json:"aet"`
+	WCET     model.Time   `json:"wcet"`
+	Deadline model.Time   `json:"deadline,omitempty"`
+	Mu       model.Time   `json:"mu,omitempty"`
+	Release  model.Time   `json:"release,omitempty"`
+	Utility  *jsonUtility `json:"utility,omitempty"`
+}
+
+type jsonUtility struct {
+	Mode   string      `json:"mode"` // "step" | "linear"
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	T model.Time `json:"t"`
+	V float64    `json:"v"`
+}
+
+// EncodeApplication writes the application as JSON. Soft utility functions
+// must be tabulated (utility.Table, the only kind the library constructs
+// for persistent applications); wrapped functions (Shifted/Scaled) are
+// rejected because hyper-period expansions are derived data.
+func EncodeApplication(w io.Writer, app *model.Application) error {
+	ja := jsonApp{
+		Name:   app.Name(),
+		Period: app.Period(),
+		K:      app.K(),
+		Mu:     app.Mu(),
+	}
+	for id := 0; id < app.N(); id++ {
+		p := app.Proc(model.ProcessID(id))
+		jp := jsonProcess{
+			Name:    p.Name,
+			BCET:    p.BCET,
+			AET:     p.AET,
+			WCET:    p.WCET,
+			Mu:      p.Mu,
+			Release: p.Release,
+		}
+		switch p.Kind {
+		case model.Hard:
+			jp.Kind = "hard"
+			jp.Deadline = p.Deadline
+		case model.Soft:
+			jp.Kind = "soft"
+			tb, ok := p.Utility.(*utility.Table)
+			if !ok {
+				return fmt.Errorf("appio: process %s: only tabulated utility functions can be encoded (got %T)",
+					p.Name, p.Utility)
+			}
+			ju := &jsonUtility{Mode: "step"}
+			if tb.Mode() == utility.Linear {
+				ju.Mode = "linear"
+			}
+			for _, pt := range tb.Points() {
+				ju.Points = append(ju.Points, jsonPoint{T: pt.T, V: pt.V})
+			}
+			jp.Utility = ju
+		}
+		ja.Processes = append(ja.Processes, jp)
+	}
+	for id := 0; id < app.N(); id++ {
+		from := app.Proc(model.ProcessID(id)).Name
+		for _, s := range app.Succs(model.ProcessID(id)) {
+			ja.Edges = append(ja.Edges, [2]string{from, app.Proc(s).Name})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ja)
+}
+
+// DecodeApplication reads a JSON application and validates it.
+func DecodeApplication(r io.Reader) (*model.Application, error) {
+	var ja jsonApp
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ja); err != nil {
+		return nil, fmt.Errorf("appio: %w", err)
+	}
+	app := model.NewApplication(ja.Name, ja.Period, ja.K, ja.Mu)
+	ids := make(map[string]model.ProcessID, len(ja.Processes))
+	for _, jp := range ja.Processes {
+		p := model.Process{
+			Name:    jp.Name,
+			BCET:    jp.BCET,
+			AET:     jp.AET,
+			WCET:    jp.WCET,
+			Mu:      jp.Mu,
+			Release: jp.Release,
+		}
+		switch jp.Kind {
+		case "hard":
+			p.Kind = model.Hard
+			p.Deadline = jp.Deadline
+		case "soft":
+			p.Kind = model.Soft
+			if jp.Utility == nil {
+				return nil, fmt.Errorf("appio: soft process %s lacks a utility function", jp.Name)
+			}
+			mode := utility.Step
+			switch jp.Utility.Mode {
+			case "step", "":
+			case "linear":
+				mode = utility.Linear
+			default:
+				return nil, fmt.Errorf("appio: process %s: unknown utility mode %q", jp.Name, jp.Utility.Mode)
+			}
+			pts := make([]utility.Point, 0, len(jp.Utility.Points))
+			for _, pt := range jp.Utility.Points {
+				pts = append(pts, utility.Point{T: pt.T, V: pt.V})
+			}
+			tb, err := utility.NewTable(mode, pts...)
+			if err != nil {
+				return nil, fmt.Errorf("appio: process %s: %w", jp.Name, err)
+			}
+			p.Utility = tb
+		default:
+			return nil, fmt.Errorf("appio: process %s: unknown kind %q", jp.Name, jp.Kind)
+		}
+		if _, dup := ids[jp.Name]; dup {
+			return nil, fmt.Errorf("appio: duplicate process %q", jp.Name)
+		}
+		ids[jp.Name] = app.AddProcess(p)
+	}
+	for _, e := range ja.Edges {
+		from, ok := ids[e[0]]
+		if !ok {
+			return nil, fmt.Errorf("appio: edge references unknown process %q", e[0])
+		}
+		to, ok := ids[e[1]]
+		if !ok {
+			return nil, fmt.Errorf("appio: edge references unknown process %q", e[1])
+		}
+		if err := app.AddEdge(from, to); err != nil {
+			return nil, fmt.Errorf("appio: %w", err)
+		}
+	}
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("appio: %w", err)
+	}
+	return app, nil
+}

@@ -1,0 +1,177 @@
+package appio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// This file persists quasi-static trees. A deployment synthesises the tree
+// off-line (host tooling), stores it, and the embedded online scheduler
+// loads the flat tables; DecodeTree re-validates structure against the
+// application and the caller should run core.VerifyTree afterwards for the
+// full safety audit (the ftsched CLI does).
+
+type jsonTree struct {
+	App   string     `json:"app"`
+	K     int        `json:"k"`
+	Nodes []jsonNode `json:"nodes"`
+}
+
+type jsonNode struct {
+	ID             int         `json:"id"`
+	Parent         int         `json:"parent"` // -1 for the root
+	SwitchPos      int         `json:"switchPos"`
+	KRem           int         `json:"kRem"`
+	Depth          int         `json:"depth"`
+	DroppedOnFault string      `json:"droppedOnFault,omitempty"`
+	Entries        []jsonEntry `json:"entries"`
+	Arcs           []jsonArc   `json:"arcs,omitempty"`
+}
+
+type jsonEntry struct {
+	Proc       string `json:"proc"`
+	Recoveries int    `json:"recoveries,omitempty"`
+}
+
+type jsonArc struct {
+	Pos   int        `json:"pos"`
+	Kind  string     `json:"kind"`
+	Lo    model.Time `json:"lo"`
+	Hi    model.Time `json:"hi"`
+	Gain  float64    `json:"gain"`
+	Child int        `json:"child"`
+}
+
+func kindString(k core.ArcKind) string { return k.String() }
+
+func kindFromString(s string) (core.ArcKind, error) {
+	switch s {
+	case "completion":
+		return core.Completion, nil
+	case "fault-recovered":
+		return core.FaultRecovered, nil
+	case "fault-dropped":
+		return core.FaultDropped, nil
+	default:
+		return 0, fmt.Errorf("appio: unknown arc kind %q", s)
+	}
+}
+
+// EncodeTree writes a quasi-static tree as JSON. Process references are by
+// name, so the file pairs with the application's JSON encoding.
+func EncodeTree(w io.Writer, tree *core.Tree) error {
+	app := tree.App
+	jt := jsonTree{App: app.Name(), K: app.K()}
+	for _, n := range tree.Nodes {
+		jn := jsonNode{
+			ID:        n.ID,
+			Parent:    -1,
+			SwitchPos: n.SwitchPos,
+			KRem:      n.KRem,
+			Depth:     n.Depth,
+		}
+		if n.Parent != nil {
+			jn.Parent = n.Parent.ID
+		}
+		if n.DroppedOnFault != model.NoProcess {
+			jn.DroppedOnFault = app.Proc(n.DroppedOnFault).Name
+		}
+		for _, e := range n.Schedule.Entries {
+			jn.Entries = append(jn.Entries, jsonEntry{
+				Proc:       app.Proc(e.Proc).Name,
+				Recoveries: e.Recoveries,
+			})
+		}
+		for _, a := range n.Arcs {
+			jn.Arcs = append(jn.Arcs, jsonArc{
+				Pos: a.Pos, Kind: kindString(a.Kind),
+				Lo: a.Lo, Hi: a.Hi, Gain: a.Gain, Child: a.Child.ID,
+			})
+		}
+		jt.Nodes = append(jt.Nodes, jn)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// DecodeTree reads a tree and rebinds it to the application. Structural
+// errors (unknown processes, dangling references, ID mismatches) are
+// rejected here; run core.VerifyTree on the result for the safety audit.
+func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
+	var jt jsonTree
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("appio: %w", err)
+	}
+	if jt.App != app.Name() {
+		return nil, fmt.Errorf("appio: tree was synthesised for application %q, not %q", jt.App, app.Name())
+	}
+	if jt.K != app.K() {
+		return nil, fmt.Errorf("appio: tree assumes k=%d, application has k=%d", jt.K, app.K())
+	}
+	if len(jt.Nodes) == 0 {
+		return nil, fmt.Errorf("appio: tree has no nodes")
+	}
+	nodes := make([]*core.Node, len(jt.Nodes))
+	for i, jn := range jt.Nodes {
+		if jn.ID != i {
+			return nil, fmt.Errorf("appio: node %d carries ID %d; IDs must be dense and ordered", i, jn.ID)
+		}
+		n := &core.Node{
+			ID:             jn.ID,
+			SwitchPos:      jn.SwitchPos,
+			KRem:           jn.KRem,
+			Depth:          jn.Depth,
+			DroppedOnFault: model.NoProcess,
+		}
+		if jn.DroppedOnFault != "" {
+			id := app.IDByName(jn.DroppedOnFault)
+			if id == model.NoProcess {
+				return nil, fmt.Errorf("appio: node %d: unknown dropped process %q", i, jn.DroppedOnFault)
+			}
+			n.DroppedOnFault = id
+		}
+		entries := make([]schedule.Entry, 0, len(jn.Entries))
+		for _, je := range jn.Entries {
+			id := app.IDByName(je.Proc)
+			if id == model.NoProcess {
+				return nil, fmt.Errorf("appio: node %d: unknown process %q", i, je.Proc)
+			}
+			entries = append(entries, schedule.Entry{Proc: id, Recoveries: je.Recoveries})
+		}
+		n.Schedule = &schedule.FSchedule{Entries: entries}
+		nodes[i] = n
+	}
+	for i, jn := range jt.Nodes {
+		n := nodes[i]
+		if jn.Parent >= 0 {
+			if jn.Parent >= len(nodes) {
+				return nil, fmt.Errorf("appio: node %d: parent %d out of range", i, jn.Parent)
+			}
+			n.Parent = nodes[jn.Parent]
+		} else if i != 0 {
+			return nil, fmt.Errorf("appio: node %d has no parent but is not the root", i)
+		}
+		for _, ja := range jn.Arcs {
+			kind, err := kindFromString(ja.Kind)
+			if err != nil {
+				return nil, err
+			}
+			if ja.Child < 0 || ja.Child >= len(nodes) {
+				return nil, fmt.Errorf("appio: node %d: arc child %d out of range", i, ja.Child)
+			}
+			n.Arcs = append(n.Arcs, core.Arc{
+				Pos: ja.Pos, Kind: kind, Lo: ja.Lo, Hi: ja.Hi,
+				Gain: ja.Gain, Child: nodes[ja.Child],
+			})
+		}
+	}
+	return &core.Tree{App: app, Root: nodes[0], Nodes: nodes}, nil
+}

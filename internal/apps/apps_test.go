@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"testing"
+
+	"ftsched/internal/model"
+)
+
+func TestFig1Fixture(t *testing.T) {
+	app := Fig1()
+	if app.N() != 3 || app.Period() != 300 || app.K() != 1 || app.Mu() != 10 {
+		t.Fatalf("fig1 parameters wrong: %s", app)
+	}
+	if len(app.HardIDs()) != 1 || len(app.SoftIDs()) != 2 {
+		t.Error("fig1 hard/soft split wrong")
+	}
+	// Utility spot checks straight from the paper's Fig. 4 narrative.
+	u2 := app.UtilityOf(app.IDByName("P2"))
+	u3 := app.UtilityOf(app.IDByName("P3"))
+	if u2.Value(100) != 20 || u3.Value(160) != 10 {
+		t.Error("S1 average-case utilities wrong (want 20+10=30)")
+	}
+	if u3.Value(110) != 40 || u2.Value(160) != 20 {
+		t.Error("S2 average-case utilities wrong (want 40+20=60)")
+	}
+	if u2.Value(80) != 40 || u3.Value(140) != 30 {
+		t.Error("early-P1 utilities wrong (want 40+30=70)")
+	}
+	if u3.Value(100) != 40 || u2.Value(100) != 20 {
+		t.Error("Fig. 4c utilities wrong (S3=40 vs S4=20)")
+	}
+}
+
+func TestFig1ReducedPeriodFixture(t *testing.T) {
+	app := Fig1ReducedPeriod()
+	if app.Period() != 250 {
+		t.Fatalf("period = %d, want 250", app.Period())
+	}
+}
+
+func TestFig8Fixture(t *testing.T) {
+	app := Fig8()
+	if app.N() != 5 || app.K() != 2 || app.Mu() != 10 || app.Period() != 220 {
+		t.Fatalf("fig8 parameters wrong: %s", app)
+	}
+	if d := app.Proc(app.IDByName("P1")).Deadline; d != 110 {
+		t.Errorf("P1 deadline = %d, want 110", d)
+	}
+	if d := app.Proc(app.IDByName("P5")).Deadline; d != 220 {
+		t.Errorf("P5 deadline = %d, want 220", d)
+	}
+	// The quoted dropping-evaluation values.
+	u2 := app.UtilityOf(app.IDByName("P2"))
+	u3 := app.UtilityOf(app.IDByName("P3"))
+	u4 := app.UtilityOf(app.IDByName("P4"))
+	if got := u2.Value(60) + u3.Value(90) + u4.Value(130); got != 80 {
+		t.Errorf("U(S2') = %g, want 80", got)
+	}
+	if got := u3.Value(60) + 2.0/3.0*u4.Value(90); got != 50 {
+		t.Errorf("U(S2'') = %g, want 50", got)
+	}
+	// P4 has exactly P2 and P3 as predecessors (the stale factor 2/3).
+	if got := len(app.Preds(app.IDByName("P4"))); got != 2 {
+		t.Errorf("P4 preds = %d, want 2", got)
+	}
+}
+
+func TestCruiseControllerFixture(t *testing.T) {
+	app := CruiseController()
+	if app.N() != 32 {
+		t.Fatalf("CC has %d processes, want 32", app.N())
+	}
+	if got := len(app.HardIDs()); got != 9 {
+		t.Fatalf("CC has %d hard processes, want 9", got)
+	}
+	if app.K() != 2 {
+		t.Errorf("k = %d, want 2", app.K())
+	}
+	// µ is 10% of WCET for every process.
+	for id := 0; id < app.N(); id++ {
+		pid := model.ProcessID(id)
+		p := app.Proc(pid)
+		wantMu := p.WCET / 10
+		if wantMu < 1 {
+			wantMu = 1
+		}
+		if app.MuOf(pid) != wantMu {
+			t.Errorf("%s µ = %d, want %d (10%% of WCET %d)", p.Name, app.MuOf(pid), wantMu, p.WCET)
+		}
+	}
+	// The actuator-critical chain must be hard.
+	for _, n := range []string{"BrakeDebounce", "CruiseFSM", "SafetyMonitor", "PIController",
+		"TorqueArbiter", "ThrottleAct", "BrakeAct", "ActWatchdog", "FaultMgr"} {
+		id := app.IDByName(n)
+		if id == model.NoProcess {
+			t.Fatalf("process %s missing", n)
+		}
+		if app.Proc(id).Kind != model.Hard {
+			t.Errorf("%s must be hard", n)
+		}
+	}
+	// Sanity: deadlines within the period, graph acyclic (Validate ran),
+	// actuators downstream of the arbiter.
+	for _, h := range app.HardIDs() {
+		if d := app.Proc(h).Deadline; d <= 0 || d > app.Period() {
+			t.Errorf("%s deadline %d outside (0,%d]", app.Proc(h).Name, d, app.Period())
+		}
+	}
+	ta := app.IDByName("TorqueArbiter")
+	found := false
+	for _, s := range app.Succs(ta) {
+		if app.Proc(s).Name == "ThrottleAct" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ThrottleAct must consume TorqueArbiter output")
+	}
+}

@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"fmt"
+
+	"ftsched/internal/model"
+	"ftsched/internal/utility"
+)
+
+// CruiseController builds the vehicle cruise controller (CC) of the paper's
+// case study (§6, after [8]): 32 processes on a single microcontroller,
+// nine of which — the processes critically involved with the actuators —
+// are hard; k = 2 transient faults per cycle and a recovery overhead µ of
+// 10% of each process's WCET.
+//
+// Reference [8] (a licentiate thesis) is not publicly available, so the
+// process structure is reconstructed from the standard architecture of an
+// automotive cruise control loop (documented in DESIGN.md): sensor
+// acquisition → filtering/validation → mode logic → state estimation →
+// speed control → actuation → diagnostics/communication. The time base is
+// 0.1 ms ticks; the control period is 200 ms (2000 ticks).
+//
+// Hard processes (9): BrakeDebounce, CruiseFSM, SafetyMonitor,
+// PIController, TorqueArbiter, ThrottleAct, BrakeAct, ActWatchdog,
+// FaultMgr.
+func CruiseController() *model.Application {
+	type proc struct {
+		name  string
+		hard  bool
+		bcet  model.Time
+		wcet  model.Time
+		peak  float64 // soft utility peak
+		preds []string
+	}
+	// Declaration order is a topological order; deadlines and utility
+	// knees are derived from cumulative execution-time estimates below.
+	table := []proc{
+		// Stage A: sensor acquisition.
+		{name: "WheelFL", bcet: 10, wcet: 24, peak: 45},
+		{name: "WheelFR", bcet: 10, wcet: 24, peak: 45},
+		{name: "WheelRL", bcet: 10, wcet: 24, peak: 45},
+		{name: "WheelRR", bcet: 10, wcet: 24, peak: 45},
+		{name: "EngineRPM", bcet: 12, wcet: 30, peak: 50},
+		{name: "ThrottleSens", bcet: 12, wcet: 28, peak: 40},
+		{name: "BrakePedal", bcet: 8, wcet: 20, peak: 60},
+		// Stage B: filtering / validation.
+		{name: "SpeedFilter", bcet: 20, wcet: 48, peak: 70,
+			preds: []string{"WheelFL", "WheelFR", "WheelRL", "WheelRR"}},
+		{name: "RPMFilter", bcet: 16, wcet: 40, peak: 40, preds: []string{"EngineRPM"}},
+		{name: "ThrottleFilter", bcet: 14, wcet: 36, peak: 35, preds: []string{"ThrottleSens"}},
+		{name: "BrakeDebounce", hard: true, bcet: 10, wcet: 30, preds: []string{"BrakePedal"}},
+		// Stage C: mode logic.
+		{name: "DriverButtons", bcet: 8, wcet: 22, peak: 55},
+		{name: "CruiseFSM", hard: true, bcet: 18, wcet: 46,
+			preds: []string{"DriverButtons", "BrakeDebounce", "SpeedFilter"}},
+		{name: "SetpointMgr", bcet: 12, wcet: 32, peak: 65, preds: []string{"CruiseFSM"}},
+		{name: "SafetyMonitor", hard: true, bcet: 20, wcet: 50,
+			preds: []string{"BrakeDebounce", "RPMFilter", "SpeedFilter"}},
+		// Stage D: state estimation.
+		{name: "SpeedEst", bcet: 24, wcet: 62, peak: 85, preds: []string{"SpeedFilter"}},
+		{name: "AccelEst", bcet: 18, wcet: 48, peak: 50, preds: []string{"SpeedEst"}},
+		{name: "SlopeEst", bcet: 22, wcet: 58, peak: 45,
+			preds: []string{"AccelEst", "RPMFilter"}},
+		{name: "DistanceEst", bcet: 18, wcet: 46, peak: 35, preds: []string{"SpeedEst"}},
+		// Stage E: speed control.
+		{name: "SpeedError", bcet: 10, wcet: 26, peak: 75,
+			preds: []string{"SetpointMgr", "SpeedEst"}},
+		{name: "PIController", hard: true, bcet: 20, wcet: 52, preds: []string{"SpeedError"}},
+		{name: "Feedforward", bcet: 16, wcet: 42, peak: 40, preds: []string{"SlopeEst"}},
+		{name: "TorqueArbiter", hard: true, bcet: 16, wcet: 40,
+			preds: []string{"PIController", "Feedforward", "SafetyMonitor"}},
+		// Stage F: actuation.
+		{name: "ThrottleAct", hard: true, bcet: 14, wcet: 36, preds: []string{"TorqueArbiter"}},
+		{name: "BrakeAct", hard: true, bcet: 14, wcet: 36, preds: []string{"TorqueArbiter"}},
+		{name: "ActWatchdog", hard: true, bcet: 10, wcet: 28,
+			preds: []string{"ThrottleAct", "BrakeAct"}},
+		// Stage G: diagnostics / communication.
+		{name: "CANRx", bcet: 16, wcet: 44, peak: 45},
+		{name: "CANTx", bcet: 18, wcet: 50, peak: 55,
+			preds: []string{"TorqueArbiter", "SpeedEst"}},
+		{name: "DiagLogger", bcet: 24, wcet: 80, peak: 25,
+			preds: []string{"SafetyMonitor", "ActWatchdog"}},
+		{name: "HMIDisplay", bcet: 28, wcet: 90, peak: 35,
+			preds: []string{"SpeedEst", "SetpointMgr"}},
+		{name: "FaultMgr", hard: true, bcet: 18, wcet: 48,
+			preds: []string{"SafetyMonitor", "CANRx"}},
+		{name: "HeartBeat", bcet: 6, wcet: 16, peak: 30},
+	}
+	if len(table) != 32 {
+		panic(fmt.Sprintf("apps: cruise controller has %d processes, want 32", len(table)))
+	}
+
+	const period = 2000 // 200 ms in 0.1 ms ticks
+	const k = 2
+	app := model.NewApplication("cruise-controller", period, k, 1 /* overridden per process */)
+
+	// Cumulative estimates in declaration order drive deadlines (hard)
+	// and utility knees (soft).
+	var cumW, cumA, maxRec model.Time
+	ids := make(map[string]model.ProcessID, len(table))
+	for _, p := range table {
+		mu := p.wcet / 10 // µ = 10% of WCET (paper §6)
+		if mu < 1 {
+			mu = 1
+		}
+		if rec := p.wcet + mu; rec > maxRec {
+			maxRec = rec
+		}
+		aet := p.bcet + (p.wcet-p.bcet)/2
+		cumW += p.wcet
+		cumA += aet
+		mp := model.Process{
+			Name: p.name,
+			BCET: p.bcet,
+			AET:  aet,
+			WCET: p.wcet,
+			Mu:   mu,
+		}
+		if p.hard {
+			mp.Kind = model.Hard
+			// Feasible even if every earlier process runs at WCET
+			// and both faults strike, plus a tight margin.
+			d := cumW + model.Time(k)*maxRec + 60
+			if d > period {
+				d = period
+			}
+			mp.Deadline = d
+		} else {
+			mp.Kind = model.Soft
+			// Knees straddle the average-case completion estimate so
+			// that completion order genuinely matters: finishing a
+			// little early earns the peak, a little late only 40%.
+			t1 := cumA - cumA/8
+			t2 := cumA + cumA/4 + 1
+			t3 := cumA + cumA + 2
+			mp.Utility = utility.MustStep(
+				[]model.Time{t1, t2, t3},
+				[]float64{p.peak, p.peak * 0.4, p.peak * 0.1})
+		}
+		id := app.AddProcess(mp)
+		ids[p.name] = id
+	}
+	for _, p := range table {
+		for _, pre := range p.preds {
+			from, ok := ids[pre]
+			if !ok {
+				panic(fmt.Sprintf("apps: unknown predecessor %q of %q", pre, p.name))
+			}
+			app.MustAddEdge(from, ids[p.name])
+		}
+	}
+	if err := app.Validate(); err != nil {
+		panic(err) // fixture is statically correct
+	}
+	return app
+}

@@ -1,0 +1,81 @@
+// Package apps provides ready-made applications: the worked examples of
+// Izosimov et al. (DATE 2008) — used heavily by the test suites — and the
+// vehicle cruise controller of the paper's case study.
+package apps
+
+import (
+	"ftsched/internal/model"
+	"ftsched/internal/utility"
+)
+
+// Fig1 builds the application of the paper's Fig. 1 with the utility
+// functions of Fig. 4a: the graph G1 with hard process P1 (deadline 180 ms)
+// and soft processes P2, P3 fed by P1; T = 300 ms, k = 1, µ = 10 ms.
+//
+// The staircase utility functions are reconstructed from every value the
+// paper quotes in the Fig. 4/5 discussion:
+//
+//	U2 = 40 (t ≤ 90), 20 (t ≤ 200), 10 (t ≤ 250), 0 after
+//	U3 = 40 (t ≤ 110), 30 (t ≤ 150), 10 (t ≤ 220), 0 after
+//
+// so that e.g. U2(100)+U3(160) = 30 (schedule S1, average case) and
+// U3(110)+U2(160) = 60 (schedule S2), as in the paper.
+func Fig1() *model.Application {
+	a := model.NewApplication("paper-fig1", 300, 1, 10)
+	p1 := a.AddProcess(model.Process{Name: "P1", Kind: model.Hard, BCET: 30, AET: 50, WCET: 70, Deadline: 180})
+	p2 := a.AddProcess(model.Process{Name: "P2", Kind: model.Soft, BCET: 30, AET: 50, WCET: 70,
+		Utility: utility.MustStep([]model.Time{90, 200, 250}, []float64{40, 20, 10})})
+	p3 := a.AddProcess(model.Process{Name: "P3", Kind: model.Soft, BCET: 40, AET: 60, WCET: 80,
+		Utility: utility.MustStep([]model.Time{110, 150, 220}, []float64{40, 30, 10})})
+	a.MustAddEdge(p1, p2)
+	a.MustAddEdge(p1, p3)
+	if err := a.Validate(); err != nil {
+		panic(err) // fixture is statically correct
+	}
+	return a
+}
+
+// Fig1ReducedPeriod is the Fig. 4c variant of Fig1: the period is reduced
+// to 250 ms, which forces the static scheduler to drop a soft process in
+// order to keep P1 fault-tolerant.
+func Fig1ReducedPeriod() *model.Application {
+	a := model.NewApplication("paper-fig4c", 250, 1, 10)
+	p1 := a.AddProcess(model.Process{Name: "P1", Kind: model.Hard, BCET: 30, AET: 50, WCET: 70, Deadline: 180})
+	p2 := a.AddProcess(model.Process{Name: "P2", Kind: model.Soft, BCET: 30, AET: 50, WCET: 70,
+		Utility: utility.MustStep([]model.Time{90, 200, 250}, []float64{40, 20, 10})})
+	p3 := a.AddProcess(model.Process{Name: "P3", Kind: model.Soft, BCET: 40, AET: 60, WCET: 80,
+		Utility: utility.MustStep([]model.Time{110, 150, 220}, []float64{40, 30, 10})})
+	a.MustAddEdge(p1, p2)
+	a.MustAddEdge(p1, p3)
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Fig8 builds the application G2 of the paper's Fig. 8: hard processes P1
+// (deadline 110 ms) and P5 (deadline 220 ms), soft processes P2, P3, P4;
+// T = 220 ms, k = 2, µ = 10 ms. The utility staircases reproduce the
+// quoted evaluations U(S2') = U2(60)+U3(90)+U4(130) = 80 and
+// U(S2”) = U3(60) + 2/3·U4(90) = 50 (the 2/3 is P4's stale-value
+// coefficient when P2 is dropped, since DP(P4) = {P2, P3}).
+func Fig8() *model.Application {
+	a := model.NewApplication("paper-fig8", 220, 2, 10)
+	p1 := a.AddProcess(model.Process{Name: "P1", Kind: model.Hard, BCET: 10, AET: 20, WCET: 30, Deadline: 110})
+	p2 := a.AddProcess(model.Process{Name: "P2", Kind: model.Soft, BCET: 20, AET: 30, WCET: 40,
+		Utility: utility.MustStep([]model.Time{60, 100, 130}, []float64{40, 20, 10})})
+	p3 := a.AddProcess(model.Process{Name: "P3", Kind: model.Soft, BCET: 20, AET: 30, WCET: 40,
+		Utility: utility.MustStep([]model.Time{70, 150}, []float64{30, 20})})
+	p4 := a.AddProcess(model.Process{Name: "P4", Kind: model.Soft, BCET: 20, AET: 30, WCET: 40,
+		Utility: utility.MustStep([]model.Time{100, 150, 200}, []float64{30, 20, 10})})
+	p5 := a.AddProcess(model.Process{Name: "P5", Kind: model.Hard, BCET: 10, AET: 20, WCET: 30, Deadline: 220})
+	a.MustAddEdge(p1, p2)
+	a.MustAddEdge(p1, p3)
+	a.MustAddEdge(p2, p4)
+	a.MustAddEdge(p3, p4)
+	a.MustAddEdge(p1, p5)
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}

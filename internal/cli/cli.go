@@ -1,0 +1,56 @@
+// Package cli contains shared plumbing for the command-line tools: fixture
+// resolution and application loading.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"ftsched/internal/appio"
+	"ftsched/internal/apps"
+	"ftsched/internal/model"
+)
+
+// LoadApp resolves the application to operate on: a named built-in fixture
+// ("fig1", "fig8", "cc") or a JSON file path. Exactly one of fixture and
+// path must be non-empty.
+func LoadApp(fixture, path string) (*model.Application, error) {
+	switch {
+	case fixture != "" && path != "":
+		return nil, fmt.Errorf("cli: pass either -fixture or -app, not both")
+	case fixture != "":
+		switch fixture {
+		case "fig1":
+			return apps.Fig1(), nil
+		case "fig4c":
+			return apps.Fig1ReducedPeriod(), nil
+		case "fig8":
+			return apps.Fig8(), nil
+		case "cc", "cruise":
+			return apps.CruiseController(), nil
+		default:
+			return nil, fmt.Errorf("cli: unknown fixture %q (want fig1, fig4c, fig8 or cc)", fixture)
+		}
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return appio.DecodeApplication(f)
+	default:
+		return nil, fmt.Errorf("cli: pass -fixture <name> or -app <file.json>")
+	}
+}
+
+// OutputWriter opens the output target: "-" or "" means stdout.
+func OutputWriter(path string) (*os.File, func(), error) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}

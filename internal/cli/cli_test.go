@@ -1,0 +1,87 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftsched/internal/appio"
+	"ftsched/internal/apps"
+)
+
+func TestLoadAppFixtures(t *testing.T) {
+	cases := map[string]int{"fig1": 3, "fig4c": 3, "fig8": 5, "cc": 32, "cruise": 32}
+	for name, n := range cases {
+		app, err := LoadApp(name, "")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if app.N() != n {
+			t.Errorf("%s: N = %d, want %d", name, app.N(), n)
+		}
+	}
+}
+
+func TestLoadAppErrors(t *testing.T) {
+	if _, err := LoadApp("", ""); err == nil {
+		t.Error("neither fixture nor path should fail")
+	}
+	if _, err := LoadApp("fig1", "x.json"); err == nil {
+		t.Error("both fixture and path should fail")
+	}
+	if _, err := LoadApp("nope", ""); err == nil {
+		t.Error("unknown fixture should fail")
+	}
+	if _, err := LoadApp("", "/nonexistent/x.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadAppFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "app.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appio.EncodeApplication(f, apps.Fig1()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	app, err := LoadApp("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.N() != 3 {
+		t.Errorf("N = %d", app.N())
+	}
+}
+
+func TestOutputWriter(t *testing.T) {
+	w, done, err := OutputWriter("")
+	if err != nil || w != os.Stdout {
+		t.Error("empty path must map to stdout")
+	}
+	done()
+	w, done, err = OutputWriter("-")
+	if err != nil || w != os.Stdout {
+		t.Error("- must map to stdout")
+	}
+	done()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	w, done, err = OutputWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteString("hello"); err != nil {
+		t.Fatal(err)
+	}
+	done()
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Error("file output broken")
+	}
+	if _, _, err := OutputWriter("/nonexistent-dir/x"); err == nil {
+		t.Error("uncreatable path should fail")
+	}
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// FTQSOptions tunes the quasi-static tree synthesis.
+type FTQSOptions struct {
+	// M limits the number of schedules in the tree (paper: "we are
+	// interested in determining the best M schedules"). M = 1 yields the
+	// bare FTSS schedule. Values below 1 are treated as 1.
+	M int
+	// SweepSamples bounds the number of probe points interval
+	// partitioning uses per candidate arc. The sweep is exact (every
+	// integer completion time, as in the paper) whenever the completion
+	// window is narrower than SweepSamples; wider windows are probed with
+	// a stride and guard boundaries are refined by bisection. Defaults
+	// to 256.
+	SweepSamples int
+	// MinGain is the smallest mean utility improvement a candidate
+	// sub-schedule must offer to be kept. Defaults to 1e-9 (any strict
+	// improvement).
+	MinGain float64
+	// EvalScenarios selects how schedules are compared during interval
+	// partitioning: 1 evaluates completion times at the average execution
+	// times (the paper's point estimate); larger values average over a
+	// deterministic quadrature of uniform execution times, which removes
+	// the point estimate's optimism near guard boundaries. Defaults to 8.
+	EvalScenarios int
+	// DisableRevival, for ablation studies, prevents sub-schedules from
+	// re-admitting processes their parent dropped. The pessimistic
+	// worst-case root drops generously, and reviving its victims when
+	// execution runs early is the dominant source of the quasi-static
+	// utility gain (see DESIGN.md); disabling it isolates the
+	// contribution of pure reordering.
+	DisableRevival bool
+}
+
+func (o FTQSOptions) withDefaults() FTQSOptions {
+	if o.M < 1 {
+		o.M = 1
+	}
+	if o.SweepSamples <= 0 {
+		o.SweepSamples = 256
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 1e-9
+	}
+	if o.EvalScenarios <= 0 {
+		o.EvalScenarios = 8
+	}
+	return o
+}
+
+// FTQS synthesises a fault-tolerant quasi-static tree of at most opts.M
+// schedules for the application (paper Fig. 6 + Fig. 7): the root
+// f-schedule comes from FTSS; sub-schedules are generated layer by layer
+// for the best- and worst-case completion times of every process, and
+// interval partitioning derives the switching guards. Returns
+// ErrUnschedulable when no root f-schedule guarantees the hard deadlines.
+func FTQS(app *model.Application, opts FTQSOptions) (*Tree, error) {
+	root, err := FTSS(app)
+	if err != nil {
+		return nil, err
+	}
+	return FTQSFromRoot(app, root, opts)
+}
+
+// FTQSFromRoot is FTQS starting from a pre-computed root f-schedule. The
+// root must be valid for the application (schedule.Validate) and
+// schedulable with k = app.K() faults; this is checked.
+func FTQSFromRoot(app *model.Application, root *schedule.FSchedule, opts FTQSOptions) (*Tree, error) {
+	opts = opts.withDefaults()
+	if err := schedule.Validate(app, root); err != nil {
+		return nil, err
+	}
+	if err := schedule.CheckSchedulable(app, root.Entries, 0, app.K()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnschedulable, err)
+	}
+	rootNode := &Node{
+		ID:             0,
+		Schedule:       root,
+		SwitchPos:      0,
+		KRem:           app.K(),
+		Depth:          0,
+		DroppedOnFault: model.NoProcess,
+	}
+	t := &Tree{App: app, Root: rootNode, Nodes: []*Node{rootNode}}
+	for t.Size() < opts.M {
+		n := pickNext(t)
+		if n == nil {
+			break // every reachable sub-schedule is already in the tree
+		}
+		expandNode(t, n, opts)
+	}
+	return t, nil
+}
+
+// pickNext selects the next node to expand: the shallowest unexpanded node,
+// and among equals the one most similar to its parent (smallest Kendall
+// distance between the suffix orders). Refining near-duplicates first
+// steers the tree towards "the most different sub-schedules" overall (see
+// DESIGN.md on FindMostSimilarSubschedule).
+func pickNext(t *Tree) *Node {
+	var best *Node
+	for _, n := range t.Nodes {
+		if n.expanded {
+			continue
+		}
+		if best == nil || n.Depth < best.Depth ||
+			(n.Depth == best.Depth && n.simDist() < best.simDist()) {
+			best = n
+		}
+	}
+	return best
+}
+
+// simDist is the node's Kendall distance to its parent, computed lazily.
+func (n *Node) simDist() int {
+	if n.Parent == nil {
+		return 0
+	}
+	return kendallDistance(
+		n.Parent.Schedule.Entries[n.SwitchPos:],
+		n.Schedule.Entries[n.SwitchPos:])
+}
+
+// kendallDistance counts process pairs ordered differently in the two entry
+// sequences (restricted to processes present in both).
+func kendallDistance(a, b []schedule.Entry) int {
+	posB := make(map[model.ProcessID]int, len(b))
+	for i, e := range b {
+		posB[e.Proc] = i
+	}
+	var common []int // positions in b of a's processes, in a's order
+	for _, e := range a {
+		if p, ok := posB[e.Proc]; ok {
+			common = append(common, p)
+		}
+	}
+	d := 0
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			if common[i] > common[j] {
+				d++
+			}
+		}
+	}
+	return d
+}
+
+// candidate is a generated sub-schedule awaiting selection.
+type candidate struct {
+	pos       int
+	kind      ArcKind
+	suffix    []schedule.Entry
+	kRem      int
+	droppedOF model.ProcessID
+	intervals []interval
+	gain      float64
+}
+
+// expandNode implements CreateSubschedules for one parent (paper Fig. 7,
+// line 2/7): for every position after the parent's switch point it
+// synthesises (a) a completion sub-schedule assuming the entry finishes at
+// its best-possible time, (b) a fault sub-schedule assuming the entry is
+// hit and recovered, and (c) for soft entries without recovery budget, a
+// fault sub-schedule assuming the entry is dropped. Interval partitioning
+// against the parent prices each candidate; the best ones join the tree
+// until M schedules exist.
+func expandNode(t *Tree, n *Node, opts FTQSOptions) {
+	n.expanded = true
+	app := t.App
+	entries := n.Schedule.Entries
+	droppedBase := droppedSet(app, n.Schedule)
+	if n.DroppedOnFault != model.NoProcess {
+		droppedBase[n.DroppedOnFault] = true
+	}
+
+	var cands []candidate
+	for pos := n.SwitchPos; pos < len(entries)-1; pos++ {
+		prefix := entries[:pos+1]
+		best := schedule.BestCaseCompletions(app, prefix, 0)
+		worst := schedule.WorstCaseCompletions(app, prefix, 0, n.KRem)
+		bestFinish := best.Finish[pos]
+		bestStart := best.Start[pos]
+		wcHi := worst.WorstCase[pos]
+		e := entries[pos]
+		p := app.Proc(e.Proc)
+
+		executed := make([]model.ProcessID, 0, pos+1)
+		executedSet := make([]bool, app.N())
+		for _, pe := range prefix {
+			executed = append(executed, pe.Proc)
+			executedSet[pe.Proc] = true
+		}
+		// A child re-optimises the remainder from scratch, so processes
+		// the parent dropped become candidates again — the pessimistic
+		// worst-case root drops generously, and re-admitting its
+		// victims when execution runs early is the main source of the
+		// quasi-static utility gain. Re-admission is only sound while
+		// none of the process's successors has executed (otherwise the
+		// consumer already ran on a stale value).
+		droppedIDs := make([]model.ProcessID, 0)
+		for id, d := range droppedBase {
+			if !d {
+				continue
+			}
+			pid := model.ProcessID(id)
+			revivable := !opts.DisableRevival
+			for _, s := range app.Succs(pid) {
+				if executedSet[s] {
+					revivable = false
+					break
+				}
+			}
+			if !revivable {
+				droppedIDs = append(droppedIDs, pid)
+			}
+		}
+
+		// The paper explores the combinations of best- and worst-case
+		// execution times: every child kind is synthesised twice, once
+		// for the best-possible and once for the worst-possible
+		// completion of the guarded entry (§5.1). Duplicates are
+		// merged by addKind.
+		addKind := func(kind ArcKind, lo Time, kRem int,
+			exec, dropped []model.ProcessID, droppedOF model.ProcessID) {
+			seen := map[string]bool{}
+			for _, genStart := range []Time{lo, wcHi} {
+				if genStart < lo {
+					continue
+				}
+				c := makeCandidate(t, n, pos, kind, exec, dropped,
+					lo, genStart, wcHi, kRem, droppedOF, opts)
+				if c == nil {
+					continue
+				}
+				sig := entriesSignature(c.suffix)
+				if seen[sig] {
+					continue
+				}
+				seen[sig] = true
+				cands = append(cands, *c)
+			}
+		}
+
+		// (a) Completion child.
+		addKind(Completion, bestFinish, n.KRem, executed, droppedIDs, model.NoProcess)
+
+		// (b) Fault child with recovery.
+		if e.Recoveries > 0 && n.KRem > 0 {
+			lo := bestStart + p.BCET + app.MuOf(e.Proc) + p.BCET
+			addKind(FaultRecovered, lo, n.KRem-1, executed, droppedIDs, model.NoProcess)
+		}
+
+		// (c) Fault child with dropping (soft, no recovery budget).
+		if p.Kind == model.Soft && e.Recoveries == 0 && n.KRem > 0 {
+			lo := bestStart + p.BCET
+			exWithout := executed[:len(executed)-1]
+			drWith := append(append([]model.ProcessID(nil), droppedIDs...), e.Proc)
+			addKind(FaultDropped, lo, n.KRem-1, exWithout, drWith, e.Proc)
+		}
+	}
+
+	// Best candidates first (paper: keep the sub-schedules with the most
+	// significant utility improvement).
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].gain > cands[i].gain {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	for _, c := range cands {
+		if t.Size() >= opts.M {
+			break
+		}
+		attachChild(t, n, c)
+	}
+	n.Arcs = dedupeSortArcs(n.Arcs)
+}
+
+// entriesSignature canonically encodes a suffix for duplicate detection.
+func entriesSignature(entries []schedule.Entry) string {
+	b := make([]byte, 0, len(entries)*4)
+	for _, e := range entries {
+		b = append(b, byte(e.Proc), byte(e.Proc>>8), byte(e.Recoveries), ';')
+	}
+	return string(b)
+}
+
+// makeCandidate synthesises one sub-schedule (assuming the guarded entry
+// completes at genStart) and prices it with interval partitioning over the
+// whole completion window [lo, hi]; nil when the candidate is infeasible,
+// identical to the parent's own continuation, or not a strict improvement
+// anywhere.
+func makeCandidate(t *Tree, n *Node, pos int, kind ArcKind,
+	executed, dropped []model.ProcessID, lo, genStart, hi Time, kRem int,
+	droppedOF model.ProcessID, opts FTQSOptions) *candidate {
+
+	app := t.App
+	suffix, err := SuffixFTSS(app, executed, dropped, genStart, kRem)
+	if err != nil || len(suffix) == 0 {
+		return nil
+	}
+	parentSuffix := n.Schedule.Entries[pos+1:]
+	if kind == Completion && sameEntries(suffix, parentSuffix) {
+		return nil
+	}
+
+	// Dropped-set assumptions for the two evaluators.
+	parentDropped := droppedAssumption(app, n, droppedOF)
+	childDropped := make([]bool, app.N())
+	in := make([]bool, app.N())
+	for _, id := range executed {
+		in[id] = true
+	}
+	for _, e := range suffix {
+		in[e.Proc] = true
+	}
+	for id := 0; id < app.N(); id++ {
+		childDropped[id] = !in[id]
+	}
+
+	parentEval := newSuffixEval(app, parentSuffix, parentDropped, opts.EvalScenarios)
+	childEval := newSuffixEval(app, suffix, childDropped, opts.EvalScenarios)
+	ivs := partitionChild(app, parentEval, childEval, suffix, lo, hi, kRem, opts.SweepSamples)
+	if len(ivs) == 0 {
+		return nil
+	}
+	var gain float64
+	for _, iv := range ivs {
+		gain += iv.Gain * float64(iv.Hi-iv.Lo+1)
+	}
+	gain /= float64(hi - lo + 1)
+	if gain < opts.MinGain {
+		return nil
+	}
+	return &candidate{
+		pos: pos, kind: kind, suffix: suffix, kRem: kRem,
+		droppedOF: droppedOF, intervals: ivs, gain: gain,
+	}
+}
+
+// droppedAssumption returns the dropped set under which the parent's own
+// continuation is evaluated for a given scenario: the parent's dropped
+// processes, plus the entry abandoned by the fault for FaultDropped arcs.
+func droppedAssumption(app *model.Application, n *Node, droppedOF model.ProcessID) []bool {
+	d := droppedSet(app, n.Schedule)
+	if n.DroppedOnFault != model.NoProcess {
+		d[n.DroppedOnFault] = true
+	}
+	if droppedOF != model.NoProcess {
+		d[droppedOF] = true
+	}
+	return d
+}
+
+// attachChild adds the candidate as a node and wires its guard arcs.
+func attachChild(t *Tree, n *Node, c candidate) {
+	full := make([]schedule.Entry, 0, c.pos+1+len(c.suffix))
+	full = append(full, n.Schedule.Entries[:c.pos+1]...)
+	full = append(full, c.suffix...)
+	child := &Node{
+		ID:             len(t.Nodes),
+		Schedule:       &schedule.FSchedule{Entries: full},
+		SwitchPos:      c.pos + 1,
+		KRem:           c.kRem,
+		Depth:          n.Depth + 1,
+		DroppedOnFault: c.droppedOF,
+		Parent:         n,
+	}
+	t.Nodes = append(t.Nodes, child)
+	for _, iv := range c.intervals {
+		n.Arcs = append(n.Arcs, Arc{
+			Pos: c.pos, Kind: c.kind, Lo: iv.Lo, Hi: iv.Hi,
+			Gain: iv.Gain, Child: child,
+		})
+	}
+}
+
+// droppedSet marks every process of the application absent from the
+// schedule.
+func droppedSet(app *model.Application, s *schedule.FSchedule) []bool {
+	d := make([]bool, app.N())
+	for i := range d {
+		d[i] = true
+	}
+	for _, e := range s.Entries {
+		d[e.Proc] = false
+	}
+	return d
+}
+
+func sameEntries(a, b []schedule.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,27 @@
+package core
+
+// MemoryFootprint estimates the bytes an embedded deployment needs to
+// store the quasi-static tree: the motivation behind limiting the tree to
+// M schedules in the paper's Table 1 ("Less nodes in the tree means that
+// less memory is needed to store them").
+//
+// The estimate assumes a compact table encoding rather than Go's in-memory
+// representation: each schedule entry is a (process id, recoveries) pair
+// (3 bytes), each node carries its entry table plus a small header (switch
+// position, fault budget, dropped-on-fault marker: 6 bytes), and each arc
+// is a (position, kind, lo, hi, child) record (2 + 1 + 4 + 4 + 2 = 13
+// bytes, with 32-bit completion times). Shared prefixes are charged to
+// every node, matching the flat tables an online scheduler would index
+// directly.
+func (t *Tree) MemoryFootprint() int {
+	const (
+		entryBytes  = 3
+		headerBytes = 6
+		arcBytes    = 13
+	)
+	total := 0
+	for _, n := range t.Nodes {
+		total += headerBytes + entryBytes*len(n.Schedule.Entries) + arcBytes*len(n.Arcs)
+	}
+	return total
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// ArcKind distinguishes why a schedule switch is taken (paper Fig. 5: the
+// no-fault group-1 switches are driven by completion times, the group-2..4
+// switches by fault occurrences).
+type ArcKind int
+
+const (
+	// Completion arcs are evaluated when the guarded entry completes
+	// without a fault having hit it: the child re-optimises the remaining
+	// order for the observed completion time.
+	Completion ArcKind = iota
+	// FaultRecovered arcs are evaluated when the guarded entry was hit by
+	// a fault and recovered by re-execution: the child re-optimises the
+	// remainder with one unit of fault budget consumed.
+	FaultRecovered
+	// FaultDropped arcs are evaluated when the guarded entry (a soft
+	// process without recovery budget) was hit by a fault and dropped:
+	// the child's suffix was synthesised with the entry in the dropped
+	// set, so downstream stale-value decisions are consistent.
+	FaultDropped
+)
+
+// String implements fmt.Stringer.
+func (k ArcKind) String() string {
+	switch k {
+	case Completion:
+		return "completion"
+	case FaultRecovered:
+		return "fault-recovered"
+	case FaultDropped:
+		return "fault-dropped"
+	default:
+		return fmt.Sprintf("ArcKind(%d)", int(k))
+	}
+}
+
+// Arc is a guarded schedule switch: when entry Pos of the owning node's
+// schedule reaches outcome Kind with an observed completion time
+// tc ∈ [Lo, Hi], the online scheduler switches to Child, which shares the
+// executed prefix and continues with its own suffix.
+type Arc struct {
+	// Pos is the index of the guarded entry in the owning node's
+	// schedule.
+	Pos int
+	// Kind selects the entry outcome the guard applies to.
+	Kind ArcKind
+	// Lo and Hi bound the observed completion time of the entry
+	// (inclusive). Hi is utility.Infinity-free: it is always a concrete
+	// bound, at most the child's safety bound t_i^c (paper §5.1).
+	Lo, Hi Time
+	// Gain is the mean expected-utility improvement of the child over the
+	// parent across the guard interval; used to order overlapping arcs.
+	Gain float64
+	// Child is the schedule to switch to.
+	Child *Node
+}
+
+// Node is one schedule of the quasi-static tree.
+type Node struct {
+	// ID is the node's index in Tree.Nodes; the root has ID 0.
+	ID int
+	// Schedule is the complete f-schedule (from time zero); for non-root
+	// nodes the entries before SwitchPos coincide with the parent's.
+	Schedule *schedule.FSchedule
+	// SwitchPos is the index of the first entry that may differ from the
+	// parent (0 for the root).
+	SwitchPos int
+	// KRem is the number of faults the node's suffix analysis tolerates
+	// from its switch point: K for the root and completion children, one
+	// less than the parent for fault children.
+	KRem int
+	// Depth is the layer of the node (root = 0).
+	Depth int
+	// DroppedOnFault marks, for a FaultDropped child, the entry that the
+	// suffix synthesis assumed dropped (model.NoProcess otherwise).
+	DroppedOnFault model.ProcessID
+	// Parent is nil for the root.
+	Parent *Node
+	// Arcs are the outgoing guarded switches, grouped by Pos and sorted
+	// by descending Gain within a (Pos, Kind) group.
+	Arcs []Arc
+
+	expanded bool
+}
+
+// Tree is the fault-tolerant quasi-static tree Φ produced by FTQS.
+type Tree struct {
+	// App is the application the tree was synthesised for.
+	App *model.Application
+	// Root is the f-schedule the online scheduler starts with.
+	Root *Node
+	// Nodes lists every schedule in the tree, root first.
+	Nodes []*Node
+}
+
+// Size returns the number of schedules in the tree (the paper's "nodes"
+// column in Table 1; 1 means the tree degenerates to the FTSS schedule).
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// EntryOutcome describes what happened to a schedule entry at run time; the
+// online scheduler passes it to Next to select the applicable arcs.
+type EntryOutcome int
+
+const (
+	// CompletedOK: the entry completed, possibly after earlier entries
+	// consumed fault budget, but this entry itself was not hit.
+	CompletedOK EntryOutcome = iota
+	// CompletedRecovered: the entry was hit by one or more faults and
+	// completed via re-execution.
+	CompletedRecovered
+	// DroppedByFault: the entry was hit and abandoned (soft process with
+	// exhausted or zero recovery budget).
+	DroppedByFault
+)
+
+// Next returns the node to continue with after entry pos of n completes (or
+// is abandoned) at time tc with the given outcome. It returns n itself when
+// no arc guard matches — staying with the current schedule is always safe
+// because its recovery slack covers any remaining fault pattern.
+//
+// A recovered entry prefers FaultRecovered arcs and falls back to
+// Completion arcs (both assume the entry's outputs exist; switching is safe
+// because the child tolerates at least the faults that can still occur). A
+// dropped entry matches only FaultDropped arcs, whose suffixes were
+// synthesised with consistent stale-value decisions.
+func (n *Node) Next(pos int, tc Time, outcome EntryOutcome) *Node {
+	var kinds []ArcKind
+	switch outcome {
+	case CompletedOK:
+		kinds = []ArcKind{Completion}
+	case CompletedRecovered:
+		kinds = []ArcKind{FaultRecovered, Completion}
+	case DroppedByFault:
+		kinds = []ArcKind{FaultDropped}
+	}
+	for _, k := range kinds {
+		bestGain := 0.0
+		var best *Node
+		for i := range n.Arcs {
+			a := &n.Arcs[i]
+			if a.Pos != pos || a.Kind != k {
+				continue
+			}
+			if tc < a.Lo || tc > a.Hi {
+				continue
+			}
+			if best == nil || a.Gain > bestGain {
+				best, bestGain = a.Child, a.Gain
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	return n
+}
+
+// Format renders the tree for humans: one line per node with its schedule,
+// plus one line per arc with its guard.
+func (t *Tree) Format() string {
+	var sb strings.Builder
+	for _, n := range t.Nodes {
+		fmt.Fprintf(&sb, "S%-3d depth=%d kRem=%d  %s\n", n.ID, n.Depth, n.KRem, n.Schedule.Format(t.App))
+		for _, a := range n.Arcs {
+			name := t.App.Proc(n.Schedule.Entries[a.Pos].Proc).Name
+			fmt.Fprintf(&sb, "     after %s (%s) tc in [%d,%d] -> S%d (gain %.2f)\n",
+				name, a.Kind, a.Lo, a.Hi, a.Child.ID, a.Gain)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// This file implements a static safety audit of quasi-static trees. The
+// online scheduler's correctness rests on invariants that the synthesis is
+// designed to maintain; VerifyTree re-checks them independently, so a tree
+// loaded from storage, produced by a modified synthesis, or hand-edited
+// can be trusted before deployment on the single guarantee that matters:
+// no reachable execution can miss a hard deadline.
+
+// VerifyIssue is one finding of the audit.
+type VerifyIssue struct {
+	// Node is the ID of the offending node.
+	Node int
+	// Arc indexes the offending arc within the node, or -1 for node-level
+	// findings.
+	Arc int
+	// Msg describes the violation.
+	Msg string
+}
+
+// String implements fmt.Stringer.
+func (v VerifyIssue) String() string {
+	if v.Arc < 0 {
+		return fmt.Sprintf("S%d: %s", v.Node, v.Msg)
+	}
+	return fmt.Sprintf("S%d/arc%d: %s", v.Node, v.Arc, v.Msg)
+}
+
+// VerifyError aggregates audit findings.
+type VerifyError struct {
+	Issues []VerifyIssue
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "core: tree verification found %d issue(s):", len(e.Issues))
+	for _, i := range e.Issues {
+		sb.WriteString("\n  ")
+		sb.WriteString(i.String())
+	}
+	return sb.String()
+}
+
+// VerifyTree audits a quasi-static tree:
+//
+//   - the root schedule is structurally valid (schedule.Validate) and
+//     schedulable from time zero with k = App.K() faults;
+//   - every node's fault budget is consistent with its parent's (equal for
+//     completion children, one less for fault children) and non-negative;
+//   - every node shares its parent's prefix up to its switch position;
+//   - every arc guard is non-empty, within the node's entry range, and —
+//     the safety bound t_i^c of §5.1 — the child's suffix is schedulable
+//     when entered at the guard's *upper* end with the child's fault
+//     budget (schedulability is monotone in the entry time, so the upper
+//     end covers the whole guard);
+//   - FaultDropped arcs drop a soft process, never a hard one;
+//   - every hard process appears in every node's schedule.
+//
+// It returns nil when the tree is safe, or a *VerifyError listing every
+// violation.
+func VerifyTree(t *Tree) error {
+	var issues []VerifyIssue
+	app := t.App
+	nodeIssue := func(n *Node, msg string, args ...any) {
+		issues = append(issues, VerifyIssue{Node: n.ID, Arc: -1, Msg: fmt.Sprintf(msg, args...)})
+	}
+	arcIssue := func(n *Node, arc int, msg string, args ...any) {
+		issues = append(issues, VerifyIssue{Node: n.ID, Arc: arc, Msg: fmt.Sprintf(msg, args...)})
+	}
+
+	if t.Root == nil || len(t.Nodes) == 0 || t.Nodes[0] != t.Root {
+		return &VerifyError{Issues: []VerifyIssue{{Node: -1, Arc: -1, Msg: "malformed tree: missing root"}}}
+	}
+	if err := schedule.Validate(app, t.Root.Schedule); err != nil {
+		nodeIssue(t.Root, "invalid root schedule: %v", err)
+	}
+	if err := schedule.CheckSchedulable(app, t.Root.Schedule.Entries, 0, app.K()); err != nil {
+		nodeIssue(t.Root, "root not schedulable: %v", err)
+	}
+
+	for _, n := range t.Nodes {
+		if n.KRem < 0 || n.KRem > app.K() {
+			nodeIssue(n, "fault budget %d outside [0,%d]", n.KRem, app.K())
+		}
+		if n.Parent != nil {
+			if n.KRem != n.Parent.KRem && n.KRem != n.Parent.KRem-1 {
+				nodeIssue(n, "fault budget %d inconsistent with parent's %d", n.KRem, n.Parent.KRem)
+			}
+			if n.SwitchPos <= 0 || n.SwitchPos > len(n.Schedule.Entries) {
+				nodeIssue(n, "switch position %d out of range", n.SwitchPos)
+			}
+			limit := n.SwitchPos
+			if limit > len(n.Parent.Schedule.Entries) {
+				limit = len(n.Parent.Schedule.Entries)
+			}
+			for j := 0; j < limit; j++ {
+				if n.Schedule.Entries[j] != n.Parent.Schedule.Entries[j] {
+					nodeIssue(n, "prefix diverges from parent at entry %d", j)
+					break
+				}
+			}
+		}
+		// Hard coverage: every hard process must be in the schedule,
+		// except a DroppedOnFault marker can never be hard.
+		if n.DroppedOnFault != model.NoProcess &&
+			app.Proc(n.DroppedOnFault).Kind == model.Hard {
+			nodeIssue(n, "fault-dropped process %s is hard", app.Proc(n.DroppedOnFault).Name)
+		}
+		for _, h := range app.HardIDs() {
+			if !n.Schedule.Contains(h) {
+				nodeIssue(n, "hard process %s missing from schedule", app.Proc(h).Name)
+			}
+		}
+
+		for ai := range n.Arcs {
+			a := &n.Arcs[ai]
+			if a.Pos < 0 || a.Pos >= len(n.Schedule.Entries) {
+				arcIssue(n, ai, "guard position %d out of range", a.Pos)
+				continue
+			}
+			if a.Lo > a.Hi {
+				arcIssue(n, ai, "empty guard [%d,%d]", a.Lo, a.Hi)
+			}
+			if a.Child == nil {
+				arcIssue(n, ai, "dangling arc")
+				continue
+			}
+			if a.Child.Parent != n {
+				arcIssue(n, ai, "child S%d does not point back to this node", a.Child.ID)
+			}
+			if a.Child.SwitchPos != a.Pos+1 {
+				arcIssue(n, ai, "child S%d switch position %d does not follow guard position %d",
+					a.Child.ID, a.Child.SwitchPos, a.Pos)
+			}
+			switch a.Kind {
+			case Completion:
+				// Completion children must keep the budget.
+				if a.Child.KRem != n.KRem {
+					arcIssue(n, ai, "completion child S%d changes fault budget %d -> %d",
+						a.Child.ID, n.KRem, a.Child.KRem)
+				}
+			case FaultRecovered:
+				// Fault children must decrement it: their suffixes were
+				// synthesised after one consumed fault.
+				if a.Child.KRem != n.KRem-1 {
+					arcIssue(n, ai, "fault child S%d has budget %d, want %d",
+						a.Child.ID, a.Child.KRem, n.KRem-1)
+				}
+			case FaultDropped:
+				if a.Child.KRem != n.KRem-1 {
+					arcIssue(n, ai, "fault-dropped child S%d has budget %d, want %d",
+						a.Child.ID, a.Child.KRem, n.KRem-1)
+				}
+				if a.Child.DroppedOnFault != n.Schedule.Entries[a.Pos].Proc {
+					arcIssue(n, ai, "fault-dropped child S%d does not mark the guarded entry", a.Child.ID)
+				}
+			default:
+				arcIssue(n, ai, "unknown arc kind %d", int(a.Kind))
+			}
+			// The safety bound: the child suffix entered at the guard's
+			// upper end must keep every hard deadline and the period.
+			suffix := a.Child.Schedule.Entries[a.Child.SwitchPos:]
+			if err := schedule.CheckSchedulable(app, suffix, a.Hi, a.Child.KRem); err != nil {
+				arcIssue(n, ai, "unsafe switch at guard end %d: %v", a.Hi, err)
+			}
+		}
+	}
+	if len(issues) == 0 {
+		return nil
+	}
+	return &VerifyError{Issues: issues}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/model"
+)
+
+func TestVerifyTreeAcceptsSynthesised(t *testing.T) {
+	for _, app := range []*model.Application{apps.Fig1(), apps.Fig8(), apps.CruiseController()} {
+		tree, err := FTQS(app, FTQSOptions{M: 24})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name(), err)
+		}
+		if err := VerifyTree(tree); err != nil {
+			t.Errorf("%s: synthesised tree rejected:\n%v", app.Name(), err)
+		}
+	}
+}
+
+func TestVerifyTreeDetectsCorruption(t *testing.T) {
+	app := apps.Fig1()
+	fresh := func() *Tree {
+		tree, err := FTQS(app, FTQSOptions{M: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(*Tree) bool // returns false if not applicable
+		want    string
+	}{
+		{"budget out of range", func(tr *Tree) bool {
+			tr.Nodes[1].KRem = 99
+			return len(tr.Nodes) > 1
+		}, "fault budget"},
+		{"guard widened past safety", func(tr *Tree) bool {
+			for i := range tr.Nodes {
+				for j := range tr.Nodes[i].Arcs {
+					tr.Nodes[i].Arcs[j].Hi = app.Period() * 2
+					return true
+				}
+			}
+			return false
+		}, "unsafe switch"},
+		{"empty guard", func(tr *Tree) bool {
+			for i := range tr.Nodes {
+				for j := range tr.Nodes[i].Arcs {
+					tr.Nodes[i].Arcs[j].Lo = tr.Nodes[i].Arcs[j].Hi + 1
+					return true
+				}
+			}
+			return false
+		}, "empty guard"},
+		{"dangling arc", func(tr *Tree) bool {
+			for i := range tr.Nodes {
+				for j := range tr.Nodes[i].Arcs {
+					tr.Nodes[i].Arcs[j].Child = nil
+					return true
+				}
+			}
+			return false
+		}, "dangling"},
+		{"prefix divergence", func(tr *Tree) bool {
+			if len(tr.Nodes) < 2 || tr.Nodes[1].SwitchPos < 1 {
+				return false
+			}
+			tr.Nodes[1].Schedule.Entries[0].Recoveries++
+			return true
+		}, "prefix diverges"},
+		{"hard dropped from a node", func(tr *Tree) bool {
+			if len(tr.Nodes) < 2 {
+				return false
+			}
+			n := tr.Nodes[1]
+			// Remove the first entry (P1, hard) from the child.
+			n.Schedule.Entries = n.Schedule.Entries[1:]
+			return true
+		}, "missing from schedule"},
+	}
+	for _, c := range cases {
+		tr := fresh()
+		if !c.corrupt(tr) {
+			t.Logf("%s: not applicable to this tree; skipped", c.name)
+			continue
+		}
+		err := VerifyTree(tr)
+		if err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestVerifyTreeMalformedRoot(t *testing.T) {
+	err := VerifyTree(&Tree{App: apps.Fig1()})
+	if err == nil || !strings.Contains(err.Error(), "missing root") {
+		t.Errorf("missing root not detected: %v", err)
+	}
+}
+
+func TestVerifyIssueString(t *testing.T) {
+	if got := (VerifyIssue{Node: 3, Arc: -1, Msg: "x"}).String(); got != "S3: x" {
+		t.Errorf("node issue = %q", got)
+	}
+	if got := (VerifyIssue{Node: 3, Arc: 2, Msg: "x"}).String(); got != "S3/arc2: x" {
+		t.Errorf("arc issue = %q", got)
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	app := apps.Fig1()
+	one, err := FTQS(app, FTQSOptions{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := FTQS(app, FTQSOptions{M: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := one.MemoryFootprint()
+	bm := many.MemoryFootprint()
+	if b1 <= 0 {
+		t.Errorf("footprint %d, want positive", b1)
+	}
+	if bm <= b1 {
+		t.Errorf("bigger tree must cost more memory: %d vs %d", bm, b1)
+	}
+	// Exact for the single-node tree: header 6 + 3 entries × 3 bytes.
+	if b1 != 6+3*3 {
+		t.Errorf("M=1 footprint = %d, want 15", b1)
+	}
+}
+
+// TestVerifyTreeOnRandomTrees: synthesised trees for random applications
+// always pass the audit.
+func TestVerifyTreeOnRandomTrees(t *testing.T) {
+	app := apps.CruiseController()
+	for _, m := range []int{2, 8, 39} {
+		tree, err := FTQS(app, FTQSOptions{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyTree(tree); err != nil {
+			t.Errorf("M=%d: %v", m, err)
+		}
+	}
+}
+
+// TestVerifyTreeFaultBudgetMismatch: a fault-recovered arc whose child
+// keeps the parent's budget must be flagged (its suffix analysis assumed a
+// consumed fault).
+func TestVerifyTreeFaultBudgetMismatch(t *testing.T) {
+	app := apps.Fig1()
+	tree, err := FTQS(app, FTQSOptions{M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := false
+	for _, n := range tree.Nodes {
+		for i := range n.Arcs {
+			if n.Arcs[i].Kind == FaultRecovered {
+				n.Arcs[i].Child.KRem = n.KRem // wrong: must be KRem-1
+				patched = true
+			}
+		}
+	}
+	if !patched {
+		t.Skip("no fault arcs in this tree")
+	}
+	err = VerifyTree(tree)
+	if err == nil || !strings.Contains(err.Error(), "fault child") {
+		t.Errorf("budget mismatch not detected: %v", err)
+	}
+}

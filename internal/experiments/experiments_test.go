@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run scaled-down configurations and assert the
+// paper's qualitative findings (the "shape": who wins, in which order, and
+// how utility degrades), not absolute numbers.
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	cfg := Fig9Config{
+		Sizes:       []int{10, 20, 30},
+		AppsPerSize: 3,
+		Scenarios:   300,
+		M:           24,
+		Seed:        11,
+	}
+	res, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var sumFTSS, sumFTSF float64
+	for _, row := range res.Rows {
+		// FTQS is the normalisation base: exactly 100 in panel (a).
+		if row.FTQS0 < 99.9 || row.FTQS0 > 100.1 {
+			t.Errorf("size %d: FTQS0 = %g, want 100", row.Size, row.FTQS0)
+		}
+		// Paper: FTQS beats FTSS by 11-18%, FTSS beats FTSF by 20-70%.
+		// Scaled down we only require the ordering with slack for
+		// Monte-Carlo noise; on lightly loaded instances FTSF's
+		// no-fault-optimised order can locally edge out FTSS, so the
+		// FTSS-vs-FTSF ordering is asserted on the average below.
+		if row.FTSS0 > 100.5 {
+			t.Errorf("size %d: FTSS0 = %g beats FTQS", row.Size, row.FTSS0)
+		}
+		sumFTSS += row.FTSS0
+		sumFTSF += row.FTSF0
+		// Panel (b): utility decreases with the number of faults.
+		if !(row.FTQS1 <= row.FTQS0+0.5 && row.FTQS2 <= row.FTQS1+0.5 && row.FTQS3 <= row.FTQS2+0.5) {
+			t.Errorf("size %d: fault degradation not monotone: %g %g %g %g",
+				row.Size, row.FTQS0, row.FTQS1, row.FTQS2, row.FTQS3)
+		}
+		// FTQS under 3 faults still beats FTSF under 3 faults (paper:
+		// "FTQS is constantly better than the static alternatives").
+		if row.FTSF3 > row.FTQS3+1 {
+			t.Errorf("size %d: FTSF3 = %g beats FTQS3 = %g", row.Size, row.FTSF3, row.FTQS3)
+		}
+	}
+	if sumFTSF > sumFTSS {
+		t.Errorf("FTSF (%.1f) beats FTSS (%.1f) on average", sumFTSF, sumFTSS)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Fig. 9a") || !strings.Contains(out, "Fig. 9b") {
+		t.Error("Format output incomplete")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	cfg := Table1Config{
+		Apps:      3,
+		Processes: 30,
+		Ms:        []int{1, 2, 8, 23},
+		Scenarios: 300,
+		Seed:      5,
+	}
+	res, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Row M=1 is the FTSS baseline: 100 at no faults, decreasing with
+	// fault count (paper row 1: 100, 93, 88, 82).
+	r0 := res.Rows[0]
+	if r0.Util[0] < 99.9 || r0.Util[0] > 100.1 {
+		t.Errorf("M=1 no-fault = %g, want 100", r0.Util[0])
+	}
+	for f := 1; f < 4; f++ {
+		if r0.Util[f] > r0.Util[f-1]+0.5 {
+			t.Errorf("M=1: utility must not rise with faults: %v", r0.Util)
+		}
+	}
+	// Larger trees give (weakly) more utility in the no-fault scenario,
+	// with the largest tree strictly better than the baseline.
+	prev := 0.0
+	for _, row := range res.Rows {
+		if row.Util[0] < prev-1.5 { // small Monte-Carlo tolerance
+			t.Errorf("utility fell when M grew: %v", res.Rows)
+		}
+		prev = row.Util[0]
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.Util[0] <= 100.5 {
+		t.Errorf("M=23 gives %g, want clear improvement over FTSS", last.Util[0])
+	}
+	// Runtime grows with tree size (paper: 0.62 s to 38.79 s).
+	if last.Runtime < res.Rows[0].Runtime {
+		t.Errorf("runtime should grow with M: %v vs %v", last.Runtime, res.Rows[0].Runtime)
+	}
+	if !strings.Contains(res.Format(), "Table 1") {
+		t.Error("Format output incomplete")
+	}
+}
+
+func TestCruiseControllerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	cfg := CCConfig{Scenarios: 1500, M: 39, Seed: 3}
+	res, err := CruiseController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TreeNodes != 39 {
+		t.Errorf("tree nodes = %d, want 39", res.TreeNodes)
+	}
+	// Paper: FTQS improves 14% over FTSS, 81% over FTSF (no faults);
+	// utility drops 4% with 1 fault and 9% with 2. We require the
+	// qualitative shape: positive improvements, graceful degradation.
+	if res.ImprovementOverFTSS <= 0 {
+		t.Errorf("no improvement over FTSS: %+.1f%%", res.ImprovementOverFTSS)
+	}
+	if res.ImprovementOverFTSF <= res.ImprovementOverFTSS {
+		t.Errorf("FTSF must trail FTSS: %+.1f%% vs %+.1f%%",
+			res.ImprovementOverFTSF, res.ImprovementOverFTSS)
+	}
+	if res.Degradation1 < 0 || res.Degradation2 < res.Degradation1 {
+		t.Errorf("degradation not monotone: %g then %g", res.Degradation1, res.Degradation2)
+	}
+	if res.Degradation2 > 50 {
+		t.Errorf("degradation with 2 faults suspiciously large: %g%%", res.Degradation2)
+	}
+	if !strings.Contains(res.Format(), "Cruise controller") {
+		t.Error("Format output incomplete")
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ftsched/internal/gen"
+	"ftsched/internal/stats"
+)
+
+// HardRatioConfig parametrises the hard/soft-mix sensitivity sweep: an
+// extension experiment beyond the paper (whose Table 1 fixes 50/50). It
+// answers "where does quasi-static scheduling pay off?" — with no soft
+// processes there is no utility to gain; with no hard processes there is
+// no worst-case pressure forcing the pessimistic drops that revival
+// recovers.
+type HardRatioConfig struct {
+	Ratios    []float64
+	Apps      int
+	Processes int
+	M         int
+	Scenarios int
+	Seed      int64
+}
+
+// DefaultHardRatio returns a CI-friendly configuration.
+func DefaultHardRatio() HardRatioConfig {
+	return HardRatioConfig{
+		Ratios:    []float64{0.1, 0.25, 0.5, 0.75, 0.9},
+		Apps:      5,
+		Processes: 30,
+		M:         32,
+		Scenarios: 500,
+		Seed:      8,
+	}
+}
+
+// HardRatioRow is one point of the sweep: FTSS and FTSF normalised to the
+// FTQS no-fault utility (= 100), plus the fraction of soft processes the
+// FTSS root drops (the revival headroom).
+type HardRatioRow struct {
+	Ratio        float64
+	FTSS, FTSF   float64
+	RootDropPct  float64
+	Apps         int
+	FTSFFailures int
+}
+
+// HardRatioResult aggregates the sweep.
+type HardRatioResult struct {
+	Rows []HardRatioRow
+	Cfg  HardRatioConfig
+}
+
+// HardRatio runs the sweep.
+func HardRatio(cfg HardRatioConfig) (*HardRatioResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &HardRatioResult{Cfg: cfg}
+	for _, ratio := range cfg.Ratios {
+		row := HardRatioRow{Ratio: ratio}
+		var ftssAcc, ftsfAcc, dropAcc []float64
+		for a := 0; a < cfg.Apps; a++ {
+			gcfg := gen.Default(cfg.Processes)
+			gcfg.HardRatio = ratio
+			app, err := generateSchedulable(rng, gcfg, 50)
+			if err != nil {
+				return nil, err
+			}
+			ftqs, ftss, ftsf, err := synthesise(app, cfg.M)
+			if err != nil {
+				return nil, err
+			}
+			seed := rng.Int63()
+			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				continue
+			}
+			us, err := meanUtility(ftss, cfg.Scenarios, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			ftssAcc = append(ftssAcc, stats.Ratio(us, base))
+			if ftsf == nil {
+				row.FTSFFailures++
+				ftsfAcc = append(ftsfAcc, 0)
+			} else {
+				ub, err := meanUtility(ftsf, cfg.Scenarios, 0, seed)
+				if err != nil {
+					return nil, err
+				}
+				ftsfAcc = append(ftsfAcc, stats.Ratio(ub, base))
+			}
+			nSoft := len(app.SoftIDs())
+			if nSoft > 0 {
+				dropped := 0
+				for _, id := range app.SoftIDs() {
+					if !ftss.Root.Schedule.Contains(id) {
+						dropped++
+					}
+				}
+				dropAcc = append(dropAcc, 100*float64(dropped)/float64(nSoft))
+			}
+			row.Apps++
+		}
+		row.FTSS = stats.Mean(ftssAcc)
+		row.FTSF = stats.Mean(ftsfAcc)
+		row.RootDropPct = stats.Mean(dropAcc)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *HardRatioResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Hard/soft mix sweep — utility normalised to FTQS (%), no faults\n")
+	sb.WriteString("hard%   FTSS   FTSF   root-dropped-soft%\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%4.0f%%  %5.1f  %5.1f   %5.1f%%\n",
+			100*row.Ratio, row.FTSS, row.FTSF, row.RootDropPct)
+	}
+	return sb.String()
+}

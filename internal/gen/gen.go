@@ -1,0 +1,316 @@
+// Package gen generates random benchmark applications following the
+// experimental setup of Izosimov et al. (DATE 2008), §6: applications of
+// 10-50 processes with worst-case execution times uniformly distributed
+// between 10 and 100 ms, best-case execution times uniform between 0 and
+// the WCET, and average execution times at the midpoint ("completion time
+// is uniformly distributed between the best-case and the worst-case").
+//
+// The paper does not publish its deadline, period or utility-function
+// distributions; this package makes them explicit and reproducible (see the
+// Config fields and DESIGN.md). Deadlines are drawn so that a hard-only
+// schedule is always feasible — generated applications are schedulable by
+// construction, with enough pressure that soft dropping decisions matter.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftsched/internal/model"
+	"ftsched/internal/utility"
+)
+
+// Shape selects the dependency structure of generated graphs.
+type Shape int
+
+const (
+	// Layered draws independent forward edges within a rank window — the
+	// classic random-DAG benchmark shape (default).
+	Layered Shape = iota
+	// SeriesParallel composes the graph recursively from sequences and
+	// parallel branches, the TGFF-style task-graph shape typical of
+	// signal-processing applications. All edges still point forward in
+	// index order.
+	SeriesParallel
+	// Chains builds a few independent pipelines — the worst case for
+	// ordering freedom (every decision is which chain to advance).
+	Chains
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Layered:
+		return "layered"
+	case SeriesParallel:
+		return "series-parallel"
+	case Chains:
+		return "chains"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Config parametrises the generator. The zero value is not valid; use
+// Default and override.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Shape selects the dependency structure (default Layered).
+	Shape Shape
+	// HardRatio is the fraction of hard processes (Table 1 uses 50/50).
+	HardRatio float64
+	// K is the fault bound, Mu the recovery overhead (paper: k=3, µ=15).
+	K  int
+	Mu model.Time
+	// WCETMin and WCETMax bound the worst-case execution times
+	// (paper: 10 and 100 ms).
+	WCETMin, WCETMax model.Time
+	// EdgeProb is the probability of a dependency between any forward
+	// pair of processes within the rank window.
+	EdgeProb float64
+	// PeriodSlackMin/Max scale the period relative to the full worst-case
+	// load ΣWCET + k·(max WCET + µ): values below 1 force dropping in the
+	// worst case, values above 1 leave slack for soft recoveries.
+	PeriodSlackMin, PeriodSlackMax float64
+	// UtilityMin/Max bound the peak utility value of soft processes.
+	UtilityMin, UtilityMax float64
+}
+
+// Default returns the paper's §6 configuration for n processes.
+func Default(n int) Config {
+	return Config{
+		N:              n,
+		HardRatio:      0.5,
+		K:              3,
+		Mu:             15,
+		WCETMin:        10,
+		WCETMax:        100,
+		EdgeProb:       0.15,
+		PeriodSlackMin: 0.95,
+		PeriodSlackMax: 1.15,
+		UtilityMin:     10,
+		UtilityMax:     100,
+	}
+}
+
+// Generate builds one random application. The result is always valid and
+// guaranteed hard-schedulable (a schedule that drops every soft process
+// meets all hard deadlines even under k faults).
+func Generate(rng *rand.Rand, cfg Config) (*model.Application, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("gen: N must be positive (got %d)", cfg.N)
+	}
+	if cfg.WCETMin <= 0 || cfg.WCETMax < cfg.WCETMin {
+		return nil, fmt.Errorf("gen: invalid WCET range [%d,%d]", cfg.WCETMin, cfg.WCETMax)
+	}
+	if cfg.HardRatio < 0 || cfg.HardRatio > 1 {
+		return nil, fmt.Errorf("gen: HardRatio %g outside [0,1]", cfg.HardRatio)
+	}
+	if cfg.K < 0 || cfg.Mu < 0 {
+		return nil, fmt.Errorf("gen: negative fault parameters")
+	}
+	if cfg.PeriodSlackMax < cfg.PeriodSlackMin || cfg.PeriodSlackMin <= 0 {
+		return nil, fmt.Errorf("gen: invalid period slack range")
+	}
+
+	n := cfg.N
+	// Execution times per the paper.
+	wcet := make([]model.Time, n)
+	bcet := make([]model.Time, n)
+	aet := make([]model.Time, n)
+	var sumW, maxW model.Time
+	for i := 0; i < n; i++ {
+		w := cfg.WCETMin + model.Time(rng.Int63n(int64(cfg.WCETMax-cfg.WCETMin)+1))
+		b := model.Time(rng.Int63n(int64(w) + 1))
+		wcet[i], bcet[i] = w, b
+		aet[i] = b + (w-b)/2
+		sumW += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+
+	// Hard/soft assignment: exact count, randomly placed.
+	nHard := int(float64(n)*cfg.HardRatio + 0.5)
+	if nHard > n {
+		nHard = n
+	}
+	kind := make([]model.Kind, n)
+	for i := 0; i < n; i++ {
+		kind[i] = model.Soft
+	}
+	for _, i := range rng.Perm(n)[:nHard] {
+		kind[i] = model.Hard
+	}
+
+	// Worst-case full load and period.
+	fullLoad := sumW + model.Time(cfg.K)*(maxW+cfg.Mu)
+	slack := cfg.PeriodSlackMin + rng.Float64()*(cfg.PeriodSlackMax-cfg.PeriodSlackMin)
+	period := model.Time(float64(fullLoad) * slack)
+
+	// Hard-only worst-case completion per process (topological = index
+	// order; edges only go forward): the deadline floor that guarantees
+	// schedulability when all soft processes are dropped.
+	var hardMaxW model.Time
+	for i := 0; i < n; i++ {
+		if kind[i] == model.Hard && wcet[i] > hardMaxW {
+			hardMaxW = wcet[i]
+		}
+	}
+	recoveryHard := model.Time(cfg.K) * (hardMaxW + cfg.Mu)
+	var hardCum model.Time
+	floor := make([]model.Time, n)
+	for i := 0; i < n; i++ {
+		if kind[i] == model.Hard {
+			hardCum += wcet[i]
+			floor[i] = hardCum + recoveryHard
+		}
+	}
+	// The period must accommodate the hard-only schedule.
+	if period < hardCum+recoveryHard {
+		period = hardCum + recoveryHard
+	}
+
+	// Average-case completion estimate in index order, for placing the
+	// utility staircases where ordering decisions actually matter.
+	var aetCum model.Time
+	avgFinish := make([]model.Time, n)
+	for i := 0; i < n; i++ {
+		aetCum += aet[i]
+		avgFinish[i] = aetCum
+	}
+
+	app := model.NewApplication(fmt.Sprintf("gen-n%d", n), period, cfg.K, cfg.Mu)
+	ids := make([]model.ProcessID, n)
+	for i := 0; i < n; i++ {
+		p := model.Process{
+			Name: fmt.Sprintf("P%02d", i),
+			Kind: kind[i],
+			BCET: bcet[i],
+			AET:  aet[i],
+			WCET: wcet[i],
+		}
+		if kind[i] == model.Hard {
+			// Deadline between the feasibility floor and the period.
+			head := period - floor[i]
+			d := floor[i]
+			if head > 0 {
+				d += model.Time(rng.Float64() * 0.7 * float64(head))
+			}
+			p.Deadline = d
+		} else {
+			p.Utility = randomUtility(rng, cfg, avgFinish[i], period)
+		}
+		ids[i] = app.AddProcess(p)
+	}
+
+	addEdges(rng, cfg, app, ids)
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: internal error: %w", err)
+	}
+	return app, nil
+}
+
+// addEdges wires the dependency structure selected by cfg.Shape. Every
+// shape emits only forward edges in index order, which the deadline floor
+// construction relies on.
+func addEdges(rng *rand.Rand, cfg Config, app *model.Application, ids []model.ProcessID) {
+	n := len(ids)
+	switch cfg.Shape {
+	case SeriesParallel:
+		var build func(lo, hi int) // over index range [lo, hi)
+		build = func(lo, hi int) {
+			size := hi - lo
+			if size <= 1 {
+				return
+			}
+			if size == 2 || rng.Float64() < 0.4 {
+				// Series: split into two sequential blocks; the last
+				// element of the first feeds the first of the second.
+				mid := lo + 1 + rng.Intn(size-1)
+				build(lo, mid)
+				build(mid, hi)
+				_ = app.AddEdge(ids[mid-1], ids[mid])
+				return
+			}
+			// Parallel: a fork node, 2..4 branches, a join node.
+			inner := size - 2
+			if inner < 2 {
+				build(lo+1, hi)
+				_ = app.AddEdge(ids[lo], ids[lo+1])
+				return
+			}
+			branches := 2 + rng.Intn(3)
+			if branches > inner {
+				branches = inner
+			}
+			starts := []int{lo + 1}
+			for b := 1; b < branches; b++ {
+				starts = append(starts, lo+1+b*inner/branches)
+			}
+			starts = append(starts, hi-1)
+			for b := 0; b < branches; b++ {
+				blo, bhi := starts[b], starts[b+1]
+				if blo >= bhi {
+					continue
+				}
+				build(blo, bhi)
+				_ = app.AddEdge(ids[lo], ids[blo])
+				_ = app.AddEdge(ids[bhi-1], ids[hi-1])
+			}
+		}
+		build(0, n)
+	case Chains:
+		chains := 2 + rng.Intn(4)
+		if chains > n {
+			chains = n
+		}
+		// Process i belongs to chain i % chains; consecutive members of
+		// a chain are linked (forward in index order by construction).
+		last := make([]int, chains)
+		for c := range last {
+			last[c] = -1
+		}
+		for i := 0; i < n; i++ {
+			c := i % chains
+			if last[c] >= 0 {
+				_ = app.AddEdge(ids[last[c]], ids[i])
+			}
+			last[c] = i
+		}
+	default: // Layered
+		// Random forward edges within a rank window keep graphs
+		// connected-ish without serialising everything.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n && j <= i+8; j++ {
+				if rng.Float64() < cfg.EdgeProb {
+					_ = app.AddEdge(ids[i], ids[j])
+				}
+			}
+		}
+	}
+}
+
+// randomUtility draws a non-increasing staircase whose knees straddle the
+// process's average-case completion estimate, so early completions are
+// rewarded and late ones penalised.
+func randomUtility(rng *rand.Rand, cfg Config, avgFinish, period model.Time) utility.Function {
+	peak := cfg.UtilityMin + rng.Float64()*(cfg.UtilityMax-cfg.UtilityMin)
+	if avgFinish < 1 {
+		avgFinish = 1
+	}
+	t1 := model.Time(float64(avgFinish) * (0.6 + 0.8*rng.Float64()))
+	if t1 < 1 {
+		t1 = 1
+	}
+	t2 := t1 + 1 + model.Time(rng.Float64()*0.8*float64(avgFinish))
+	t3 := t2 + 1 + model.Time(rng.Float64()*float64(period-t2)*0.5)
+	if t3 <= t2 {
+		t3 = t2 + 1
+	}
+	return utility.MustStep(
+		[]model.Time{t1, t2, t3},
+		[]float64{peak, peak * (0.3 + 0.4*rng.Float64()), peak * 0.1 * rng.Float64()},
+	)
+}

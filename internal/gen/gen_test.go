@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	app, err := Generate(rng, Default(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.N() != 30 {
+		t.Fatalf("N = %d, want 30", app.N())
+	}
+	if app.K() != 3 || app.Mu() != 15 {
+		t.Errorf("k/µ = %d/%d, want 3/15", app.K(), app.Mu())
+	}
+	nHard := len(app.HardIDs())
+	if nHard != 15 {
+		t.Errorf("hard count = %d, want 15 (50/50)", nHard)
+	}
+	for id := 0; id < app.N(); id++ {
+		p := app.Proc(model.ProcessID(id))
+		if p.WCET < 10 || p.WCET > 100 {
+			t.Errorf("%s WCET %d outside [10,100]", p.Name, p.WCET)
+		}
+		if p.BCET < 0 || p.BCET > p.WCET {
+			t.Errorf("%s BCET %d outside [0,WCET]", p.Name, p.BCET)
+		}
+		if p.AET != p.BCET+(p.WCET-p.BCET)/2 {
+			t.Errorf("%s AET not midpoint", p.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a1, err := Generate(rand.New(rand.NewSource(7)), Default(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Generate(rand.New(rand.NewSource(7)), Default(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Period() != a2.Period() || a1.N() != a2.N() {
+		t.Fatal("generator not deterministic")
+	}
+	for id := 0; id < a1.N(); id++ {
+		p1, p2 := a1.Proc(model.ProcessID(id)), a2.Proc(model.ProcessID(id))
+		if p1.WCET != p2.WCET || p1.BCET != p2.BCET || p1.Kind != p2.Kind || p1.Deadline != p2.Deadline {
+			t.Fatalf("process %d differs between runs", id)
+		}
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []Config{
+		{},
+		func() Config { c := Default(10); c.WCETMax = 5; return c }(),
+		func() Config { c := Default(10); c.HardRatio = 1.5; return c }(),
+		func() Config { c := Default(10); c.K = -1; return c }(),
+		func() Config { c := Default(10); c.PeriodSlackMin = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(rng, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestGeneratedAppsSchedulableProperty: the headline guarantee of the
+// generator — FTSS always finds a fault-tolerant schedule (dropping soft
+// processes if needed), across the paper's full size sweep.
+func TestGeneratedAppsSchedulableProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := []int{10, 15, 20, 25, 30, 35, 40, 45, 50}
+		n := sizes[rng.Intn(len(sizes))]
+		app, err := Generate(rng, Default(n))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		s, err := core.FTSS(app)
+		if err != nil {
+			t.Logf("seed %d n=%d: unschedulable: %v", seed, n, err)
+			return false
+		}
+		if err := schedule.Validate(app, s); err != nil {
+			t.Logf("seed %d: invalid schedule: %v", seed, err)
+			return false
+		}
+		if err := schedule.CheckSchedulable(app, s.Entries, 0, app.K()); err != nil {
+			t.Logf("seed %d: not fault tolerant: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeneratedUtilitiesMatter: utility staircases must not all be flat at
+// the completion times the schedule realises, otherwise the benchmark would
+// not distinguish the algorithms.
+func TestGeneratedUtilitiesMatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	app, err := Generate(rng, Default(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := schedule.ExpectedUtility(app, s); u <= 0 {
+		t.Errorf("expected utility %g, want > 0", u)
+	}
+}

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"fmt"
+
+	"ftsched/internal/utility"
+)
+
+// Merge combines several validated applications (each representing one
+// process graph G_k with its own period T_Gk) into a single application over
+// the hyper-period LCM(T_G1, ..., T_Gn), as described in §2 of the paper:
+// "If process graphs have different periods, they are combined into a
+// hyper-graph capturing all process activations for the hyper-period."
+//
+// The j-th activation (j = 0, 1, ...) of a process P from a graph with
+// period T_G appears as a process named "P#j" with
+//
+//   - Release  = P.Release + j·T_G (it cannot start before its period begins)
+//   - Deadline = P.Deadline + j·T_G (hard processes)
+//   - Utility  = U(t - j·T_G) (soft processes)
+//
+// Edges are replicated within each activation. The fault bound k and the
+// default µ of the merged application are given by the caller: the model
+// assumes at most k faults per operation cycle of the merged application,
+// i.e. per hyper-period.
+func Merge(name string, k int, mu Time, apps ...*Application) (*Application, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("model: Merge needs at least one application")
+	}
+	hyper := Time(1)
+	for _, g := range apps {
+		if !g.validated {
+			return nil, fmt.Errorf("model: Merge requires validated applications (%q is not)", g.name)
+		}
+		hyper = lcm(hyper, g.period)
+	}
+	merged := NewApplication(name, hyper, k, mu)
+	for _, g := range apps {
+		reps := int(hyper / g.period)
+		for j := 0; j < reps; j++ {
+			offset := Time(j) * g.period
+			ids := make([]ProcessID, g.N())
+			for i := 0; i < g.N(); i++ {
+				p := g.Proc(ProcessID(i))
+				suffix := ""
+				if reps > 1 {
+					suffix = fmt.Sprintf("#%d", j)
+				}
+				np := Process{
+					Name:    g.name + "/" + p.Name + suffix,
+					Kind:    p.Kind,
+					BCET:    p.BCET,
+					AET:     p.AET,
+					WCET:    p.WCET,
+					Mu:      p.Mu,
+					Release: p.Release + offset,
+				}
+				if p.Kind == Hard {
+					np.Deadline = p.Deadline + offset
+				} else if p.Utility != nil {
+					if offset == 0 {
+						np.Utility = p.Utility
+					} else {
+						np.Utility = utility.Shifted{F: p.Utility, By: offset}
+					}
+				}
+				ids[i] = merged.AddProcess(np)
+			}
+			for i := 0; i < g.N(); i++ {
+				for _, s := range g.Succs(ProcessID(i)) {
+					if err := merged.AddEdge(ids[i], ids[s]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+func gcd(a, b Time) Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b Time) Time {
+	return a / gcd(a, b) * b
+}

@@ -1,0 +1,488 @@
+// Package model defines the application model of Izosimov et al.
+// (DATE 2008), Section 2: a set of directed, acyclic, polar process graphs
+// mapped to a single computation node.
+//
+// Each process P_i has a best-case execution time (BCET) t_i^b, an
+// average-case execution time (AET) t_i^e and a worst-case execution time
+// (WCET) t_i^w; communication time is folded into the execution times.
+// Processes are non-preemptable. A process is either hard — it carries an
+// individual deadline d_i that must be met in every scenario including the
+// worst-case fault scenario — or soft, in which case it carries a
+// non-increasing time/utility function U_i(t) and may be dropped.
+//
+// The application tolerates at most K transient faults per operation cycle,
+// recovering by re-execution with a recovery overhead µ (a global default
+// that can be overridden per process, as in the cruise-controller case study
+// where µ is 10% of each process's WCET).
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsched/internal/utility"
+)
+
+// Time is the discrete time base (milliseconds); see utility.Time.
+type Time = utility.Time
+
+// ProcessID identifies a process within its Application. IDs are dense
+// indices in [0, N). After Validate, IDs are guaranteed to be stable; the
+// topological order is available separately via Topo.
+type ProcessID int
+
+// NoProcess is the sentinel for "no process".
+const NoProcess ProcessID = -1
+
+// Kind classifies a process as hard or soft real-time.
+type Kind int
+
+const (
+	// Hard processes carry deadlines that must be guaranteed under any
+	// combination of up to K faults.
+	Hard Kind = iota
+	// Soft processes carry time/utility functions and may be dropped.
+	Soft
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Hard:
+		return "hard"
+	case Soft:
+		return "soft"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Process is one node of the application graph.
+type Process struct {
+	// Name is a human-readable identifier, unique within the application.
+	Name string
+	// Kind selects hard or soft semantics.
+	Kind Kind
+	// BCET <= AET <= WCET are the execution-time bounds, in Time units.
+	// WCET must be positive.
+	BCET, AET, WCET Time
+	// Deadline is the individual hard deadline d_i; required for hard
+	// processes, ignored for soft ones.
+	Deadline Time
+	// Utility is the time/utility function U_i(t); required for soft
+	// processes, ignored for hard ones.
+	Utility utility.Function
+	// Mu overrides the application-wide recovery overhead for this
+	// process when positive (used by the cruise-controller case study,
+	// where µ is 10% of each WCET). Zero means "use the application µ".
+	Mu Time
+	// Release is the earliest start time of the process. It is zero for
+	// ordinary applications and j·T_G for the j-th hyper-period instance
+	// of a process from a graph with period T_G (see Merge).
+	Release Time
+}
+
+// Application is a validated, topologically analysed process graph together
+// with the platform/fault parameters of the model.
+//
+// Build one with NewApplication, AddProcess and AddEdge, then call Validate
+// before handing it to the schedulers. All accessor methods after Validate
+// are read-only; Application values are safe for concurrent readers.
+type Application struct {
+	name   string
+	period Time
+	k      int
+	mu     Time
+
+	procs []Process
+	succ  [][]ProcessID
+	pred  [][]ProcessID
+
+	validated bool
+	topo      []ProcessID
+	rank      []int // rank[id] = position of id in topo order
+}
+
+// NewApplication creates an empty application.
+//
+// period is the operation cycle T of the application (all schedules must
+// complete within it, even in the worst-case fault scenario); k is the
+// maximum number of transient faults per cycle; mu is the default recovery
+// overhead µ.
+func NewApplication(name string, period Time, k int, mu Time) *Application {
+	return &Application{name: name, period: period, k: k, mu: mu}
+}
+
+// AddProcess appends a process and returns its ID. It must be called before
+// Validate.
+func (a *Application) AddProcess(p Process) ProcessID {
+	a.mustBeMutable()
+	a.procs = append(a.procs, p)
+	a.succ = append(a.succ, nil)
+	a.pred = append(a.pred, nil)
+	return ProcessID(len(a.procs) - 1)
+}
+
+// AddEdge records a data dependency from -> to: the output of from is an
+// input of to, so to cannot start before from has terminated (or been
+// dropped, in which case to consumes a stale value).
+func (a *Application) AddEdge(from, to ProcessID) error {
+	a.mustBeMutable()
+	if err := a.checkID(from); err != nil {
+		return err
+	}
+	if err := a.checkID(to); err != nil {
+		return err
+	}
+	if from == to {
+		return fmt.Errorf("model: self-loop on %s", a.procs[from].Name)
+	}
+	for _, s := range a.succ[from] {
+		if s == to {
+			return fmt.Errorf("model: duplicate edge %s -> %s", a.procs[from].Name, a.procs[to].Name)
+		}
+	}
+	a.succ[from] = append(a.succ[from], to)
+	a.pred[to] = append(a.pred[to], from)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for statically-known
+// fixtures.
+func (a *Application) MustAddEdge(from, to ProcessID) {
+	if err := a.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+func (a *Application) mustBeMutable() {
+	if a.validated {
+		panic("model: application mutated after Validate")
+	}
+}
+
+func (a *Application) checkID(id ProcessID) error {
+	if id < 0 || int(id) >= len(a.procs) {
+		return fmt.Errorf("model: process id %d out of range [0,%d)", id, len(a.procs))
+	}
+	return nil
+}
+
+// Validate checks the structural and numeric invariants of the model and
+// freezes the application:
+//
+//   - at least one process; period, µ > 0; K >= 0
+//   - 0 <= BCET <= AET <= WCET, WCET > 0, for every process
+//   - hard processes have a positive deadline; soft processes have a
+//     utility function
+//   - names are unique and non-empty
+//   - the graph is acyclic
+//
+// On success the topological order is computed and the application becomes
+// immutable.
+func (a *Application) Validate() error {
+	if a.validated {
+		return nil
+	}
+	if len(a.procs) == 0 {
+		return errors.New("model: application has no processes")
+	}
+	if a.period <= 0 {
+		return fmt.Errorf("model: period must be positive (got %d)", a.period)
+	}
+	if a.k < 0 {
+		return fmt.Errorf("model: fault bound k must be non-negative (got %d)", a.k)
+	}
+	if a.mu < 0 {
+		return fmt.Errorf("model: recovery overhead µ must be non-negative (got %d)", a.mu)
+	}
+	names := make(map[string]bool, len(a.procs))
+	for id, p := range a.procs {
+		if p.Name == "" {
+			return fmt.Errorf("model: process %d has an empty name", id)
+		}
+		if names[p.Name] {
+			return fmt.Errorf("model: duplicate process name %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.WCET <= 0 {
+			return fmt.Errorf("model: %s: WCET must be positive (got %d)", p.Name, p.WCET)
+		}
+		if p.BCET < 0 || p.BCET > p.AET || p.AET > p.WCET {
+			return fmt.Errorf("model: %s: need 0 <= BCET <= AET <= WCET (got %d, %d, %d)",
+				p.Name, p.BCET, p.AET, p.WCET)
+		}
+		if p.Mu < 0 {
+			return fmt.Errorf("model: %s: per-process µ must be non-negative (got %d)", p.Name, p.Mu)
+		}
+		if p.Release < 0 {
+			return fmt.Errorf("model: %s: release must be non-negative (got %d)", p.Name, p.Release)
+		}
+		switch p.Kind {
+		case Hard:
+			if p.Deadline <= 0 {
+				return fmt.Errorf("model: hard process %s needs a positive deadline", p.Name)
+			}
+		case Soft:
+			if p.Utility == nil {
+				return fmt.Errorf("model: soft process %s needs a utility function", p.Name)
+			}
+		default:
+			return fmt.Errorf("model: %s: unknown kind %d", p.Name, p.Kind)
+		}
+	}
+	topo, err := a.topoSort()
+	if err != nil {
+		return err
+	}
+	a.topo = topo
+	a.rank = make([]int, len(a.procs))
+	for i, id := range topo {
+		a.rank[id] = i
+	}
+	a.validated = true
+	return nil
+}
+
+// topoSort runs Kahn's algorithm, detecting cycles. Among ready nodes the
+// smallest ID is taken first so the order is deterministic.
+func (a *Application) topoSort() ([]ProcessID, error) {
+	n := len(a.procs)
+	indeg := make([]int, n)
+	for id := range a.procs {
+		indeg[id] = len(a.pred[id])
+	}
+	// A simple ordered ready set; n is small (tens of processes).
+	var ready []ProcessID
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			ready = append(ready, ProcessID(id))
+		}
+	}
+	order := make([]ProcessID, 0, n)
+	for len(ready) > 0 {
+		// Pick the smallest ID for determinism.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, id)
+		for _, s := range a.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("model: process graph has a cycle")
+	}
+	return order, nil
+}
+
+func (a *Application) mustBeValidated() {
+	if !a.validated {
+		panic("model: application used before Validate")
+	}
+}
+
+// Name returns the application name.
+func (a *Application) Name() string { return a.name }
+
+// Period returns the operation cycle T.
+func (a *Application) Period() Time { return a.period }
+
+// K returns the maximum number of transient faults per cycle.
+func (a *Application) K() int { return a.k }
+
+// Mu returns the default recovery overhead µ.
+func (a *Application) Mu() Time { return a.mu }
+
+// N returns the number of processes.
+func (a *Application) N() int { return len(a.procs) }
+
+// Proc returns (a copy of) the process with the given ID.
+func (a *Application) Proc(id ProcessID) Process {
+	if err := a.checkID(id); err != nil {
+		panic(err)
+	}
+	return a.procs[id]
+}
+
+// MuOf returns the effective recovery overhead of a process: its own Mu if
+// positive, the application default otherwise.
+func (a *Application) MuOf(id ProcessID) Time {
+	p := a.Proc(id)
+	if p.Mu > 0 {
+		return p.Mu
+	}
+	return a.mu
+}
+
+// UtilityOf returns the utility function of a process; hard processes (and
+// soft processes without a function, which Validate rejects) yield
+// utility.Zero.
+func (a *Application) UtilityOf(id ProcessID) utility.Function {
+	p := a.Proc(id)
+	if p.Kind == Soft && p.Utility != nil {
+		return p.Utility
+	}
+	return utility.Zero{}
+}
+
+// Succs returns the direct successors of id. The returned slice must not be
+// modified.
+func (a *Application) Succs(id ProcessID) []ProcessID {
+	if err := a.checkID(id); err != nil {
+		panic(err)
+	}
+	return a.succ[id]
+}
+
+// Preds returns the direct predecessors DP(P_id). The returned slice must
+// not be modified.
+func (a *Application) Preds(id ProcessID) []ProcessID {
+	if err := a.checkID(id); err != nil {
+		panic(err)
+	}
+	return a.pred[id]
+}
+
+// Topo returns a topological order of the process IDs. The returned slice
+// must not be modified.
+func (a *Application) Topo() []ProcessID {
+	a.mustBeValidated()
+	return a.topo
+}
+
+// Rank returns the position of id in the topological order.
+func (a *Application) Rank(id ProcessID) int {
+	a.mustBeValidated()
+	if err := a.checkID(id); err != nil {
+		panic(err)
+	}
+	return a.rank[id]
+}
+
+// HardIDs returns the IDs of all hard processes, in ID order.
+func (a *Application) HardIDs() []ProcessID {
+	var out []ProcessID
+	for id := range a.procs {
+		if a.procs[id].Kind == Hard {
+			out = append(out, ProcessID(id))
+		}
+	}
+	return out
+}
+
+// SoftIDs returns the IDs of all soft processes, in ID order.
+func (a *Application) SoftIDs() []ProcessID {
+	var out []ProcessID
+	for id := range a.procs {
+		if a.procs[id].Kind == Soft {
+			out = append(out, ProcessID(id))
+		}
+	}
+	return out
+}
+
+// Sources returns the processes without predecessors.
+func (a *Application) Sources() []ProcessID {
+	var out []ProcessID
+	for id := range a.procs {
+		if len(a.pred[id]) == 0 {
+			out = append(out, ProcessID(id))
+		}
+	}
+	return out
+}
+
+// Sinks returns the processes without successors.
+func (a *Application) Sinks() []ProcessID {
+	var out []ProcessID
+	for id := range a.procs {
+		if len(a.succ[id]) == 0 {
+			out = append(out, ProcessID(id))
+		}
+	}
+	return out
+}
+
+// IsPolar reports whether the graph has exactly one source and one sink, as
+// the paper's model assumes. The schedulers do not require polarity; the
+// predicate is provided so callers can check conformance.
+func (a *Application) IsPolar() bool {
+	return len(a.Sources()) == 1 && len(a.Sinks()) == 1
+}
+
+// StaleCoefficients computes the stale-value coefficients α for all
+// processes given their execution status, visiting them in topological
+// order. See utility.Coefficients.
+func (a *Application) StaleCoefficients(status []utility.StaleStatus) ([]float64, error) {
+	a.mustBeValidated()
+	order := make([]int, len(a.topo))
+	for i, id := range a.topo {
+		order[i] = int(id)
+	}
+	preds := make([][]int, len(a.procs))
+	for id := range a.procs {
+		ps := make([]int, len(a.pred[id]))
+		for i, p := range a.pred[id] {
+			ps[i] = int(p)
+		}
+		preds[id] = ps
+	}
+	return utility.Coefficients(order, preds, status)
+}
+
+// WithFaults returns a copy of the (validated) application with a different
+// fault bound k and default recovery overhead µ. Baseline schedulers use it
+// to synthesise non-fault-tolerant schedules (k = 0) for the same workload.
+func (a *Application) WithFaults(k int, mu Time) (*Application, error) {
+	a.mustBeValidated()
+	cp := NewApplication(a.name, a.period, k, mu)
+	for _, p := range a.procs {
+		cp.AddProcess(p)
+	}
+	for id := range a.procs {
+		for _, s := range a.succ[id] {
+			if err := cp.AddEdge(ProcessID(id), s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// TotalWCET returns the sum of all WCETs — a lower bound on the no-fault
+// length of any schedule that drops nothing.
+func (a *Application) TotalWCET() Time {
+	var sum Time
+	for _, p := range a.procs {
+		sum += p.WCET
+	}
+	return sum
+}
+
+// IDByName returns the process with the given name, or NoProcess.
+func (a *Application) IDByName(name string) ProcessID {
+	for id := range a.procs {
+		if a.procs[id].Name == name {
+			return ProcessID(id)
+		}
+	}
+	return NoProcess
+}
+
+// String summarises the application.
+func (a *Application) String() string {
+	return fmt.Sprintf("app %q: %d processes (%d hard, %d soft), T=%d, k=%d, µ=%d",
+		a.name, len(a.procs), len(a.HardIDs()), len(a.SoftIDs()), a.period, a.k, a.mu)
+}

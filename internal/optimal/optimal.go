@@ -1,0 +1,239 @@
+// Package optimal finds utility-optimal fault-tolerant static schedules
+// for small applications by exact dynamic programming over process
+// subsets. It exists as a quality yardstick: the FTSS heuristic (and,
+// transitively, the FTQS tree rooted in it) can be scored against the true
+// optimum on instances up to ~20 processes, something the paper could not
+// report.
+//
+// Scope and conventions (documented restrictions):
+//
+//   - release-free applications (hyper-period instances excluded);
+//   - hard processes carry the full recovery budget f = k, soft processes
+//     none — soft recoveries never increase the no-fault utility that this
+//     optimiser maximises, they only consume worst-case slack;
+//   - the objective is the paper's static figure of merit: expected
+//     utility at average execution times in the no-fault scenario, with
+//     stale-value degradation for dropped processes;
+//   - feasibility is the paper's worst-case guarantee: every hard deadline
+//     and the period hold under any allocation of k faults.
+//
+// The DP exploits three structural facts. First, the worst-case completion
+// of a process depends only on the *set* of processes before it (the
+// shared recovery slack maximises over fault allocations, which is
+// order-free), so hard-deadline feasibility is a set property. Second, the
+// stale-value coefficient of a process is determined by the set of its
+// ancestors that execute, because precedence forces every executed
+// ancestor to be scheduled earlier. Third, "this process was skipped" is
+// also a set property: a process is permanently dropped exactly when one
+// of its successors has executed. Together they make value(S) well-defined
+// over subsets S, giving an O(2^n·n) recursion.
+package optimal
+
+import (
+	"fmt"
+	"math"
+
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// MaxProcesses bounds the instance size the exact optimiser accepts
+// (memory: O(2^n) per tracked quantity).
+const MaxProcesses = 20
+
+// Result carries the optimum and its schedule.
+type Result struct {
+	// Schedule is an optimal f-schedule (hard recoveries k, soft 0).
+	Schedule *schedule.FSchedule
+	// Utility is the optimal expected no-fault utility.
+	Utility float64
+	// Explored counts reachable DP states, for curiosity and tests.
+	Explored int
+}
+
+// Schedule computes the utility-optimal fault-tolerant schedule. It fails
+// when even the hard-only schedule cannot meet its deadlines, and for
+// instances outside the supported scope.
+func Schedule(app *model.Application) (*Result, error) {
+	n := app.N()
+	if n > MaxProcesses {
+		return nil, fmt.Errorf("optimal: %d processes exceed the exact-DP limit %d", n, MaxProcesses)
+	}
+	for id := 0; id < n; id++ {
+		if app.Proc(model.ProcessID(id)).Release != 0 {
+			return nil, fmt.Errorf("optimal: release times are not supported (process %s)",
+				app.Proc(model.ProcessID(id)).Name)
+		}
+	}
+	k := app.K()
+
+	// Per-process constants.
+	wcet := make([]schedule.Time, n)
+	aet := make([]schedule.Time, n)
+	recCost := make([]schedule.Time, n) // wcet+µ, hard only (soft never recovers here)
+	hard := make([]bool, n)
+	var hardMask uint32
+	predMask := make([]uint32, n)
+	succMask := make([]uint32, n)
+	for id := 0; id < n; id++ {
+		p := app.Proc(model.ProcessID(id))
+		wcet[id] = p.WCET
+		aet[id] = p.AET
+		if p.Kind == model.Hard {
+			hard[id] = true
+			hardMask |= 1 << id
+			recCost[id] = p.WCET + app.MuOf(model.ProcessID(id))
+		}
+		for _, q := range app.Preds(model.ProcessID(id)) {
+			predMask[id] |= 1 << q
+			succMask[q] |= 1 << id
+		}
+	}
+
+	size := 1 << n
+	const unreachable = -1.0
+	value := make([]float64, size)
+	choice := make([]int8, size)
+	wsum := make([]schedule.Time, size)   // Σ wcet over S (set-determined)
+	asum := make([]schedule.Time, size)   // Σ aet over S (set-determined)
+	maxRec := make([]schedule.Time, size) // max hard recovery item in S (set-determined)
+	for i := range value {
+		value[i] = unreachable
+		choice[i] = -1
+	}
+	value[0] = 0
+
+	topo := app.Topo()
+	av := make([]float64, n)
+	// alphasFor fills av with the stale coefficients of the members of S,
+	// under the invariant that executed ancestors of any member are in S.
+	alphasFor := func(S uint32) {
+		for _, id := range topo {
+			if S&(1<<id) == 0 {
+				av[id] = 0
+				continue
+			}
+			sum := 1.0
+			cnt := 1
+			for _, q := range app.Preds(id) {
+				cnt++
+				if S&(1<<q) != 0 {
+					sum += av[q]
+				}
+			}
+			av[id] = sum / float64(cnt)
+		}
+	}
+
+	explored := 1
+	for S := uint32(0); S < uint32(size); S++ {
+		if value[S] == unreachable {
+			continue
+		}
+		alphasFor(S)
+		for id := 0; id < n; id++ {
+			bit := uint32(1) << id
+			if S&bit != 0 {
+				continue
+			}
+			// A process with an executed successor was skipped for
+			// good: its consumer already ran on the stale value.
+			if succMask[id]&S != 0 {
+				continue
+			}
+			// Appending id declares its absent predecessors dropped;
+			// hard predecessors can never be dropped.
+			absentPreds := predMask[id] &^ S
+			if absentPreds&hardMask != 0 {
+				continue
+			}
+			NS := S | bit
+			// Worst-case feasibility for a hard process: set-based
+			// shared slack (all k faults on the largest hard item).
+			newRec := maxRec[S]
+			if hard[id] && recCost[id] > newRec {
+				newRec = recCost[id]
+			}
+			finish := wsum[S] + wcet[id]
+			if hard[id] {
+				if finish+schedule.Time(k)*newRec > app.Proc(model.ProcessID(id)).Deadline {
+					continue
+				}
+			}
+			// Utility contribution at the AET completion, with the
+			// stale coefficient induced by the executed ancestors.
+			contrib := 0.0
+			if !hard[id] {
+				done := asum[S] + aet[id]
+				sum := 1.0
+				cnt := 1
+				for _, q := range app.Preds(model.ProcessID(id)) {
+					cnt++
+					if S&(1<<q) != 0 {
+						sum += av[q]
+					}
+				}
+				alpha := sum / float64(cnt)
+				contrib = alpha * app.UtilityOf(model.ProcessID(id)).Value(done)
+			}
+			nv := value[S] + contrib
+			if value[NS] == unreachable {
+				explored++
+				wsum[NS] = finish
+				asum[NS] = asum[S] + aet[id]
+				nr := maxRec[S]
+				if hard[id] && recCost[id] > nr {
+					nr = recCost[id]
+				}
+				maxRec[NS] = nr
+			}
+			if nv > value[NS] {
+				value[NS] = nv
+				choice[NS] = int8(id)
+			}
+		}
+	}
+
+	// Pick the best final state: all hard included, period respected.
+	best := uint32(0)
+	bestVal := math.Inf(-1)
+	found := false
+	for S := uint32(0); S < uint32(size); S++ {
+		if value[S] == unreachable || S&hardMask != hardMask {
+			continue
+		}
+		if wsum[S]+schedule.Time(k)*maxRec[S] > app.Period() {
+			continue
+		}
+		if value[S] > bestVal {
+			best, bestVal, found = S, value[S], true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("optimal: application is not schedulable")
+	}
+
+	// Reconstruct the order.
+	var rev []schedule.Entry
+	for S := best; S != 0; {
+		id := int(choice[S])
+		f := 0
+		if hard[id] {
+			f = k
+		}
+		rev = append(rev, schedule.Entry{Proc: model.ProcessID(id), Recoveries: f})
+		S &^= 1 << id
+	}
+	entries := make([]schedule.Entry, len(rev))
+	for i := range rev {
+		entries[i] = rev[len(rev)-1-i]
+	}
+	s := &schedule.FSchedule{Entries: entries}
+	if err := schedule.Validate(app, s); err != nil {
+		return nil, fmt.Errorf("optimal: internal error: %w", err)
+	}
+	if err := schedule.CheckSchedulable(app, entries, 0, k); err != nil {
+		return nil, fmt.Errorf("optimal: internal error: %w", err)
+	}
+	return &Result{Schedule: s, Utility: bestVal, Explored: explored}, nil
+}

@@ -1,0 +1,185 @@
+// Package report renders monochrome ASCII charts for terminal output. The
+// experiment harness prints them next to (never instead of) the numeric
+// tables: identity is carried by fixed per-series glyphs rather than
+// colour, every chart has a single y axis, a legend names the series, and
+// the grid stays recessive.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart. Glyphs are assigned by position in the
+// chart's Series slice, in a fixed order — never reshuffled when a series
+// is removed.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// MaxSeries bounds the series count: beyond four, glyph identity stops
+// being readable — fold extra series into another chart.
+const MaxSeries = 4
+
+// glyphs is the fixed series-identity order (the monochrome analogue of a
+// categorical palette; at most four series are direct-labelled).
+var glyphs = [MaxSeries]byte{'o', '*', '+', 'x'}
+
+// LineChart plots series over a shared ordinal x axis.
+type LineChart struct {
+	// Title names the chart (and, for a single series, the series: no
+	// legend box is printed then).
+	Title string
+	// XLabels label the ordinal x positions (e.g. application sizes).
+	XLabels []string
+	// YLabel names the y axis.
+	YLabel string
+	// Series are the lines, at most MaxSeries, each with len(XLabels)
+	// values. NaN values are skipped (gaps).
+	Series []Series
+	// Width and Height size the plot area in characters; zero selects
+	// 60×12.
+	Width, Height int
+}
+
+// Render draws the chart.
+func (c *LineChart) Render() (string, error) {
+	if len(c.Series) == 0 || len(c.Series) > MaxSeries {
+		return "", fmt.Errorf("report: need 1..%d series (got %d)", MaxSeries, len(c.Series))
+	}
+	nx := len(c.XLabels)
+	if nx == 0 {
+		return "", fmt.Errorf("report: no x positions")
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != nx {
+			return "", fmt.Errorf("report: series %q has %d values for %d x positions", s.Name, len(s.Y), nx)
+		}
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 12
+	}
+
+	// y range over all finite values, padded slightly.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo > hi {
+		return "", fmt.Errorf("report: no finite values")
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1
+	}
+	span := hi - lo
+	lo -= 0.05 * span
+	hi += 0.05 * span
+	span = hi - lo
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(i int) int {
+		if nx == 1 {
+			return w / 2
+		}
+		return i * (w - 1) / (nx - 1)
+	}
+	row := func(v float64) int {
+		r := int(math.Round((hi - v) / span * float64(h-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	// Recessive grid: tick columns only.
+	for i := 0; i < nx; i++ {
+		x := col(i)
+		for r := 0; r < h; r++ {
+			grid[r][x] = '.'
+		}
+	}
+	for si, s := range c.Series {
+		g := glyphs[si]
+		for i, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			grid[row(v)][col(i)] = g
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	if len(c.Series) > 1 {
+		sb.WriteString("  legend:")
+		for si, s := range c.Series {
+			fmt.Fprintf(&sb, "  %c %s", glyphs[si], s.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	yw := 8
+	for r := 0; r < h; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = trimNum(hi)
+		case h - 1:
+			label = trimNum(lo)
+		case (h - 1) / 2:
+			label = trimNum((hi + lo) / 2)
+		}
+		fmt.Fprintf(&sb, "%*s |%s\n", yw, label, string(grid[r]))
+	}
+	// x labels: first, middle, last to keep the axis recessive.
+	axis := []byte(strings.Repeat(" ", w))
+	place := func(i int) {
+		lbl := c.XLabels[i]
+		x := col(i) - len(lbl)/2
+		if x < 0 {
+			x = 0
+		}
+		if x+len(lbl) > w {
+			x = w - len(lbl)
+		}
+		copy(axis[x:], lbl)
+	}
+	place(0)
+	if nx > 2 {
+		place(nx / 2)
+	}
+	if nx > 1 {
+		place(nx - 1)
+	}
+	fmt.Fprintf(&sb, "%*s +%s\n", yw, "", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%*s  %s\n", yw, "", string(axis))
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, "%*s  (y: %s)\n", yw, "", c.YLabel)
+	}
+	return sb.String(), nil
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}

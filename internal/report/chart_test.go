@@ -1,0 +1,97 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	c := &LineChart{
+		Title:   "demo",
+		XLabels: []string{"10", "20", "30"},
+		YLabel:  "utility %",
+		Series: []Series{
+			{Name: "FTQS", Y: []float64{100, 100, 100}},
+			{Name: "FTSS", Y: []float64{85, 88, 90}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "legend:", "o FTQS", "* FTSS", "(y: utility %)", "10", "30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Highest value appears on an earlier line than the lowest.
+	oIdx := strings.Index(out, "o")
+	sIdx := strings.Index(out, "*")
+	if oIdx > sIdx {
+		t.Errorf("series order inverted on the y axis:\n%s", out)
+	}
+}
+
+func TestLineChartSingleSeriesNoLegend(t *testing.T) {
+	c := &LineChart{
+		Title:   "one",
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "X", Y: []float64{1, 2}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "legend") {
+		t.Error("single series must not print a legend box")
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := (&LineChart{XLabels: []string{"a"}}).Render(); err == nil {
+		t.Error("no series accepted")
+	}
+	too := make([]Series, MaxSeries+1)
+	for i := range too {
+		too[i] = Series{Name: "s", Y: []float64{1}}
+	}
+	if _, err := (&LineChart{XLabels: []string{"a"}, Series: too}).Render(); err == nil {
+		t.Error("too many series accepted")
+	}
+	if _, err := (&LineChart{Series: []Series{{Y: nil}}}).Render(); err == nil {
+		t.Error("no x positions accepted")
+	}
+	if _, err := (&LineChart{XLabels: []string{"a", "b"}, Series: []Series{{Y: []float64{1}}}}).Render(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	nan := []Series{{Name: "n", Y: []float64{math.NaN(), math.NaN()}}}
+	if _, err := (&LineChart{XLabels: []string{"a", "b"}, Series: nan}).Render(); err == nil {
+		t.Error("all-NaN series accepted")
+	}
+}
+
+func TestLineChartGapsAndFlat(t *testing.T) {
+	c := &LineChart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "s", Y: []float64{5, math.NaN(), 5}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "o") != 2 {
+		t.Errorf("expected two plotted points:\n%s", out)
+	}
+}
+
+func TestLineChartSinglePoint(t *testing.T) {
+	c := &LineChart{XLabels: []string{"only"}, Series: []Series{{Name: "s", Y: []float64{3}}}}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "only") {
+		t.Errorf("single-point chart broken:\n%s", out)
+	}
+}

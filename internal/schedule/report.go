@@ -1,0 +1,46 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"ftsched/internal/model"
+)
+
+// TimingReport renders a per-entry timing table for an f-schedule: the
+// no-fault WCET window, the worst-case completion under k faults, and for
+// hard processes the deadline and remaining laxity. It is the inspection
+// view `cmd/ftsched` prints for static schedules.
+func TimingReport(app *model.Application, s *FSchedule, k int) string {
+	c := WorstCaseCompletions(app, s.Entries, 0, k)
+	e := ExpectedCompletions(app, s.Entries, 0)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-5s %5s %7s %7s %7s %8s %8s %7s\n",
+		"process", "kind", "f", "start", "finish", "avg", "wc(k)", "deadline", "laxity")
+	for i, en := range s.Entries {
+		p := app.Proc(en.Proc)
+		kind := "soft"
+		deadline, laxity := "-", "-"
+		if p.Kind == model.Hard {
+			kind = "hard"
+			deadline = fmt.Sprint(p.Deadline)
+			laxity = fmt.Sprint(p.Deadline - c.WorstCase[i])
+		}
+		fmt.Fprintf(&sb, "%-16s %-5s %5d %7d %7d %7d %8d %8s %7s\n",
+			p.Name, kind, en.Recoveries, c.Start[i], c.Finish[i], e.Finish[i],
+			c.WorstCase[i], deadline, laxity)
+	}
+	if n := len(s.Entries); n > 0 {
+		fmt.Fprintf(&sb, "worst-case makespan %d of period %d (slack %d)\n",
+			c.WorstCase[n-1], app.Period(), app.Period()-c.WorstCase[n-1])
+	}
+	if d := s.Dropped(app); len(d) > 0 {
+		sb.WriteString("dropped:")
+		for _, id := range d {
+			sb.WriteByte(' ')
+			sb.WriteString(app.Proc(id).Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,37 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimingReport(t *testing.T) {
+	app, ids := fig1(t)
+	s := &FSchedule{Entries: []Entry{{ids[0], 1}, {ids[2], 0}}}
+	out := TimingReport(app, s, 1)
+	for _, want := range []string{
+		"P1", "hard", "180", // deadline shown
+		"P3", "soft",
+		"dropped: P2",
+		"worst-case makespan",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// P1's laxity: deadline 180 - WCC 150 = 30.
+	if !strings.Contains(out, "30") {
+		t.Errorf("laxity missing:\n%s", out)
+	}
+}
+
+func TestTimingReportEmpty(t *testing.T) {
+	app, _ := fig1(t)
+	out := TimingReport(app, &FSchedule{}, 1)
+	if !strings.Contains(out, "process") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if strings.Contains(out, "makespan") {
+		t.Error("empty schedule must not report a makespan")
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+)
+
+// MCConfig parametrises a Monte-Carlo evaluation.
+type MCConfig struct {
+	// Scenarios is the number of execution scenarios to simulate (the
+	// paper uses 20 000 per configuration).
+	Scenarios int
+	// Faults is the number of transient faults injected per scenario
+	// (0 <= Faults <= k).
+	Faults int
+	// Seed makes the evaluation reproducible.
+	Seed int64
+	// Workers spreads the scenarios over goroutines. 0 selects
+	// runtime.NumCPU(); 1 forces sequential evaluation. Results are
+	// identical for any worker count: scenario i always derives from
+	// (Seed, i).
+	Workers int
+}
+
+// MCStats aggregates a Monte-Carlo evaluation.
+type MCStats struct {
+	// MeanUtility is the overall utility averaged over all scenarios —
+	// the paper's figure of merit.
+	MeanUtility float64
+	// StdDev is the sample standard deviation of the utility.
+	StdDev float64
+	// MinUtility and MaxUtility bound the observed utilities.
+	MinUtility, MaxUtility float64
+	// P05, P50 and P95 are utility percentiles (nearest-rank) — the
+	// spread matters for soft real-time quality-of-service reporting,
+	// where the mean hides bad tails.
+	P05, P50, P95 float64
+	// HardViolations counts scenarios with at least one hard-deadline
+	// violation; it must be zero for correct schedules.
+	HardViolations int
+	// MeanSwitches is the average number of schedule switches taken.
+	MeanSwitches float64
+	// MeanRecoveries is the average number of re-executions performed.
+	MeanRecoveries float64
+	// Scenarios echoes the number of scenarios simulated.
+	Scenarios int
+}
+
+// scenarioSeed derives the independent seed of scenario i from the
+// configuration seed with a splitmix64-style mix, so that the scenario
+// stream does not depend on how scenarios are partitioned over workers.
+func scenarioSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// mcPartial accumulates one worker's associative (exactly mergeable)
+// counters; utilities are reduced separately in scenario order.
+type mcPartial struct {
+	n                    int
+	violations           int
+	switches, recoveries float64
+}
+
+func (p *mcPartial) add(r *Result) {
+	p.n++
+	if len(r.HardViolations) > 0 {
+		p.violations++
+	}
+	p.switches += float64(r.Switches)
+	p.recoveries += float64(r.Recoveries)
+}
+
+// MonteCarlo evaluates a quasi-static tree (or a StaticTree-wrapped
+// f-schedule) over cfg.Scenarios random execution scenarios with
+// cfg.Faults injected faults each, and returns the aggregate statistics.
+// Scenarios are spread over cfg.Workers goroutines (default: one per CPU);
+// the result is bit-identical for any worker count.
+func MonteCarlo(tree *core.Tree, cfg MCConfig) (MCStats, error) {
+	if cfg.Scenarios <= 0 {
+		return MCStats{}, fmt.Errorf("sim: Scenarios must be positive (got %d)", cfg.Scenarios)
+	}
+	app := tree.App
+	if cfg.Faults < 0 || cfg.Faults > app.K() {
+		return MCStats{}, fmt.Errorf("sim: Faults %d outside [0, k=%d]", cfg.Faults, app.K())
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > cfg.Scenarios {
+		workers = cfg.Scenarios
+	}
+	candidates := make([]model.ProcessID, 0, len(tree.Root.Schedule.Entries))
+	for _, e := range tree.Root.Schedule.Entries {
+		candidates = append(candidates, e.Proc)
+	}
+
+	// Per-scenario results are collected by index and reduced
+	// sequentially afterwards, so floating-point summation order — and
+	// therefore every statistic — is independent of the worker count.
+	utils := make([]float64, cfg.Scenarios)
+	partials := make([]mcPartial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &partials[w]
+			for i := w; i < cfg.Scenarios; i += workers {
+				rng := rand.New(rand.NewSource(scenarioSeed(cfg.Seed, i)))
+				sc := Sample(app, rng, cfg.Faults, candidates)
+				r := Run(tree, sc)
+				utils[i] = r.Utility
+				p.add(&r)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats := MCStats{Scenarios: cfg.Scenarios}
+	for i := range partials {
+		p := &partials[i]
+		if p.n == 0 {
+			continue
+		}
+		// Integer-valued accumulators and min/max are associative;
+		// merging partials is exact.
+		stats.HardViolations += p.violations
+		stats.MeanSwitches += p.switches
+		stats.MeanRecoveries += p.recoveries
+	}
+	var sum, sumSq float64
+	for i, u := range utils {
+		sum += u
+		sumSq += u * u
+		if i == 0 || u < stats.MinUtility {
+			stats.MinUtility = u
+		}
+		if i == 0 || u > stats.MaxUtility {
+			stats.MaxUtility = u
+		}
+	}
+	n := float64(cfg.Scenarios)
+	stats.MeanUtility = sum / n
+	stats.MeanSwitches /= n
+	stats.MeanRecoveries /= n
+	if cfg.Scenarios > 1 {
+		variance := (sumSq - sum*sum/n) / (n - 1)
+		if variance > 0 {
+			stats.StdDev = math.Sqrt(variance)
+		}
+	}
+	sorted := append([]float64(nil), utils...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	stats.P05, stats.P50, stats.P95 = rank(0.05), rank(0.50), rank(0.95)
+	return stats, nil
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/core"
+)
+
+// TestMonteCarloWorkerInvariance: the statistics are bit-identical for any
+// worker count, because scenario i always derives from (Seed, i).
+func TestMonteCarloWorkerInvariance(t *testing.T) {
+	app := apps.Fig8()
+	tree, err := core.FTQS(app, core.FTQSOptions{M: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MonteCarlo(tree, MCConfig{Scenarios: 777, Faults: 1, Seed: 13, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 777, 0} {
+		got, err := MonteCarlo(tree, MCConfig{Scenarios: 777, Faults: 1, Seed: 13, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MeanUtility != base.MeanUtility || got.StdDev != base.StdDev ||
+			got.MinUtility != base.MinUtility || got.MaxUtility != base.MaxUtility ||
+			got.HardViolations != base.HardViolations ||
+			got.MeanSwitches != base.MeanSwitches ||
+			got.MeanRecoveries != base.MeanRecoveries {
+			t.Errorf("workers=%d: stats differ: %+v vs %+v", w, got, base)
+		}
+	}
+}
+
+// TestMonteCarloSeedSensitivity: different seeds produce different scenario
+// streams (no accidental seed collapse in the mixing function).
+func TestMonteCarloSeedSensitivity(t *testing.T) {
+	app := apps.Fig8()
+	s, err := core.FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := StaticTree(app, s)
+	a, err := MonteCarlo(tree, MCConfig{Scenarios: 500, Faults: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(tree, MCConfig{Scenarios: 500, Faults: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanUtility == b.MeanUtility && a.StdDev == b.StdDev {
+		t.Error("different seeds produced identical statistics — suspicious")
+	}
+	// Same seed: reproducible.
+	c, err := MonteCarlo(tree, MCConfig{Scenarios: 500, Faults: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanUtility != c.MeanUtility {
+		t.Error("same seed not reproducible")
+	}
+}
+
+func TestScenarioSeedMixing(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		s := scenarioSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at i=%d", i)
+		}
+		seen[s] = true
+	}
+	// Neighbouring base seeds stay distinct too.
+	if scenarioSeed(1, 0) == scenarioSeed(2, 0) {
+		t.Error("adjacent base seeds collide at i=0")
+	}
+}
+
+// TestMonteCarloPercentiles: percentiles order correctly and bound the
+// mean.
+func TestMonteCarloPercentiles(t *testing.T) {
+	app := apps.Fig8()
+	s, err := core.FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := MonteCarlo(StaticTree(app, s), MCConfig{Scenarios: 2000, Faults: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(st.MinUtility <= st.P05 && st.P05 <= st.P50 && st.P50 <= st.P95 && st.P95 <= st.MaxUtility) {
+		t.Errorf("percentiles out of order: %+v", st)
+	}
+	if st.MeanUtility < st.P05 || st.MeanUtility > st.P95 {
+		t.Errorf("mean %g outside [P05,P95] = [%g,%g]", st.MeanUtility, st.P05, st.P95)
+	}
+}

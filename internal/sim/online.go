@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"time"
+
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// RescheduleResult extends Result with the cost profile of the purely
+// online approach the paper argues against (§1: "a purely online approach,
+// which computes a new schedule every time a process fails or completes,
+// incurs an unacceptable overhead").
+type RescheduleResult struct {
+	Result
+	// Reschedules counts the synthesis invocations performed during the
+	// cycle (one after every completion or abandonment).
+	Reschedules int
+	// SynthesisTime is the total wall-clock time spent recomputing
+	// schedules — on the paper's embedded target this work would execute
+	// on the node itself, between processes.
+	SynthesisTime time.Duration
+}
+
+// RunOnlineReschedule executes one scenario with an idealised online
+// scheduler: it starts from the FTSS schedule and re-runs the suffix
+// synthesis (SuffixFTSS) with the observed state after every process
+// completion or run-time drop. It is the utility upper-bound comparator
+// for FTQS — a quasi-static tree of unbounded size converges to it — and
+// its SynthesisTime is the overhead the quasi-static approach avoids.
+//
+// Hard guarantees are preserved: every recomputed suffix is verified
+// schedulable from the current time with the remaining fault budget; if
+// the synthesis fails (or would be unsafe), the scheduler keeps the
+// previous — still guaranteed — remainder.
+func RunOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Scenario) RescheduleResult {
+	res := RescheduleResult{
+		Result: Result{
+			Outcomes:        make([]ProcessOutcome, app.N()),
+			CompletionTimes: make([]model.Time, app.N()),
+		},
+	}
+	faultsLeft := make([]int, app.N())
+	copy(faultsLeft, sc.FaultsAt)
+
+	executedIDs := make([]model.ProcessID, 0, app.N())
+	droppedIDs := make([]model.ProcessID, 0, app.N())
+	kRem := app.K()
+	now := model.Time(0)
+	remaining := append([]schedule.Entry(nil), root.Entries...)
+
+	for len(remaining) > 0 {
+		e := remaining[0]
+		remaining = remaining[1:]
+		p := app.Proc(e.Proc)
+		start := now
+		if p.Release > start {
+			start = p.Release
+		}
+
+		completed := false
+		t := start
+		for attempt := 0; ; attempt++ {
+			t += sc.Durations[e.Proc]
+			if faultsLeft[e.Proc] > 0 {
+				faultsLeft[e.Proc]--
+				res.FaultsConsumed++
+				kRem--
+				if attempt < e.Recoveries {
+					t += app.MuOf(e.Proc)
+					res.Recoveries++
+					continue
+				}
+				break
+			}
+			completed = true
+			break
+		}
+		now = t
+		res.Makespan = now
+
+		if completed {
+			res.Outcomes[e.Proc] = Completed
+			res.CompletionTimes[e.Proc] = now
+			executedIDs = append(executedIDs, e.Proc)
+			if p.Kind == model.Hard && now > p.Deadline {
+				res.HardViolations = append(res.HardViolations, e.Proc)
+			}
+		} else {
+			res.Outcomes[e.Proc] = AbandonedByFault
+			droppedIDs = append(droppedIDs, e.Proc)
+			if p.Kind == model.Hard {
+				res.HardViolations = append(res.HardViolations, e.Proc)
+			}
+		}
+
+		if len(remaining) == 0 {
+			break
+		}
+		// Recompute the remainder for the observed state.
+		if kRem < 0 {
+			kRem = 0
+		}
+		// A process that was passed over while one of its successors
+		// executed must stay out of future schedules: its consumer
+		// already ran on the stale value (same soundness rule as FTQS
+		// revival).
+		exSet := make([]bool, app.N())
+		for _, id := range executedIDs {
+			exSet[id] = true
+		}
+		drop := append([]model.ProcessID(nil), droppedIDs...)
+		for id := 0; id < app.N(); id++ {
+			pid := model.ProcessID(id)
+			if exSet[id] || res.Outcomes[id] == AbandonedByFault {
+				continue
+			}
+			for _, s := range app.Succs(pid) {
+				if exSet[s] {
+					drop = append(drop, pid)
+					break
+				}
+			}
+		}
+		t0 := time.Now()
+		suffix, err := core.SuffixFTSS(app, executedIDs, drop, now, kRem)
+		res.SynthesisTime += time.Since(t0)
+		res.Reschedules++
+		if err == nil && len(suffix) > 0 && schedule.Schedulable(app, suffix, now, kRem) {
+			remaining = suffix
+		}
+		// On failure keep the previous remainder: its shared slack was
+		// sized for the faults that can still occur.
+	}
+	res.FinalNode = -1 // no tree node: schedules are synthesised live
+
+	for _, h := range app.HardIDs() {
+		if res.Outcomes[h] != Completed {
+			already := false
+			for _, v := range res.HardViolations {
+				if v == h {
+					already = true
+					break
+				}
+			}
+			if !already {
+				res.HardViolations = append(res.HardViolations, h)
+			}
+		}
+	}
+	res.Utility = totalUtility(app, res.Outcomes, res.CompletionTimes)
+	return res
+}

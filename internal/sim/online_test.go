@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+)
+
+func TestOnlineRescheduleNoFault(t *testing.T) {
+	app := apps.Fig1()
+	root, err := core.FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fixedScenario(app, nil, nil)
+	r := RunOnlineReschedule(app, root, sc)
+	if len(r.HardViolations) != 0 {
+		t.Fatalf("violations: %v", r.HardViolations)
+	}
+	// Average case: same utility as the static schedule (60).
+	if r.Utility != 60 {
+		t.Errorf("utility = %g, want 60", r.Utility)
+	}
+	if r.Reschedules != len(root.Entries)-1 {
+		t.Errorf("reschedules = %d, want %d", r.Reschedules, len(root.Entries)-1)
+	}
+	if r.SynthesisTime <= 0 {
+		t.Error("synthesis time not recorded")
+	}
+	if r.FinalNode != -1 {
+		t.Error("FinalNode sentinel lost")
+	}
+}
+
+func TestOnlineRescheduleAdaptsLikeTheTree(t *testing.T) {
+	app := apps.Fig1()
+	root, err := core.FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1 finishes at BCET 30: the ideal rescheduler must realise the
+	// P2-first ordering worth 70 (like the quasi-static switch).
+	sc := fixedScenario(app, map[string]model.Time{"P1": 30}, nil)
+	r := RunOnlineReschedule(app, root, sc)
+	if r.Utility != 70 {
+		t.Errorf("utility = %g, want 70", r.Utility)
+	}
+}
+
+// TestOnlineRescheduleUpperBound: over many random scenarios the ideal
+// online rescheduler must do at least as well as the static schedule, and
+// at least as well as the (bounded) quasi-static tree up to noise.
+func TestOnlineRescheduleUpperBound(t *testing.T) {
+	app := apps.Fig8()
+	root, err := core.FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.FTQS(app, core.FTQSOptions{M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	var uStatic, uTree, uIdeal float64
+	const n = 2000
+	static := StaticTree(app, root)
+	for i := 0; i < n; i++ {
+		sc := Sample(app, rng, 0, nil)
+		uStatic += Run(static, sc).Utility
+		uTree += Run(tree, sc).Utility
+		ideal := RunOnlineReschedule(app, root, sc)
+		if len(ideal.HardViolations) != 0 {
+			t.Fatalf("ideal scheduler violated a deadline: %v", ideal.HardViolations)
+		}
+		uIdeal += ideal.Utility
+	}
+	uStatic /= n
+	uTree /= n
+	uIdeal /= n
+	if uIdeal < uStatic-0.5 {
+		t.Errorf("ideal %g below static %g", uIdeal, uStatic)
+	}
+	if uIdeal < uTree-1.0 {
+		t.Errorf("ideal %g below quasi-static %g", uIdeal, uTree)
+	}
+	t.Logf("static %.2f <= tree %.2f <= ideal %.2f", uStatic, uTree, uIdeal)
+}
+
+// TestOnlineRescheduleSafetyProperty: hard deadlines hold for random
+// applications and fault patterns, exactly as for the tree executor.
+func TestOnlineRescheduleSafetyProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		app := randomApp(rng, 4+rng.Intn(10), 1+rng.Intn(3))
+		root, err := core.FTSS(app)
+		if err != nil {
+			return true
+		}
+		for trial := 0; trial < 15; trial++ {
+			sc := Sample(app, rng, rng.Intn(app.K()+1), nil)
+			r := RunOnlineReschedule(app, root, sc)
+			if len(r.HardViolations) > 0 {
+				t.Logf("seed %d trial %d: violations %v", seed, trial, r.HardViolations)
+				return false
+			}
+			if r.Makespan > app.Period() {
+				t.Logf("seed %d trial %d: makespan %d > period %d",
+					seed, trial, r.Makespan, app.Period())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineRescheduleFaultHandling(t *testing.T) {
+	app := apps.Fig1()
+	root, err := core.FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault on P1: recovered in place; soft processes still run.
+	sc := fixedScenario(app, nil, map[string]int{"P1": 1})
+	r := RunOnlineReschedule(app, root, sc)
+	if len(r.HardViolations) != 0 {
+		t.Fatalf("violations: %v", r.HardViolations)
+	}
+	if r.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", r.Recoveries)
+	}
+	// Fault on P3 (no recovery budget in the root): abandoned, the
+	// rescheduler carries on with P2.
+	sc2 := fixedScenario(app, nil, map[string]int{"P3": 1})
+	r2 := RunOnlineReschedule(app, root, sc2)
+	if r2.Outcomes[app.IDByName("P3")] != AbandonedByFault {
+		t.Error("P3 must be abandoned")
+	}
+	if r2.Outcomes[app.IDByName("P2")] != Completed {
+		t.Error("P2 must still complete")
+	}
+}

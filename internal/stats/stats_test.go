@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("mean of 1..4")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean of empty")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.13808993529939) {
+		t.Errorf("stddev = %g", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if StdDev([]float64{5}) != 0 || StdDev(nil) != 0 {
+		t.Error("degenerate stddev")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{10, 12, 9, 11, 10, 12, 9, 11}
+	want := 1.96 * StdDev(xs) / math.Sqrt(8)
+	if !almost(CI95(xs), want) {
+		t.Errorf("CI95 = %g, want %g", CI95(xs), want)
+	}
+	if CI95([]float64{3}) != 0 {
+		t.Error("single-sample CI must be 0")
+	}
+}
+
+func TestNormalizeAndRatio(t *testing.T) {
+	out := Normalize([]float64{50, 100, 150}, 100)
+	if !almost(out[0], 50) || !almost(out[1], 100) || !almost(out[2], 150) {
+		t.Errorf("Normalize = %v", out)
+	}
+	if z := Normalize([]float64{1, 2}, 0); z[0] != 0 || z[1] != 0 {
+		t.Error("zero base must produce zeros")
+	}
+	if !almost(Ratio(120, 80), 150) {
+		t.Error("Ratio(120,80)")
+	}
+	if Ratio(5, 0) != 0 {
+		t.Error("Ratio with zero base")
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(112.46); got != "112.5%" {
+		t.Errorf("FormatPct = %q", got)
+	}
+}
+
+// TestMeanShiftProperty: Mean is translation-equivariant and StdDev is
+// translation-invariant.
+func TestMeanShiftProperty(t *testing.T) {
+	check := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ys[i] = xs[i] + shift
+		}
+		return math.Abs(Mean(ys)-Mean(xs)-shift) < 1e-6 &&
+			math.Abs(StdDev(ys)-StdDev(xs)) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
