@@ -137,6 +137,26 @@ func BenchmarkFTQS(b *testing.B) {
 	}
 }
 
+// BenchmarkFTQSWorkers measures parallel tree synthesis against the
+// serial baseline on a 30-process application at the Table 1 tree bound.
+// The synthesised tree is identical for every worker count; only the
+// wall-clock differs. Record results in EXPERIMENTS.md together with the
+// machine's core count — on a single-core host the worker counts tie and
+// the speedup over older revisions comes from suffix memoisation alone.
+func BenchmarkFTQSWorkers(b *testing.B) {
+	app := genApp(b, 30)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("W"+sizeName(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ftsched.FTQS(app, ftsched.FTQSOptions{M: 34, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFTSF measures the baseline synthesis.
 func BenchmarkFTSF(b *testing.B) {
 	app := genApp(b, 30)

@@ -87,4 +87,28 @@ func TestCLIEndToEnd(t *testing.T) {
 	run(ftsched, false, "-fixture", "fig1", "-algo", "weird")
 	run(ftsim, false, "-app", filepath.Join(bin, "missing.json"))
 	run(ftgen, false, "-n", "-3")
+
+	// The README's "Command-line tools" section, verbatim (argument for
+	// argument; binaries are prebuilt instead of `go run`). Run from the
+	// temp dir so the documented relative path app.json resolves there.
+	runIn := func(binary string, args ...string) string {
+		cmd := exec.Command(binary, args...)
+		cmd.Dir = bin
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(binary), args, err, b)
+		}
+		return string(b)
+	}
+	runIn(ftgen, "-n", "30", "-seed", "7", "-o", "app.json")
+	serial := runIn(ftsched, "-app", "app.json", "-algo", "ftqs", "-m", "16")
+	parallel := runIn(ftsched, "-app", "app.json", "-algo", "ftqs", "-m", "16", "-workers", "4")
+	if !strings.Contains(serial, "quasi-static tree: 16 schedules") {
+		t.Errorf("README ftqs command output: %q", serial)
+	}
+	// The -workers flag is documented as a pure wall-clock knob: the
+	// printed tree must be byte-identical to the serial run.
+	if serial != parallel {
+		t.Errorf("-workers 4 changed the synthesised tree:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
 }

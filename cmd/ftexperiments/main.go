@@ -30,6 +30,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "random seed (0 = default)")
 		m         = flag.Int("m", 0, "FTQS tree bound for fig9/cc (0 = default)")
 		trim      = flag.Bool("trim", false, "apply simulation-based arc trimming (table1)")
+		workers   = flag.Int("workers", 0, "goroutines per FTQS synthesis (0 = all CPUs, 1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		if *m > 0 {
 			cfg.M = *m
 		}
+		cfg.Workers = *workers
 		t0 := time.Now()
 		res, err := experiments.Fig9(cfg)
 		if err != nil {
@@ -68,6 +70,7 @@ func main() {
 			cfg.Seed = *seed
 		}
 		cfg.Trim = *trim
+		cfg.Workers = *workers
 		t0 := time.Now()
 		res, err := experiments.Table1(cfg)
 		if err != nil {
@@ -88,6 +91,7 @@ func main() {
 		if *m > 0 {
 			cfg.M = *m
 		}
+		cfg.Workers = *workers
 		t0 := time.Now()
 		res, err := experiments.CruiseController(cfg)
 		if err != nil {
@@ -111,6 +115,7 @@ func main() {
 		if *m > 0 {
 			cfg.M = *m
 		}
+		cfg.Workers = *workers
 		t0 := time.Now()
 		res, err := experiments.Overhead(cfg)
 		if err != nil {
@@ -135,6 +140,7 @@ func main() {
 		if *m > 0 {
 			cfg.M = *m
 		}
+		cfg.Workers = *workers
 		t0 := time.Now()
 		res, err := experiments.OptGap(cfg)
 		if err != nil {
@@ -159,6 +165,7 @@ func main() {
 		if *m > 0 {
 			cfg.M = *m
 		}
+		cfg.Workers = *workers
 		t0 := time.Now()
 		res, err := experiments.HardRatio(cfg)
 		if err != nil {
@@ -183,6 +190,7 @@ func main() {
 		if *m > 0 {
 			cfg.M = *m
 		}
+		cfg.Workers = *workers
 		t0 := time.Now()
 		res, err := experiments.FTCost(cfg)
 		if err != nil {

@@ -30,6 +30,7 @@ func main() {
 		m       = flag.Int("m", 16, "maximum quasi-static tree size (ftqs)")
 		format  = flag.String("format", "text", "output format: text, dot")
 		out     = flag.String("o", "-", "output file (- for stdout)")
+		workers = flag.Int("workers", 0, "goroutines for the FTQS synthesis (0 = all CPUs, 1 = serial; the tree is identical for any value)")
 		verify  = flag.Bool("verify", false, "audit the synthesised tree (ftqs only)")
 		trim    = flag.Int("trim", 0, "trim arcs by paired simulation with this many scenarios per fault count (ftqs only)")
 		treeOut = flag.String("tree-out", "", "also write the synthesised tree as JSON (ftqs only)")
@@ -69,7 +70,7 @@ func main() {
 		fmt.Fprintf(w, "expected no-fault utility: %.2f\n\n", schedule.ExpectedUtility(app, s))
 		fmt.Fprint(w, schedule.TimingReport(app, s, app.K()))
 	case "ftqs":
-		tree, err := core.FTQS(app, core.FTQSOptions{M: *m})
+		tree, err := core.FTQS(app, core.FTQSOptions{M: *m, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

@@ -39,6 +39,37 @@ func ExampleFTQS() {
 	// verified
 }
 
+// ExampleFTQS_options shows the full synthesis configuration: the tree
+// bound M, the Monte-Carlo effort behind each candidate's gain estimate,
+// and Workers, which fans candidate generation out over a bounded pool of
+// goroutines. The tree is identical for every worker count — Workers: 1
+// forces the fully serial path, 0 uses one goroutine per CPU — so the
+// option is purely a wall-clock knob.
+func ExampleFTQS_options() {
+	app := ftsched.PaperFig1()
+	opts := ftsched.FTQSOptions{
+		M:             12,
+		EvalScenarios: 16,
+		Workers:       4,
+	}
+	tree, err := ftsched.FTQS(app, opts)
+	if err != nil {
+		panic(err)
+	}
+	serial, err := ftsched.FTQS(app, ftsched.FTQSOptions{
+		M:             12,
+		EvalScenarios: 16,
+		Workers:       1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d schedules, identical to serial: %v\n",
+		tree.Size(), tree.Format() == serial.Format())
+	// Output:
+	// 3 schedules, identical to serial: true
+}
+
 // ExampleRun executes one deterministic scenario — a transient fault hits
 // the hard process P1, which re-executes inside its recovery slack and
 // still meets its deadline.

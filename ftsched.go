@@ -175,6 +175,10 @@ func LinearDropUtility(v0 float64, tStart, tEnd Time) (UtilityFunction, error) {
 func FTSS(app *Application) (*FSchedule, error) { return core.FTSS(app) }
 
 // FTQS synthesises a quasi-static tree of at most opts.M schedules (§5.1).
+// The synthesis fans candidate sub-schedule generation out over
+// opts.Workers goroutines (default: one per CPU) and memoises identical
+// suffix syntheses across the tree; the resulting tree is identical for
+// every worker count.
 func FTQS(app *Application, opts FTQSOptions) (*Tree, error) { return core.FTQS(app, opts) }
 
 // FTSF synthesises the paper's baseline: a value-maximal non-fault-tolerant

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"ftsched/internal/model"
 	"ftsched/internal/schedule"
@@ -37,6 +39,12 @@ type FTQSOptions struct {
 	// utility gain (see DESIGN.md); disabling it isolates the
 	// contribution of pure reordering.
 	DisableRevival bool
+	// Workers bounds the goroutines generating candidate sub-schedules.
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces fully serial synthesis.
+	// The tree is identical for every worker count: candidate generation
+	// is side-effect-free and runs on a bounded worker pool, while a
+	// single coordinator goroutine attaches results in the serial order.
+	Workers int
 }
 
 func (o FTQSOptions) withDefaults() FTQSOptions {
@@ -51,6 +59,9 @@ func (o FTQSOptions) withDefaults() FTQSOptions {
 	}
 	if o.EvalScenarios <= 0 {
 		o.EvalScenarios = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -89,43 +100,78 @@ func FTQSFromRoot(app *model.Application, root *schedule.FSchedule, opts FTQSOpt
 		DroppedOnFault: model.NoProcess,
 	}
 	t := &Tree{App: app, Root: rootNode, Nodes: []*Node{rootNode}}
+	syn := newSynthesizer(app, opts)
+	defer syn.close()
 	for t.Size() < opts.M {
 		n := pickNext(t)
 		if n == nil {
 			break // every reachable sub-schedule is already in the tree
 		}
-		expandNode(t, n, opts)
+		syn.prefetch(t)
+		cands := syn.candidates(n)
+		n.expanded = true
+		for _, c := range cands {
+			if t.Size() >= opts.M {
+				break
+			}
+			attachChild(t, n, c)
+		}
+		n.Arcs = dedupeSortArcs(n.Arcs)
 	}
 	return t, nil
 }
 
-// pickNext selects the next node to expand: the shallowest unexpanded node,
-// and among equals the one most similar to its parent (smallest Kendall
-// distance between the suffix orders). Refining near-duplicates first
+// nextToExpand returns up to k unexpanded nodes in expansion order: the
+// shallowest first, and among equals the one most similar to its parent
+// (smallest Kendall distance between the suffix orders), ties broken
+// towards the earliest-attached node. Refining near-duplicates first
 // steers the tree towards "the most different sub-schedules" overall (see
 // DESIGN.md on FindMostSimilarSubschedule).
-func pickNext(t *Tree) *Node {
-	var best *Node
-	for _, n := range t.Nodes {
-		if n.expanded {
-			continue
+func nextToExpand(t *Tree, k int) []*Node {
+	var out []*Node
+	taken := make(map[*Node]bool, k)
+	for len(out) < k {
+		var best *Node
+		for _, n := range t.Nodes {
+			if n.expanded || taken[n] {
+				continue
+			}
+			if best == nil || n.Depth < best.Depth ||
+				(n.Depth == best.Depth && n.simDist() < best.simDist()) {
+				best = n
+			}
 		}
-		if best == nil || n.Depth < best.Depth ||
-			(n.Depth == best.Depth && n.simDist() < best.simDist()) {
-			best = n
+		if best == nil {
+			break
 		}
+		taken[best] = true
+		out = append(out, best)
 	}
-	return best
+	return out
 }
 
-// simDist is the node's Kendall distance to its parent, computed lazily.
+// pickNext selects the next node to expand.
+func pickNext(t *Tree) *Node {
+	if next := nextToExpand(t, 1); len(next) > 0 {
+		return next[0]
+	}
+	return nil
+}
+
+// simDist is the node's Kendall distance to its parent, computed lazily
+// and cached (it depends only on the immutable schedules). Only the
+// coordinator goroutine calls it.
 func (n *Node) simDist() int {
 	if n.Parent == nil {
 		return 0
 	}
-	return kendallDistance(
-		n.Parent.Schedule.Entries[n.SwitchPos:],
-		n.Schedule.Entries[n.SwitchPos:])
+	if !n.distValid {
+		n.dist = kendallDistance(
+			n.Parent.Schedule.Entries[n.SwitchPos:],
+			n.Schedule.Entries[n.SwitchPos:])
+		n.distValid = true
+	}
+	return n.dist
 }
 
 // kendallDistance counts process pairs ordered differently in the two entry
@@ -163,109 +209,128 @@ type candidate struct {
 	gain      float64
 }
 
-// expandNode implements CreateSubschedules for one parent (paper Fig. 7,
+// synthesizer owns the concurrency machinery of one FTQS run: the worker
+// pool, the SuffixFTSS memoization cache, and the speculative per-node
+// candidate futures. Candidate generation (generate/candidatesAt/
+// makeCandidate) is a pure function of the immutable application, the node
+// and the options, so any number of nodes can be generated concurrently;
+// only the coordinator loop in FTQSFromRoot mutates the tree.
+type synthesizer struct {
+	app  *model.Application
+	opts FTQSOptions
+	pool *pool       // nil when opts.Workers == 1 (fully serial)
+	memo *suffixMemo // shared across the whole tree
+	// futures maps a not-yet-expanded node to its in-flight candidate
+	// generation. Coordinator-only.
+	futures map[*Node]*candFuture
+	fwg     sync.WaitGroup
+}
+
+// candFuture is the promise of a node's candidate list.
+type candFuture struct {
+	done  chan struct{}
+	cands []candidate
+}
+
+func newSynthesizer(app *model.Application, opts FTQSOptions) *synthesizer {
+	s := &synthesizer{
+		app:     app,
+		opts:    opts,
+		memo:    newSuffixMemo(),
+		futures: make(map[*Node]*candFuture),
+	}
+	if opts.Workers > 1 {
+		s.pool = newPool(opts.Workers)
+	}
+	return s
+}
+
+// close waits for outstanding speculative futures and shuts the pool down.
+func (s *synthesizer) close() {
+	s.fwg.Wait()
+	if s.pool != nil {
+		s.pool.close()
+	}
+}
+
+// prefetch starts speculative candidate generation for the nodes most
+// likely to be expanded next (the first opts.Workers in expansion order),
+// so their sub-schedule synthesis overlaps with the coordinator consuming
+// the current node. Speculation never changes the result — the coordinator
+// attaches candidates strictly in pickNext order — it only wastes bounded
+// work when the M cutoff hits first.
+func (s *synthesizer) prefetch(t *Tree) {
+	if s.pool == nil {
+		return
+	}
+	for _, n := range nextToExpand(t, s.opts.Workers) {
+		if s.futures[n] != nil {
+			continue
+		}
+		f := &candFuture{done: make(chan struct{})}
+		s.futures[n] = f
+		s.fwg.Add(1)
+		n := n
+		go func() {
+			defer s.fwg.Done()
+			f.cands = s.generate(n)
+			close(f.done)
+		}()
+	}
+}
+
+// candidates returns the node's candidate children, waiting for a
+// prefetched future or computing them on the spot.
+func (s *synthesizer) candidates(n *Node) []candidate {
+	if f := s.futures[n]; f != nil {
+		<-f.done
+		delete(s.futures, n)
+		return f.cands
+	}
+	return s.generate(n)
+}
+
+// generate implements CreateSubschedules for one parent (paper Fig. 7,
 // line 2/7): for every position after the parent's switch point it
 // synthesises (a) a completion sub-schedule assuming the entry finishes at
 // its best-possible time, (b) a fault sub-schedule assuming the entry is
 // hit and recovered, and (c) for soft entries without recovery budget, a
 // fault sub-schedule assuming the entry is dropped. Interval partitioning
-// against the parent prices each candidate; the best ones join the tree
-// until M schedules exist.
-func expandNode(t *Tree, n *Node, opts FTQSOptions) {
-	n.expanded = true
-	app := t.App
+// against the parent prices each candidate. Positions are independent and
+// are fanned out over the worker pool; the per-position results are
+// collected in position order, so the flattened list — and therefore the
+// tree — is identical to a serial run.
+func (s *synthesizer) generate(n *Node) []candidate {
 	entries := n.Schedule.Entries
-	droppedBase := droppedSet(app, n.Schedule)
+	droppedBase := droppedSet(s.app, n.Schedule)
 	if n.DroppedOnFault != model.NoProcess {
 		droppedBase[n.DroppedOnFault] = true
 	}
-
-	var cands []candidate
-	for pos := n.SwitchPos; pos < len(entries)-1; pos++ {
-		prefix := entries[:pos+1]
-		best := schedule.BestCaseCompletions(app, prefix, 0)
-		worst := schedule.WorstCaseCompletions(app, prefix, 0, n.KRem)
-		bestFinish := best.Finish[pos]
-		bestStart := best.Start[pos]
-		wcHi := worst.WorstCase[pos]
-		e := entries[pos]
-		p := app.Proc(e.Proc)
-
-		executed := make([]model.ProcessID, 0, pos+1)
-		executedSet := make([]bool, app.N())
-		for _, pe := range prefix {
-			executed = append(executed, pe.Proc)
-			executedSet[pe.Proc] = true
-		}
-		// A child re-optimises the remainder from scratch, so processes
-		// the parent dropped become candidates again — the pessimistic
-		// worst-case root drops generously, and re-admitting its
-		// victims when execution runs early is the main source of the
-		// quasi-static utility gain. Re-admission is only sound while
-		// none of the process's successors has executed (otherwise the
-		// consumer already ran on a stale value).
-		droppedIDs := make([]model.ProcessID, 0)
-		for id, d := range droppedBase {
-			if !d {
-				continue
-			}
-			pid := model.ProcessID(id)
-			revivable := !opts.DisableRevival
-			for _, s := range app.Succs(pid) {
-				if executedSet[s] {
-					revivable = false
-					break
-				}
-			}
-			if !revivable {
-				droppedIDs = append(droppedIDs, pid)
-			}
-		}
-
-		// The paper explores the combinations of best- and worst-case
-		// execution times: every child kind is synthesised twice, once
-		// for the best-possible and once for the worst-possible
-		// completion of the guarded entry (§5.1). Duplicates are
-		// merged by addKind.
-		addKind := func(kind ArcKind, lo Time, kRem int,
-			exec, dropped []model.ProcessID, droppedOF model.ProcessID) {
-			seen := map[string]bool{}
-			for _, genStart := range []Time{lo, wcHi} {
-				if genStart < lo {
-					continue
-				}
-				c := makeCandidate(t, n, pos, kind, exec, dropped,
-					lo, genStart, wcHi, kRem, droppedOF, opts)
-				if c == nil {
-					continue
-				}
-				sig := entriesSignature(c.suffix)
-				if seen[sig] {
-					continue
-				}
-				seen[sig] = true
-				cands = append(cands, *c)
-			}
-		}
-
-		// (a) Completion child.
-		addKind(Completion, bestFinish, n.KRem, executed, droppedIDs, model.NoProcess)
-
-		// (b) Fault child with recovery.
-		if e.Recoveries > 0 && n.KRem > 0 {
-			lo := bestStart + p.BCET + app.MuOf(e.Proc) + p.BCET
-			addKind(FaultRecovered, lo, n.KRem-1, executed, droppedIDs, model.NoProcess)
-		}
-
-		// (c) Fault child with dropping (soft, no recovery budget).
-		if p.Kind == model.Soft && e.Recoveries == 0 && n.KRem > 0 {
-			lo := bestStart + p.BCET
-			exWithout := executed[:len(executed)-1]
-			drWith := append(append([]model.ProcessID(nil), droppedIDs...), e.Proc)
-			addKind(FaultDropped, lo, n.KRem-1, exWithout, drWith, e.Proc)
-		}
+	nPos := len(entries) - 1 - n.SwitchPos
+	if nPos <= 0 {
+		return nil
 	}
-
+	perPos := make([][]candidate, nPos)
+	if s.pool == nil {
+		for i := range perPos {
+			perPos[i] = s.candidatesAt(n, n.SwitchPos+i, droppedBase)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(nPos)
+		for i := range perPos {
+			i := i
+			s.pool.submit(func() {
+				defer wg.Done()
+				perPos[i] = s.candidatesAt(n, n.SwitchPos+i, droppedBase)
+			})
+		}
+		wg.Wait()
+	}
+	var cands []candidate
+	for _, cs := range perPos {
+		cands = append(cands, cs...)
+	}
 	// Best candidates first (paper: keep the sub-schedules with the most
 	// significant utility improvement).
 	for i := 0; i < len(cands); i++ {
@@ -275,13 +340,99 @@ func expandNode(t *Tree, n *Node, opts FTQSOptions) {
 			}
 		}
 	}
-	for _, c := range cands {
-		if t.Size() >= opts.M {
-			break
-		}
-		attachChild(t, n, c)
+	return cands
+}
+
+// candidatesAt synthesises the candidate children guarded by entry pos of
+// n. Side-effect-free: it reads only the immutable application, the node's
+// immutable fields and the shared droppedBase set.
+func (s *synthesizer) candidatesAt(n *Node, pos int, droppedBase []bool) []candidate {
+	app := s.app
+	entries := n.Schedule.Entries
+	prefix := entries[:pos+1]
+	best := schedule.BestCaseCompletions(app, prefix, 0)
+	worst := schedule.WorstCaseCompletions(app, prefix, 0, n.KRem)
+	bestFinish := best.Finish[pos]
+	bestStart := best.Start[pos]
+	wcHi := worst.WorstCase[pos]
+	e := entries[pos]
+	p := app.Proc(e.Proc)
+
+	executed := make([]model.ProcessID, 0, pos+1)
+	executedSet := make([]bool, app.N())
+	for _, pe := range prefix {
+		executed = append(executed, pe.Proc)
+		executedSet[pe.Proc] = true
 	}
-	n.Arcs = dedupeSortArcs(n.Arcs)
+	// A child re-optimises the remainder from scratch, so processes
+	// the parent dropped become candidates again — the pessimistic
+	// worst-case root drops generously, and re-admitting its
+	// victims when execution runs early is the main source of the
+	// quasi-static utility gain. Re-admission is only sound while
+	// none of the process's successors has executed (otherwise the
+	// consumer already ran on a stale value).
+	droppedIDs := make([]model.ProcessID, 0)
+	for id, d := range droppedBase {
+		if !d {
+			continue
+		}
+		pid := model.ProcessID(id)
+		revivable := !s.opts.DisableRevival
+		for _, sc := range app.Succs(pid) {
+			if executedSet[sc] {
+				revivable = false
+				break
+			}
+		}
+		if !revivable {
+			droppedIDs = append(droppedIDs, pid)
+		}
+	}
+
+	var out []candidate
+	// The paper explores the combinations of best- and worst-case
+	// execution times: every child kind is synthesised twice, once
+	// for the best-possible and once for the worst-possible
+	// completion of the guarded entry (§5.1). Duplicates are
+	// merged by addKind.
+	addKind := func(kind ArcKind, lo Time, kRem int,
+		exec, dropped []model.ProcessID, droppedOF model.ProcessID) {
+		seen := map[string]bool{}
+		for _, genStart := range []Time{lo, wcHi} {
+			if genStart < lo {
+				continue
+			}
+			c := s.makeCandidate(n, pos, kind, exec, dropped,
+				lo, genStart, wcHi, kRem, droppedOF)
+			if c == nil {
+				continue
+			}
+			sig := entriesSignature(c.suffix)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			out = append(out, *c)
+		}
+	}
+
+	// (a) Completion child.
+	addKind(Completion, bestFinish, n.KRem, executed, droppedIDs, model.NoProcess)
+
+	// (b) Fault child with recovery.
+	if e.Recoveries > 0 && n.KRem > 0 {
+		lo := bestStart + p.BCET + app.MuOf(e.Proc) + p.BCET
+		addKind(FaultRecovered, lo, n.KRem-1, executed, droppedIDs, model.NoProcess)
+	}
+
+	// (c) Fault child with dropping (soft, no recovery budget).
+	if p.Kind == model.Soft && e.Recoveries == 0 && n.KRem > 0 {
+		lo := bestStart + p.BCET
+		exWithout := executed[:len(executed)-1]
+		drWith := append(append([]model.ProcessID(nil), droppedIDs...), e.Proc)
+		addKind(FaultDropped, lo, n.KRem-1, exWithout, drWith, e.Proc)
+	}
+	return out
 }
 
 // entriesSignature canonically encodes a suffix for duplicate detection.
@@ -293,18 +444,35 @@ func entriesSignature(entries []schedule.Entry) string {
 	return string(b)
 }
 
+// suffixFTSS is SuffixFTSS through the memoization cache: identical
+// (executed set, dropped set, start, budget) requests across the whole
+// tree are synthesised once. Returns nil when the suffix is infeasible or
+// empty. The returned entries are shared and must not be mutated.
+func (s *synthesizer) suffixFTSS(executed, dropped []model.ProcessID, start Time, kRem int) []schedule.Entry {
+	key := suffixMemoKey(s.app.N(), executed, dropped, start, kRem)
+	if e, ok := s.memo.get(key); ok {
+		return e
+	}
+	suffix, err := SuffixFTSS(s.app, executed, dropped, start, kRem)
+	if err != nil {
+		suffix = nil
+	}
+	s.memo.put(key, suffix)
+	return suffix
+}
+
 // makeCandidate synthesises one sub-schedule (assuming the guarded entry
 // completes at genStart) and prices it with interval partitioning over the
 // whole completion window [lo, hi]; nil when the candidate is infeasible,
 // identical to the parent's own continuation, or not a strict improvement
 // anywhere.
-func makeCandidate(t *Tree, n *Node, pos int, kind ArcKind,
+func (s *synthesizer) makeCandidate(n *Node, pos int, kind ArcKind,
 	executed, dropped []model.ProcessID, lo, genStart, hi Time, kRem int,
-	droppedOF model.ProcessID, opts FTQSOptions) *candidate {
+	droppedOF model.ProcessID) *candidate {
 
-	app := t.App
-	suffix, err := SuffixFTSS(app, executed, dropped, genStart, kRem)
-	if err != nil || len(suffix) == 0 {
+	app := s.app
+	suffix := s.suffixFTSS(executed, dropped, genStart, kRem)
+	if len(suffix) == 0 {
 		return nil
 	}
 	parentSuffix := n.Schedule.Entries[pos+1:]
@@ -326,9 +494,9 @@ func makeCandidate(t *Tree, n *Node, pos int, kind ArcKind,
 		childDropped[id] = !in[id]
 	}
 
-	parentEval := newSuffixEval(app, parentSuffix, parentDropped, opts.EvalScenarios)
-	childEval := newSuffixEval(app, suffix, childDropped, opts.EvalScenarios)
-	ivs := partitionChild(app, parentEval, childEval, suffix, lo, hi, kRem, opts.SweepSamples)
+	parentEval := newSuffixEval(app, parentSuffix, parentDropped, s.opts.EvalScenarios)
+	childEval := newSuffixEval(app, suffix, childDropped, s.opts.EvalScenarios)
+	ivs := partitionChild(app, parentEval, childEval, suffix, lo, hi, kRem, s.opts.SweepSamples)
 	if len(ivs) == 0 {
 		return nil
 	}
@@ -337,7 +505,7 @@ func makeCandidate(t *Tree, n *Node, pos int, kind ArcKind,
 		gain += iv.Gain * float64(iv.Hi-iv.Lo+1)
 	}
 	gain /= float64(hi - lo + 1)
-	if gain < opts.MinGain {
+	if gain < s.opts.MinGain {
 		return nil
 	}
 	return &candidate{

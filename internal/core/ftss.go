@@ -1,8 +1,3 @@
-// Package core implements the scheduling contribution of Izosimov et al.
-// (DATE 2008): FTSS, the static scheduling heuristic for fault tolerance and
-// utility maximisation (§5.2), and FTQS, the quasi-static tree synthesis
-// built on top of it (§5.1), together with the runtime switching policy that
-// an online scheduler executes.
 package core
 
 import (

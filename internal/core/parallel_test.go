@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/gen"
+	"ftsched/internal/model"
+)
+
+// requireTreesEqual compares two quasi-static trees entry for entry and
+// arc for arc — the contract of FTQSOptions.Workers is that the produced
+// tree is bit-identical for every worker count.
+func requireTreesEqual(t *testing.T, label string, a, b *Tree) {
+	t.Helper()
+	if a.Size() != b.Size() {
+		t.Fatalf("%s: tree sizes differ: %d vs %d", label, a.Size(), b.Size())
+	}
+	for i := range a.Nodes {
+		na, nb := a.Nodes[i], b.Nodes[i]
+		if na.ID != nb.ID || na.SwitchPos != nb.SwitchPos ||
+			na.KRem != nb.KRem || na.Depth != nb.Depth ||
+			na.DroppedOnFault != nb.DroppedOnFault {
+			t.Fatalf("%s: node %d headers differ: %+v vs %+v", label, i, na, nb)
+		}
+		if (na.Parent == nil) != (nb.Parent == nil) {
+			t.Fatalf("%s: node %d parent presence differs", label, i)
+		}
+		if na.Parent != nil && na.Parent.ID != nb.Parent.ID {
+			t.Fatalf("%s: node %d parents differ: S%d vs S%d",
+				label, i, na.Parent.ID, nb.Parent.ID)
+		}
+		if !sameEntries(na.Schedule.Entries, nb.Schedule.Entries) {
+			t.Fatalf("%s: node %d schedules differ:\n%v\n%v",
+				label, i, na.Schedule.Entries, nb.Schedule.Entries)
+		}
+		if len(na.Arcs) != len(nb.Arcs) {
+			t.Fatalf("%s: node %d arc counts differ: %d vs %d",
+				label, i, len(na.Arcs), len(nb.Arcs))
+		}
+		for j := range na.Arcs {
+			aa, ab := na.Arcs[j], nb.Arcs[j]
+			if aa.Pos != ab.Pos || aa.Kind != ab.Kind ||
+				aa.Lo != ab.Lo || aa.Hi != ab.Hi ||
+				aa.Gain != ab.Gain || aa.Child.ID != ab.Child.ID {
+				t.Fatalf("%s: node %d arc %d differs: %+v vs %+v",
+					label, i, j, aa, ab)
+			}
+		}
+	}
+}
+
+// TestFTQSParallelDeterminism: the parallel synthesis (Workers > 1) must
+// produce a tree entry-for-entry identical to the serial one (Workers = 1)
+// — on the paper's fixtures and on generated applications. Run under
+// -race this also audits the worker pool and the memoization cache.
+func TestFTQSParallelDeterminism(t *testing.T) {
+	type testApp struct {
+		name string
+		app  *model.Application
+		m    int
+	}
+	cases := []testApp{
+		{"fig1", apps.Fig1(), 12},
+		{"fig8", apps.Fig8(), 40},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{15, 20} {
+		for attempt := 0; attempt < 30; attempt++ {
+			app, err := gen.Generate(rng, gen.Default(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := FTSS(app); err != nil {
+				continue
+			}
+			cases = append(cases, testApp{app.Name(), app, 16})
+			break
+		}
+	}
+	if len(cases) < 4 {
+		t.Fatal("could not generate two schedulable applications")
+	}
+	for _, tc := range cases {
+		serial, err := FTQS(tc.app, FTQSOptions{M: tc.m, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: serial: %v", tc.name, err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			par, err := FTQS(tc.app, FTQSOptions{M: tc.m, Workers: w})
+			if err != nil {
+				t.Fatalf("%s: workers=%d: %v", tc.name, w, err)
+			}
+			requireTreesEqual(t, tc.name, serial, par)
+		}
+	}
+}
+
+// TestFTQSParallelGoldenTree: the paper-mode golden tree of the running
+// example survives parallel synthesis unchanged.
+func TestFTQSParallelGoldenTree(t *testing.T) {
+	app := apps.Fig1()
+	serial, err := FTQS(app, FTQSOptions{M: 4, EvalScenarios: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FTQS(app, FTQSOptions{M: 4, EvalScenarios: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Format() != par.Format() {
+		t.Errorf("parallel golden tree drifted:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.Format(), par.Format())
+	}
+}
+
+// TestSuffixMemo: identical (executed set, dropped set, start, budget)
+// requests hit the cache regardless of list order; differing inputs miss.
+func TestSuffixMemo(t *testing.T) {
+	app := apps.Fig8()
+	s := newSynthesizer(app, FTQSOptions{M: 4}.withDefaults())
+	defer s.close()
+
+	p0 := model.ProcessID(0)
+	p1 := model.ProcessID(1)
+	first := s.suffixFTSS([]model.ProcessID{p0, p1}, nil, 100, 1)
+	second := s.suffixFTSS([]model.ProcessID{p1, p0}, nil, 100, 1) // order irrelevant
+	if !sameEntries(first, second) {
+		t.Error("memoized suffix differs for the same executed set")
+	}
+	hits, misses := s.memo.stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// A different start time is a different synthesis.
+	s.suffixFTSS([]model.ProcessID{p0, p1}, nil, 101, 1)
+	if h, m := s.memo.stats(); h != 1 || m != 2 {
+		t.Errorf("hits=%d misses=%d after new start, want 1/2", h, m)
+	}
+	// A different dropped set is a different synthesis.
+	s.suffixFTSS([]model.ProcessID{p0}, []model.ProcessID{p1}, 100, 1)
+	if h, m := s.memo.stats(); h != 1 || m != 3 {
+		t.Errorf("hits=%d misses=%d after new dropped set, want 1/3", h, m)
+	}
+}
+
+// TestSuffixMemoHitsDuringSynthesis: a real tree synthesis must actually
+// exercise the cache (sibling candidates re-request identical suffixes).
+func TestSuffixMemoHitsDuringSynthesis(t *testing.T) {
+	app := apps.Fig8()
+	opts := FTQSOptions{M: 40}.withDefaults()
+	s := newSynthesizer(app, opts)
+	defer s.close()
+	root, err := FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootNode := &Node{ID: 0, Schedule: root, KRem: app.K(), DroppedOnFault: model.NoProcess}
+	tree := &Tree{App: app, Root: rootNode, Nodes: []*Node{rootNode}}
+	for tree.Size() < opts.M {
+		n := pickNext(tree)
+		if n == nil {
+			break
+		}
+		cands := s.candidates(n)
+		n.expanded = true
+		for _, c := range cands {
+			if tree.Size() >= opts.M {
+				break
+			}
+			attachChild(tree, n, c)
+		}
+		n.Arcs = dedupeSortArcs(n.Arcs)
+	}
+	hits, misses := s.memo.stats()
+	if misses == 0 {
+		t.Fatal("memo never consulted")
+	}
+	if hits == 0 {
+		t.Error("memo never hit during a 40-node synthesis")
+	}
+}
+
+// TestPool: every submitted task runs exactly once and close drains.
+func TestPool(t *testing.T) {
+	p := newPool(4)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	const tasks = 100
+	wg.Add(tasks)
+	for i := 0; i < tasks; i++ {
+		p.submit(func() {
+			defer wg.Done()
+			n.Add(1)
+		})
+	}
+	wg.Wait()
+	p.close()
+	if n.Load() != tasks {
+		t.Errorf("ran %d tasks, want %d", n.Load(), tasks)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import "sync"
+
+// pool is the bounded worker pool behind parallel FTQS synthesis: a fixed
+// set of goroutines consuming closures from an unbuffered channel. Tasks
+// are leaves of the synthesis — they never submit further tasks — so a
+// submitter blocked in submit always unblocks once a worker finishes its
+// current task; the pool cannot deadlock.
+type pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// newPool starts workers goroutines. workers must be >= 1.
+func newPool(workers int) *pool {
+	p := &pool{tasks: make(chan func())}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// submit hands f to a worker, blocking until one accepts it.
+func (p *pool) submit(f func()) { p.tasks <- f }
+
+// close shuts the pool down after all accepted tasks have finished. No
+// submit may be in flight or follow.
+func (p *pool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

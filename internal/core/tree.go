@@ -90,6 +90,10 @@ type Node struct {
 	Arcs []Arc
 
 	expanded bool
+	// dist caches simDist (the Kendall distance to the parent's suffix);
+	// only the FTQS coordinator goroutine touches it.
+	dist      int
+	distValid bool
 }
 
 // Tree is the fault-tolerant quasi-static tree Φ produced by FTQS.

@@ -37,12 +37,12 @@ import (
 // slack is patched in, no matter how many soft processes are dropped; in
 // that case ftsf is nil and the caller scores the baseline as delivering
 // zero utility (the system cannot be deployed with that schedule).
-func synthesise(app *model.Application, m int) (ftqs, ftss, ftsf *core.Tree, err error) {
+func synthesise(app *model.Application, m, workers int) (ftqs, ftss, ftsf *core.Tree, err error) {
 	root, err := core.FTSS(app)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	tree, err := core.FTQSFromRoot(app, root, core.FTQSOptions{M: m})
+	tree, err := core.FTQSFromRoot(app, root, core.FTQSOptions{M: m, Workers: workers})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -95,6 +95,9 @@ type Fig9Config struct {
 	Scenarios   int
 	M           int // FTQS tree bound
 	Seed        int64
+	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	// Results are identical for any value; see core.FTQSOptions.Workers.
+	Workers int
 }
 
 // DefaultFig9 returns a configuration that finishes in seconds; pass the
@@ -142,7 +145,7 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			ftqs, ftss, ftsf, err := synthesise(app, cfg.M)
+			ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -282,6 +285,8 @@ type Table1Config struct {
 	// monotone utility-vs-tree-size shape that estimation noise can
 	// otherwise bend downwards for large M.
 	Trim bool
+	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultTable1 returns a CI-friendly configuration.
@@ -353,7 +358,8 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 		var utils [4][]float64
 		for _, c := range cases {
 			t0 := time.Now()
-			tree, err := core.FTQSFromRoot(c.app, c.root.Root.Schedule, core.FTQSOptions{M: m})
+			tree, err := core.FTQSFromRoot(c.app, c.root.Root.Schedule,
+				core.FTQSOptions{M: m, Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -410,6 +416,8 @@ type CCConfig struct {
 	Scenarios int
 	M         int
 	Seed      int64
+	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultCC mirrors the paper's setup with a CI-friendly scenario count.
@@ -431,7 +439,7 @@ type CCResult struct {
 // CruiseController reproduces the paper's CC case study.
 func CruiseController(cfg CCConfig) (*CCResult, error) {
 	app := apps.CruiseController()
-	ftqs, ftss, ftsf, err := synthesise(app, cfg.M)
+	ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

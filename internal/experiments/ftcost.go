@@ -24,6 +24,8 @@ type FTCostConfig struct {
 	M         int
 	Scenarios int
 	Seed      int64
+	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFTCost returns a CI-friendly configuration.
@@ -95,7 +97,7 @@ func FTCost(cfg FTCostConfig) (*FTCostResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			tree, err := core.FTQS(app, core.FTQSOptions{M: cfg.M})
+			tree, err := core.FTQS(app, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers})
 			if err != nil {
 				ok = false
 				break

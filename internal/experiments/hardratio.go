@@ -22,6 +22,8 @@ type HardRatioConfig struct {
 	M         int
 	Scenarios int
 	Seed      int64
+	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultHardRatio returns a CI-friendly configuration.
@@ -67,7 +69,7 @@ func HardRatio(cfg HardRatioConfig) (*HardRatioResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			ftqs, ftss, ftsf, err := synthesise(app, cfg.M)
+			ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -23,6 +23,8 @@ type OptGapConfig struct {
 	Scenarios int // Monte-Carlo scenarios for the FTQS comparison
 	K         int
 	Seed      int64
+	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultOptGap returns a CI-friendly configuration.
@@ -69,7 +71,7 @@ func OptGap(cfg OptGapConfig) (*OptGapResult, error) {
 		if err != nil {
 			continue
 		}
-		tree, err := core.FTQSFromRoot(app, ftss, core.FTQSOptions{M: cfg.M})
+		tree, err := core.FTQSFromRoot(app, ftss, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

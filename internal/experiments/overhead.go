@@ -23,6 +23,8 @@ type OverheadConfig struct {
 	M         int
 	Scenarios int
 	Seed      int64
+	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultOverhead returns a CI-friendly configuration.
@@ -64,7 +66,7 @@ func Overhead(cfg OverheadConfig) (*OverheadResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree, err := core.FTQSFromRoot(app, root, core.FTQSOptions{M: cfg.M})
+		tree, err := core.FTQSFromRoot(app, root, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

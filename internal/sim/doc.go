@@ -1,0 +1,18 @@
+// Package sim executes quasi-static trees online and evaluates them with
+// Monte-Carlo simulation, reproducing the experimental methodology of
+// Izosimov et al. (DATE 2008), §6: actual execution times are uniformly
+// distributed between the best-case and worst-case execution times, and 0,
+// 1, 2, ... k transient faults are injected per operation cycle.
+//
+// The online scheduler (Run) mirrors the paper's runtime model: it walks
+// one root-to-leaf path of the quasi-static tree, executing the current
+// f-schedule non-preemptively and consulting the precomputed switch guards
+// at each completion, fault recovery, or fault-induced drop. Switching
+// costs a single guard lookup — the "very low online overhead" claim of
+// §1 — because all optimisation happened offline.
+//
+// Simulation never mutates the tree or the application; trees synthesised
+// by package core (including concurrently, with FTQSOptions.Workers > 1)
+// can therefore be evaluated from many goroutines at once, which is how
+// MonteCarlo parallelises its scenario sweep.
+package sim

@@ -1,8 +1,3 @@
-// Package sim executes quasi-static trees online and evaluates them with
-// Monte-Carlo simulation, reproducing the experimental methodology of
-// Izosimov et al. (DATE 2008), §6: actual execution times are uniformly
-// distributed between the best-case and worst-case execution times, and 0,
-// 1, 2, ... k transient faults are injected per operation cycle.
 package sim
 
 import (
