@@ -34,6 +34,7 @@ func main() {
 		verify  = flag.Bool("verify", false, "audit the synthesised tree (ftqs only)")
 		trim    = flag.Int("trim", 0, "trim arcs by paired simulation with this many scenarios per fault count (ftqs only)")
 		treeOut = flag.String("tree-out", "", "also write the synthesised tree as JSON (ftqs only)")
+		treeFmt = flag.String("tree-format", "json", "encoding for -tree-out: json (self-describing v1) or compact (v2)")
 	)
 	flag.Parse()
 
@@ -82,11 +83,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trimmed %d arcs; %d schedules remain\n", removed, tree.Size())
 		}
 		if *treeOut != "" {
+			encode := appio.EncodeTree
+			switch *treeFmt {
+			case "json":
+			case "compact":
+				encode = appio.EncodeTreeCompact
+			default:
+				fatal(fmt.Errorf("unknown tree format %q (want json or compact)", *treeFmt))
+			}
 			f, err := os.Create(*treeOut)
 			if err != nil {
 				fatal(err)
 			}
-			if err := appio.EncodeTree(f, tree); err != nil {
+			if err := encode(f, tree); err != nil {
 				f.Close()
 				fatal(err)
 			}

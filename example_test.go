@@ -29,7 +29,7 @@ func ExampleFTQS() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("%d schedules, root: %s\n", tree.Size(), tree.Root.Schedule.Format(app))
+	fmt.Printf("%d schedules, root: %s\n", tree.Size(), tree.Root().Schedule.Format(app))
 	if err := ftsched.VerifyTree(tree); err != nil {
 		panic(err)
 	}

@@ -19,7 +19,7 @@ func main() {
 	}
 	fmt.Println(app)
 	fmt.Printf("tree with %d schedules; root: %s\n\n",
-		tree.Size(), tree.Root.Schedule.Format(app))
+		tree.Size(), tree.Root().Schedule.Format(app))
 
 	p1 := app.IDByName("P1")
 	p2 := app.IDByName("P2")

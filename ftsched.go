@@ -53,6 +53,7 @@ import (
 	"ftsched/internal/gen"
 	"ftsched/internal/model"
 	"ftsched/internal/optimal"
+	"ftsched/internal/runtime"
 	"ftsched/internal/schedule"
 	"ftsched/internal/sim"
 	"ftsched/internal/utility"
@@ -89,11 +90,19 @@ type (
 	Tree = core.Tree
 	// Node is one schedule of a quasi-static tree.
 	Node = core.Node
+	// NodeID addresses a node within its tree (the root is 0).
+	NodeID = core.NodeID
 	// Arc is a guarded switch between schedules.
 	Arc = core.Arc
 	// FTQSOptions tunes the tree synthesis.
 	FTQSOptions = core.FTQSOptions
+	// Dispatcher is the compiled, allocation-free online scheduler for a
+	// tree; use it instead of Run when simulating many cycles.
+	Dispatcher = runtime.Dispatcher
 )
+
+// NoNode is the sentinel NodeID (e.g. the root's parent).
+const NoNode = core.NoNode
 
 // Simulation types.
 type (
@@ -232,6 +241,11 @@ func SampleScenario(app *Application, rng *rand.Rand, faults int, candidates []P
 // Run executes one scenario against a tree with the online scheduler.
 func Run(tree *Tree, sc Scenario) RunResult { return sim.Run(tree, sc) }
 
+// NewDispatcher compiles a tree's switch guards into a binary-searchable
+// dispatch table and returns a reusable, allocation-free online scheduler.
+// The tree must not be mutated while the dispatcher is in use.
+func NewDispatcher(tree *Tree) *Dispatcher { return runtime.NewDispatcher(tree) }
+
 // MonteCarlo evaluates a tree over cfg.Scenarios random scenarios.
 func MonteCarlo(tree *Tree, cfg MCConfig) (MCStats, error) { return sim.MonteCarlo(tree, cfg) }
 
@@ -291,6 +305,11 @@ func WriteTreeDOT(w io.Writer, tree *Tree) error { return appio.WriteTreeDOT(w, 
 // WriteTree persists a quasi-static tree as JSON (paired with the
 // application's JSON encoding; process references are by name).
 func WriteTree(w io.Writer, tree *Tree) error { return appio.EncodeTree(w, tree) }
+
+// WriteTreeCompact persists a quasi-static tree in the compact v2 format:
+// interned process names, suffix-only schedules and a flat arc arena.
+// ReadTree loads both formats transparently.
+func WriteTreeCompact(w io.Writer, tree *Tree) error { return appio.EncodeTreeCompact(w, tree) }
 
 // ReadTree loads a stored quasi-static tree and rebinds it to the
 // application. Run VerifyTree on the result before trusting it.

@@ -52,17 +52,19 @@ func WriteTreeDOT(w io.Writer, tree *core.Tree) error {
 		tree.App.Name()+"-tree"); err != nil {
 		return err
 	}
-	for _, n := range tree.Nodes {
+	for id := range tree.Nodes {
+		n := &tree.Nodes[id]
 		if _, err := fmt.Fprintf(w, "  S%d [label=\"S%d (k=%d)\\n%s\"];\n",
-			n.ID, n.ID, n.KRem, n.Schedule.Format(tree.App)); err != nil {
+			id, id, n.KRem, n.Schedule.Format(tree.App)); err != nil {
 			return err
 		}
 	}
-	for _, n := range tree.Nodes {
-		for _, a := range n.Arcs {
+	for id := range tree.Nodes {
+		n := &tree.Nodes[id]
+		for _, a := range tree.NodeArcs(core.NodeID(id)) {
 			proc := tree.App.Proc(n.Schedule.Entries[a.Pos].Proc).Name
 			if _, err := fmt.Fprintf(w, "  S%d -> S%d [label=\"%s %s [%d,%d]\"];\n",
-				n.ID, a.Child.ID, proc, a.Kind, a.Lo, a.Hi); err != nil {
+				id, a.Child, proc, a.Kind, a.Lo, a.Hi); err != nil {
 				return err
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ftsched/internal/apps"
+	"ftsched/internal/core"
 )
 
 // FuzzDecodeApplication: the decoder must never panic and, when it
@@ -51,6 +52,61 @@ func FuzzDecodeApplication(f *testing.F) {
 		}
 		if back.N() != app.N() || back.Period() != app.Period() || back.K() != app.K() {
 			t.Fatal("round trip changed the application")
+		}
+	})
+}
+
+// FuzzDecodeTree: both tree decoders must never panic on arbitrary input,
+// and any accepted tree that passes the safety audit must survive a round
+// trip through either encoding unchanged.
+func FuzzDecodeTree(f *testing.F) {
+	app := apps.Fig1()
+	tree, err := core.FTQS(app, core.FTQSOptions{M: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTree(&buf, tree); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	buf.Reset()
+	if err := EncodeTreeCompact(&buf, tree); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1"}]}]}`)
+	f.Add(`{"format":"ftsched-tree/v2","app":"paper-fig1","k":1,"procs":["P1"],"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]]}]}`)
+	f.Add(`{"format":"ftsched-tree/v9"}`)
+	f.Add(`{"nodes":`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := DecodeTree(strings.NewReader(input), app)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Decoding validates structure only; the full audit gates the
+		// round-trip checks (Format and re-encoding index entries by the
+		// arcs' guard positions, which only the audit bounds-checks).
+		if core.VerifyTree(got) != nil {
+			return
+		}
+		want := got.Format()
+		var v1, v2 bytes.Buffer
+		if err := EncodeTree(&v1, got); err != nil {
+			t.Fatalf("accepted tree does not re-encode (v1): %v", err)
+		}
+		if err := EncodeTreeCompact(&v2, got); err != nil {
+			t.Fatalf("accepted tree does not re-encode (v2): %v", err)
+		}
+		for name, data := range map[string][]byte{"v1": v1.Bytes(), "v2": v2.Bytes()} {
+			back, err := DecodeTree(bytes.NewReader(data), app)
+			if err != nil {
+				t.Fatalf("%s re-encoding does not decode: %v", name, err)
+			}
+			if back.Format() != want {
+				t.Fatalf("%s round trip changed the tree", name)
+			}
 		}
 	})
 }

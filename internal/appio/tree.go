@@ -1,6 +1,7 @@
 package appio
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +16,11 @@ import (
 // loads the flat tables; DecodeTree re-validates structure against the
 // application and the caller should run core.VerifyTree afterwards for the
 // full safety audit (the ftsched CLI does).
+//
+// Two formats exist: the original self-describing JSON (EncodeTree, kept
+// byte-for-byte stable for existing files) and the compact v2 encoding in
+// compact.go, which mirrors the in-memory arena. DecodeTree detects the
+// format from the leading "format" field.
 
 type jsonTree struct {
 	App   string     `json:"app"`
@@ -67,16 +73,17 @@ func kindFromString(s string) (core.ArcKind, error) {
 func EncodeTree(w io.Writer, tree *core.Tree) error {
 	app := tree.App
 	jt := jsonTree{App: app.Name(), K: app.K()}
-	for _, n := range tree.Nodes {
+	for id := range tree.Nodes {
+		n := &tree.Nodes[id]
 		jn := jsonNode{
-			ID:        n.ID,
+			ID:        id,
 			Parent:    -1,
 			SwitchPos: n.SwitchPos,
 			KRem:      n.KRem,
 			Depth:     n.Depth,
 		}
-		if n.Parent != nil {
-			jn.Parent = n.Parent.ID
+		if n.Parent != core.NoNode {
+			jn.Parent = int(n.Parent)
 		}
 		if n.DroppedOnFault != model.NoProcess {
 			jn.DroppedOnFault = app.Proc(n.DroppedOnFault).Name
@@ -87,10 +94,10 @@ func EncodeTree(w io.Writer, tree *core.Tree) error {
 				Recoveries: e.Recoveries,
 			})
 		}
-		for _, a := range n.Arcs {
+		for _, a := range tree.NodeArcs(core.NodeID(id)) {
 			jn.Arcs = append(jn.Arcs, jsonArc{
 				Pos: a.Pos, Kind: kindString(a.Kind),
-				Lo: a.Lo, Hi: a.Hi, Gain: a.Gain, Child: a.Child.ID,
+				Lo: a.Lo, Hi: a.Hi, Gain: a.Gain, Child: int(a.Child),
 			})
 		}
 		jt.Nodes = append(jt.Nodes, jn)
@@ -100,12 +107,61 @@ func EncodeTree(w io.Writer, tree *core.Tree) error {
 	return enc.Encode(jt)
 }
 
-// DecodeTree reads a tree and rebinds it to the application. Structural
-// errors (unknown processes, dangling references, ID mismatches) are
-// rejected here; run core.VerifyTree on the result for the safety audit.
+// DecodeTree reads a tree in either format and rebinds it to the
+// application. Structural errors (unknown processes, dangling references,
+// ID mismatches) are rejected here; run core.VerifyTree on the result for
+// the safety audit.
 func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("appio: %w", err)
+	}
+	var probe struct {
+		Format string `json:"format"`
+	}
+	// A best-effort probe: v1 files have no "format" member and leave the
+	// probe empty; anything unparseable falls through to the full decoder
+	// for a precise error.
+	_ = json.Unmarshal(data, &probe)
+	switch probe.Format {
+	case "":
+		return decodeTreeV1(data, app)
+	case compactTreeFormat:
+		return decodeTreeCompact(data, app)
+	default:
+		return nil, fmt.Errorf("appio: unsupported tree format %q", probe.Format)
+	}
+}
+
+// treeBuilder collects per-node data during decoding and flattens it into
+// the arena representation, normalising arcs into the canonical order.
+type treeBuilder struct {
+	nodes []core.Node
+	arcs  [][]core.Arc
+}
+
+func (b *treeBuilder) build(app *model.Application) *core.Tree {
+	total := 0
+	for _, as := range b.arcs {
+		total += len(as)
+	}
+	t := &core.Tree{
+		App:   app,
+		Nodes: b.nodes,
+		Arcs:  make([]core.Arc, 0, total),
+	}
+	for i := range t.Nodes {
+		core.SortArcs(b.arcs[i])
+		t.Nodes[i].ArcStart = int32(len(t.Arcs))
+		t.Arcs = append(t.Arcs, b.arcs[i]...)
+		t.Nodes[i].ArcEnd = int32(len(t.Arcs))
+	}
+	return t
+}
+
+func decodeTreeV1(data []byte, app *model.Application) (*core.Tree, error) {
 	var jt jsonTree
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&jt); err != nil {
 		return nil, fmt.Errorf("appio: %w", err)
@@ -119,18 +175,20 @@ func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
 	if len(jt.Nodes) == 0 {
 		return nil, fmt.Errorf("appio: tree has no nodes")
 	}
-	nodes := make([]*core.Node, len(jt.Nodes))
+	b := &treeBuilder{
+		nodes: make([]core.Node, len(jt.Nodes)),
+		arcs:  make([][]core.Arc, len(jt.Nodes)),
+	}
 	for i, jn := range jt.Nodes {
 		if jn.ID != i {
 			return nil, fmt.Errorf("appio: node %d carries ID %d; IDs must be dense and ordered", i, jn.ID)
 		}
-		n := &core.Node{
-			ID:             jn.ID,
-			SwitchPos:      jn.SwitchPos,
-			KRem:           jn.KRem,
-			Depth:          jn.Depth,
-			DroppedOnFault: model.NoProcess,
-		}
+		n := &b.nodes[i]
+		n.SwitchPos = jn.SwitchPos
+		n.KRem = jn.KRem
+		n.Depth = jn.Depth
+		n.DroppedOnFault = model.NoProcess
+		n.Parent = core.NoNode
 		if jn.DroppedOnFault != "" {
 			id := app.IDByName(jn.DroppedOnFault)
 			if id == model.NoProcess {
@@ -147,15 +205,14 @@ func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
 			entries = append(entries, schedule.Entry{Proc: id, Recoveries: je.Recoveries})
 		}
 		n.Schedule = &schedule.FSchedule{Entries: entries}
-		nodes[i] = n
 	}
 	for i, jn := range jt.Nodes {
-		n := nodes[i]
+		n := &b.nodes[i]
 		if jn.Parent >= 0 {
-			if jn.Parent >= len(nodes) {
+			if jn.Parent >= len(b.nodes) {
 				return nil, fmt.Errorf("appio: node %d: parent %d out of range", i, jn.Parent)
 			}
-			n.Parent = nodes[jn.Parent]
+			n.Parent = core.NodeID(jn.Parent)
 		} else if i != 0 {
 			return nil, fmt.Errorf("appio: node %d has no parent but is not the root", i)
 		}
@@ -164,14 +221,14 @@ func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
 			if err != nil {
 				return nil, err
 			}
-			if ja.Child < 0 || ja.Child >= len(nodes) {
+			if ja.Child < 0 || ja.Child >= len(b.nodes) {
 				return nil, fmt.Errorf("appio: node %d: arc child %d out of range", i, ja.Child)
 			}
-			n.Arcs = append(n.Arcs, core.Arc{
+			b.arcs[i] = append(b.arcs[i], core.Arc{
 				Pos: ja.Pos, Kind: kind, Lo: ja.Lo, Hi: ja.Hi,
-				Gain: ja.Gain, Child: nodes[ja.Child],
+				Gain: ja.Gain, Child: core.NodeID(ja.Child),
 			})
 		}
 	}
-	return &core.Tree{App: app, Root: nodes[0], Nodes: nodes}, nil
+	return b.build(app), nil
 }

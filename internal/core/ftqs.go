@@ -91,34 +91,110 @@ func FTQSFromRoot(app *model.Application, root *schedule.FSchedule, opts FTQSOpt
 	if err := schedule.CheckSchedulable(app, root.Entries, 0, app.K()); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnschedulable, err)
 	}
-	rootNode := &Node{
-		ID:             0,
+	b := &treeBuilder{app: app}
+	b.add(&bNode{Node: Node{
 		Schedule:       root,
 		SwitchPos:      0,
 		KRem:           app.K(),
 		Depth:          0,
 		DroppedOnFault: model.NoProcess,
-	}
-	t := &Tree{App: app, Root: rootNode, Nodes: []*Node{rootNode}}
+		Parent:         NoNode,
+	}})
 	syn := newSynthesizer(app, opts)
 	defer syn.close()
-	for t.Size() < opts.M {
-		n := pickNext(t)
+	for len(b.nodes) < opts.M {
+		n := b.pickNext()
 		if n == nil {
 			break // every reachable sub-schedule is already in the tree
 		}
-		syn.prefetch(t)
+		syn.prefetch(b)
 		cands := syn.candidates(n)
 		n.expanded = true
 		for _, c := range cands {
-			if t.Size() >= opts.M {
+			if len(b.nodes) >= opts.M {
 				break
 			}
-			attachChild(t, n, c)
+			b.attachChild(n, c)
 		}
-		n.Arcs = dedupeSortArcs(n.Arcs)
+		n.arcs = dedupeSortArcs(n.arcs)
 	}
-	return t, nil
+	return b.build(), nil
+}
+
+// treeBuilder is the growable, pointer-linked form a tree takes during
+// synthesis. Only the coordinator goroutine mutates it; build flattens it
+// into the immutable arena representation handed to consumers.
+type treeBuilder struct {
+	app   *model.Application
+	nodes []*bNode
+}
+
+// bNode is a node under construction: the final Node value (ArcStart and
+// ArcEnd are assigned by build) plus the growable arc slice and the
+// coordinator's expansion scratch.
+type bNode struct {
+	Node
+	id        NodeID
+	parent    *bNode
+	arcs      []Arc
+	expanded  bool
+	dist      int
+	distValid bool
+}
+
+// add assigns the node the next NodeID and appends it.
+func (b *treeBuilder) add(n *bNode) *bNode {
+	n.id = NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// attachChild adds the candidate as a node and wires its guard arcs.
+func (b *treeBuilder) attachChild(n *bNode, c candidate) {
+	full := make([]schedule.Entry, 0, c.pos+1+len(c.suffix))
+	full = append(full, n.Schedule.Entries[:c.pos+1]...)
+	full = append(full, c.suffix...)
+	child := b.add(&bNode{
+		Node: Node{
+			Schedule:       &schedule.FSchedule{Entries: full},
+			SwitchPos:      c.pos + 1,
+			KRem:           c.kRem,
+			Depth:          n.Depth + 1,
+			DroppedOnFault: c.droppedOF,
+			Parent:         n.id,
+		},
+		parent: n,
+	})
+	for _, iv := range c.intervals {
+		n.arcs = append(n.arcs, Arc{
+			Pos: c.pos, Kind: c.kind, Lo: iv.Lo, Hi: iv.Hi,
+			Gain: iv.Gain, Child: child.id,
+		})
+	}
+}
+
+// build flattens the builder into the arena representation: nodes in
+// NodeID order, each node's arcs contiguous in the shared arc slice (they
+// are already in the canonical (Pos, Kind, Gain-descending) order, because
+// the coordinator runs dedupeSortArcs after expanding each node).
+func (b *treeBuilder) build() *Tree {
+	total := 0
+	for _, n := range b.nodes {
+		total += len(n.arcs)
+	}
+	t := &Tree{
+		App:   b.app,
+		Nodes: make([]Node, len(b.nodes)),
+		Arcs:  make([]Arc, 0, total),
+	}
+	for i, n := range b.nodes {
+		nd := n.Node
+		nd.ArcStart = int32(len(t.Arcs))
+		t.Arcs = append(t.Arcs, n.arcs...)
+		nd.ArcEnd = int32(len(t.Arcs))
+		t.Nodes[i] = nd
+	}
+	return t
 }
 
 // nextToExpand returns up to k unexpanded nodes in expansion order: the
@@ -127,12 +203,12 @@ func FTQSFromRoot(app *model.Application, root *schedule.FSchedule, opts FTQSOpt
 // towards the earliest-attached node. Refining near-duplicates first
 // steers the tree towards "the most different sub-schedules" overall (see
 // DESIGN.md on FindMostSimilarSubschedule).
-func nextToExpand(t *Tree, k int) []*Node {
-	var out []*Node
-	taken := make(map[*Node]bool, k)
+func (b *treeBuilder) nextToExpand(k int) []*bNode {
+	var out []*bNode
+	taken := make(map[*bNode]bool, k)
 	for len(out) < k {
-		var best *Node
-		for _, n := range t.Nodes {
+		var best *bNode
+		for _, n := range b.nodes {
 			if n.expanded || taken[n] {
 				continue
 			}
@@ -151,8 +227,8 @@ func nextToExpand(t *Tree, k int) []*Node {
 }
 
 // pickNext selects the next node to expand.
-func pickNext(t *Tree) *Node {
-	if next := nextToExpand(t, 1); len(next) > 0 {
+func (b *treeBuilder) pickNext() *bNode {
+	if next := b.nextToExpand(1); len(next) > 0 {
 		return next[0]
 	}
 	return nil
@@ -161,13 +237,13 @@ func pickNext(t *Tree) *Node {
 // simDist is the node's Kendall distance to its parent, computed lazily
 // and cached (it depends only on the immutable schedules). Only the
 // coordinator goroutine calls it.
-func (n *Node) simDist() int {
-	if n.Parent == nil {
+func (n *bNode) simDist() int {
+	if n.parent == nil {
 		return 0
 	}
 	if !n.distValid {
 		n.dist = kendallDistance(
-			n.Parent.Schedule.Entries[n.SwitchPos:],
+			n.parent.Schedule.Entries[n.SwitchPos:],
 			n.Schedule.Entries[n.SwitchPos:])
 		n.distValid = true
 	}
@@ -214,7 +290,7 @@ type candidate struct {
 // candidate futures. Candidate generation (generate/candidatesAt/
 // makeCandidate) is a pure function of the immutable application, the node
 // and the options, so any number of nodes can be generated concurrently;
-// only the coordinator loop in FTQSFromRoot mutates the tree.
+// only the coordinator loop in FTQSFromRoot mutates the builder.
 type synthesizer struct {
 	app  *model.Application
 	opts FTQSOptions
@@ -222,7 +298,7 @@ type synthesizer struct {
 	memo *suffixMemo // shared across the whole tree
 	// futures maps a not-yet-expanded node to its in-flight candidate
 	// generation. Coordinator-only.
-	futures map[*Node]*candFuture
+	futures map[*bNode]*candFuture
 	fwg     sync.WaitGroup
 }
 
@@ -237,7 +313,7 @@ func newSynthesizer(app *model.Application, opts FTQSOptions) *synthesizer {
 		app:     app,
 		opts:    opts,
 		memo:    newSuffixMemo(),
-		futures: make(map[*Node]*candFuture),
+		futures: make(map[*bNode]*candFuture),
 	}
 	if opts.Workers > 1 {
 		s.pool = newPool(opts.Workers)
@@ -259,11 +335,11 @@ func (s *synthesizer) close() {
 // the current node. Speculation never changes the result — the coordinator
 // attaches candidates strictly in pickNext order — it only wastes bounded
 // work when the M cutoff hits first.
-func (s *synthesizer) prefetch(t *Tree) {
+func (s *synthesizer) prefetch(b *treeBuilder) {
 	if s.pool == nil {
 		return
 	}
-	for _, n := range nextToExpand(t, s.opts.Workers) {
+	for _, n := range b.nextToExpand(s.opts.Workers) {
 		if s.futures[n] != nil {
 			continue
 		}
@@ -281,7 +357,7 @@ func (s *synthesizer) prefetch(t *Tree) {
 
 // candidates returns the node's candidate children, waiting for a
 // prefetched future or computing them on the spot.
-func (s *synthesizer) candidates(n *Node) []candidate {
+func (s *synthesizer) candidates(n *bNode) []candidate {
 	if f := s.futures[n]; f != nil {
 		<-f.done
 		delete(s.futures, n)
@@ -300,11 +376,11 @@ func (s *synthesizer) candidates(n *Node) []candidate {
 // are fanned out over the worker pool; the per-position results are
 // collected in position order, so the flattened list — and therefore the
 // tree — is identical to a serial run.
-func (s *synthesizer) generate(n *Node) []candidate {
+func (s *synthesizer) generate(n *bNode) []candidate {
 	entries := n.Schedule.Entries
 	droppedBase := droppedSet(s.app, n.Schedule)
 	if n.DroppedOnFault != model.NoProcess {
-		droppedBase[n.DroppedOnFault] = true
+		droppedBase.Add(n.DroppedOnFault)
 	}
 	nPos := len(entries) - 1 - n.SwitchPos
 	if nPos <= 0 {
@@ -346,7 +422,7 @@ func (s *synthesizer) generate(n *Node) []candidate {
 // candidatesAt synthesises the candidate children guarded by entry pos of
 // n. Side-effect-free: it reads only the immutable application, the node's
 // immutable fields and the shared droppedBase set.
-func (s *synthesizer) candidatesAt(n *Node, pos int, droppedBase []bool) []candidate {
+func (s *synthesizer) candidatesAt(n *bNode, pos int, droppedBase model.ProcSet) []candidate {
 	app := s.app
 	entries := n.Schedule.Entries
 	prefix := entries[:pos+1]
@@ -358,11 +434,9 @@ func (s *synthesizer) candidatesAt(n *Node, pos int, droppedBase []bool) []candi
 	e := entries[pos]
 	p := app.Proc(e.Proc)
 
-	executed := make([]model.ProcessID, 0, pos+1)
-	executedSet := make([]bool, app.N())
+	executed := model.NewProcSet(app.N())
 	for _, pe := range prefix {
-		executed = append(executed, pe.Proc)
-		executedSet[pe.Proc] = true
+		executed.Add(pe.Proc)
 	}
 	// A child re-optimises the remainder from scratch, so processes
 	// the parent dropped become candidates again — the pessimistic
@@ -371,21 +445,21 @@ func (s *synthesizer) candidatesAt(n *Node, pos int, droppedBase []bool) []candi
 	// quasi-static utility gain. Re-admission is only sound while
 	// none of the process's successors has executed (otherwise the
 	// consumer already ran on a stale value).
-	droppedIDs := make([]model.ProcessID, 0)
-	for id, d := range droppedBase {
-		if !d {
+	dropped := model.NewProcSet(app.N())
+	for id := 0; id < app.N(); id++ {
+		pid := model.ProcessID(id)
+		if !droppedBase.Has(pid) {
 			continue
 		}
-		pid := model.ProcessID(id)
 		revivable := !s.opts.DisableRevival
 		for _, sc := range app.Succs(pid) {
-			if executedSet[sc] {
+			if executed.Has(sc) {
 				revivable = false
 				break
 			}
 		}
 		if !revivable {
-			droppedIDs = append(droppedIDs, pid)
+			dropped.Add(pid)
 		}
 	}
 
@@ -394,66 +468,65 @@ func (s *synthesizer) candidatesAt(n *Node, pos int, droppedBase []bool) []candi
 	// execution times: every child kind is synthesised twice, once
 	// for the best-possible and once for the worst-possible
 	// completion of the guarded entry (§5.1). Duplicates are
-	// merged by addKind.
+	// merged by addKind (at most two candidates per kind, so a
+	// direct suffix comparison replaces any signature machinery).
 	addKind := func(kind ArcKind, lo Time, kRem int,
-		exec, dropped []model.ProcessID, droppedOF model.ProcessID) {
-		seen := map[string]bool{}
+		exec, drop model.ProcSet, droppedOF model.ProcessID) {
+		var firstSuffix []schedule.Entry
+		haveFirst := false
 		for _, genStart := range []Time{lo, wcHi} {
 			if genStart < lo {
 				continue
 			}
-			c := s.makeCandidate(n, pos, kind, exec, dropped,
+			c := s.makeCandidate(n, pos, kind, exec, drop,
 				lo, genStart, wcHi, kRem, droppedOF)
 			if c == nil {
 				continue
 			}
-			sig := entriesSignature(c.suffix)
-			if seen[sig] {
+			if haveFirst && sameEntries(c.suffix, firstSuffix) {
 				continue
 			}
-			seen[sig] = true
+			firstSuffix, haveFirst = c.suffix, true
 			out = append(out, *c)
 		}
 	}
 
 	// (a) Completion child.
-	addKind(Completion, bestFinish, n.KRem, executed, droppedIDs, model.NoProcess)
+	addKind(Completion, bestFinish, n.KRem, executed, dropped, model.NoProcess)
 
 	// (b) Fault child with recovery.
 	if e.Recoveries > 0 && n.KRem > 0 {
 		lo := bestStart + p.BCET + app.MuOf(e.Proc) + p.BCET
-		addKind(FaultRecovered, lo, n.KRem-1, executed, droppedIDs, model.NoProcess)
+		addKind(FaultRecovered, lo, n.KRem-1, executed, dropped, model.NoProcess)
 	}
 
 	// (c) Fault child with dropping (soft, no recovery budget).
 	if p.Kind == model.Soft && e.Recoveries == 0 && n.KRem > 0 {
 		lo := bestStart + p.BCET
-		exWithout := executed[:len(executed)-1]
-		drWith := append(append([]model.ProcessID(nil), droppedIDs...), e.Proc)
+		exWithout := executed.Clone()
+		exWithout.Remove(e.Proc)
+		drWith := dropped.Clone()
+		drWith.Add(e.Proc)
 		addKind(FaultDropped, lo, n.KRem-1, exWithout, drWith, e.Proc)
 	}
 	return out
 }
 
-// entriesSignature canonically encodes a suffix for duplicate detection.
-func entriesSignature(entries []schedule.Entry) string {
-	b := make([]byte, 0, len(entries)*4)
-	for _, e := range entries {
-		b = append(b, byte(e.Proc), byte(e.Proc>>8), byte(e.Recoveries), ';')
-	}
-	return string(b)
-}
-
-// suffixFTSS is SuffixFTSS through the memoization cache: identical
+// suffixFTSS is SuffixFTSSSet through the memoization cache: identical
 // (executed set, dropped set, start, budget) requests across the whole
 // tree are synthesised once. Returns nil when the suffix is infeasible or
 // empty. The returned entries are shared and must not be mutated.
-func (s *synthesizer) suffixFTSS(executed, dropped []model.ProcessID, start Time, kRem int) []schedule.Entry {
-	key := suffixMemoKey(s.app.N(), executed, dropped, start, kRem)
+func (s *synthesizer) suffixFTSS(executed, dropped model.ProcSet, start Time, kRem int) []schedule.Entry {
+	key := suffixKey{
+		executed: executed.Key(),
+		dropped:  dropped.Key(),
+		start:    start,
+		kRem:     kRem,
+	}
 	if e, ok := s.memo.get(key); ok {
 		return e
 	}
-	suffix, err := SuffixFTSS(s.app, executed, dropped, start, kRem)
+	suffix, err := SuffixFTSSSet(s.app, executed, dropped, start, kRem)
 	if err != nil {
 		suffix = nil
 	}
@@ -466,8 +539,8 @@ func (s *synthesizer) suffixFTSS(executed, dropped []model.ProcessID, start Time
 // whole completion window [lo, hi]; nil when the candidate is infeasible,
 // identical to the parent's own continuation, or not a strict improvement
 // anywhere.
-func (s *synthesizer) makeCandidate(n *Node, pos int, kind ArcKind,
-	executed, dropped []model.ProcessID, lo, genStart, hi Time, kRem int,
+func (s *synthesizer) makeCandidate(n *bNode, pos int, kind ArcKind,
+	executed, dropped model.ProcSet, lo, genStart, hi Time, kRem int,
 	droppedOF model.ProcessID) *candidate {
 
 	app := s.app
@@ -483,15 +556,12 @@ func (s *synthesizer) makeCandidate(n *Node, pos int, kind ArcKind,
 	// Dropped-set assumptions for the two evaluators.
 	parentDropped := droppedAssumption(app, n, droppedOF)
 	childDropped := make([]bool, app.N())
-	in := make([]bool, app.N())
-	for _, id := range executed {
-		in[id] = true
-	}
+	in := executed.Clone()
 	for _, e := range suffix {
-		in[e.Proc] = true
+		in.Add(e.Proc)
 	}
 	for id := 0; id < app.N(); id++ {
-		childDropped[id] = !in[id]
+		childDropped[id] = !in.Has(model.ProcessID(id))
 	}
 
 	parentEval := newSuffixEval(app, parentSuffix, parentDropped, s.opts.EvalScenarios)
@@ -514,11 +584,18 @@ func (s *synthesizer) makeCandidate(n *Node, pos int, kind ArcKind,
 	}
 }
 
-// droppedAssumption returns the dropped set under which the parent's own
-// continuation is evaluated for a given scenario: the parent's dropped
-// processes, plus the entry abandoned by the fault for FaultDropped arcs.
-func droppedAssumption(app *model.Application, n *Node, droppedOF model.ProcessID) []bool {
-	d := droppedSet(app, n.Schedule)
+// droppedAssumption returns the dropped set (as the []bool form the
+// suffix evaluators consume) under which the parent's own continuation is
+// evaluated for a given scenario: the parent's dropped processes, plus the
+// entry abandoned by the fault for FaultDropped arcs.
+func droppedAssumption(app *model.Application, n *bNode, droppedOF model.ProcessID) []bool {
+	d := make([]bool, app.N())
+	for i := range d {
+		d[i] = true
+	}
+	for _, e := range n.Schedule.Entries {
+		d[e.Proc] = false
+	}
 	if n.DroppedOnFault != model.NoProcess {
 		d[n.DroppedOnFault] = true
 	}
@@ -528,38 +605,15 @@ func droppedAssumption(app *model.Application, n *Node, droppedOF model.ProcessI
 	return d
 }
 
-// attachChild adds the candidate as a node and wires its guard arcs.
-func attachChild(t *Tree, n *Node, c candidate) {
-	full := make([]schedule.Entry, 0, c.pos+1+len(c.suffix))
-	full = append(full, n.Schedule.Entries[:c.pos+1]...)
-	full = append(full, c.suffix...)
-	child := &Node{
-		ID:             len(t.Nodes),
-		Schedule:       &schedule.FSchedule{Entries: full},
-		SwitchPos:      c.pos + 1,
-		KRem:           c.kRem,
-		Depth:          n.Depth + 1,
-		DroppedOnFault: c.droppedOF,
-		Parent:         n,
-	}
-	t.Nodes = append(t.Nodes, child)
-	for _, iv := range c.intervals {
-		n.Arcs = append(n.Arcs, Arc{
-			Pos: c.pos, Kind: c.kind, Lo: iv.Lo, Hi: iv.Hi,
-			Gain: iv.Gain, Child: child,
-		})
-	}
-}
-
 // droppedSet marks every process of the application absent from the
 // schedule.
-func droppedSet(app *model.Application, s *schedule.FSchedule) []bool {
-	d := make([]bool, app.N())
-	for i := range d {
-		d[i] = true
+func droppedSet(app *model.Application, s *schedule.FSchedule) model.ProcSet {
+	d := model.NewProcSet(app.N())
+	for id := 0; id < app.N(); id++ {
+		d.Add(model.ProcessID(id))
 	}
 	for _, e := range s.Entries {
-		d[e.Proc] = false
+		d.Remove(e.Proc)
 	}
 	return d
 }

@@ -28,15 +28,16 @@ func TestFTQSFig1Tree(t *testing.T) {
 	if tree.Size() < 2 {
 		t.Fatalf("tree has %d nodes, want at least 2", tree.Size())
 	}
-	root := tree.Root
+	root := tree.Root()
 	if !orderIs(app, root.Schedule.Entries, "P1", "P3", "P2") {
 		t.Fatalf("root order = %v", names(app, root.Schedule.Entries))
 	}
 
 	// Find the completion arc after P1 (pos 0).
+	rootArcs := tree.NodeArcs(0)
 	var arc *Arc
-	for i := range root.Arcs {
-		a := &root.Arcs[i]
+	for i := range rootArcs {
+		a := &rootArcs[i]
 		if a.Pos == 0 && a.Kind == Completion {
 			arc = a
 			break
@@ -45,7 +46,7 @@ func TestFTQSFig1Tree(t *testing.T) {
 	if arc == nil {
 		t.Fatalf("no completion arc after P1; tree:\n%s", tree.Format())
 	}
-	child := arc.Child
+	child := tree.Node(arc.Child)
 	if !orderIs(app, child.Schedule.Entries[1:], "P2", "P3") {
 		t.Errorf("child suffix = %v, want [P2 P3]", names(app, child.Schedule.Entries[1:]))
 	}
@@ -60,11 +61,11 @@ func TestFTQSFig1Tree(t *testing.T) {
 	// fault budget consumed, late re-execution completions favour P2
 	// first or drop a soft process.
 	hasFault := false
-	for _, a := range root.Arcs {
+	for _, a := range rootArcs {
 		if a.Kind == FaultRecovered && a.Pos == 0 {
 			hasFault = true
-			if a.Child.KRem != 0 {
-				t.Errorf("fault child KRem = %d, want 0", a.Child.KRem)
+			if tree.Node(a.Child).KRem != 0 {
+				t.Errorf("fault child KRem = %d, want 0", tree.Node(a.Child).KRem)
 			}
 		}
 	}
@@ -82,11 +83,13 @@ func TestFTQSSafetyOfGuards(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", app.Name(), err)
 		}
-		for _, n := range tree.Nodes {
-			for _, a := range n.Arcs {
-				suffix := a.Child.Schedule.Entries[a.Child.SwitchPos:]
-				if !schedule.Schedulable(app, suffix, a.Hi, a.Child.KRem) {
-					t.Errorf("%s: arc to S%d unsafe at guard end %d", app.Name(), a.Child.ID, a.Hi)
+		for id := range tree.Nodes {
+			n := &tree.Nodes[id]
+			for _, a := range tree.NodeArcs(NodeID(id)) {
+				child := tree.Node(a.Child)
+				suffix := child.Schedule.Entries[child.SwitchPos:]
+				if !schedule.Schedulable(app, suffix, a.Hi, child.KRem) {
+					t.Errorf("%s: arc to S%d unsafe at guard end %d", app.Name(), a.Child, a.Hi)
 				}
 				if a.Lo > a.Hi {
 					t.Errorf("%s: empty guard [%d,%d]", app.Name(), a.Lo, a.Hi)
@@ -100,8 +103,9 @@ func TestFTQSSafetyOfGuards(t *testing.T) {
 }
 
 // TestFTQSTreeInvariants: structural invariants of the tree for all paper
-// fixtures — IDs dense, root first, prefixes shared with parents, fault
-// children lose exactly one unit of budget, sizes respect M.
+// fixtures — root first, prefixes shared with parents, fault children lose
+// exactly one unit of budget, sizes respect M, arc ranges dense and in the
+// canonical order.
 func TestFTQSTreeInvariants(t *testing.T) {
 	app := apps.Fig8()
 	for _, m := range []int{1, 2, 3, 5, 10, 40} {
@@ -112,32 +116,47 @@ func TestFTQSTreeInvariants(t *testing.T) {
 		if tree.Size() > m {
 			t.Errorf("M=%d: size %d exceeds limit", m, tree.Size())
 		}
-		for i, n := range tree.Nodes {
-			if n.ID != i {
-				t.Errorf("node %d has ID %d", i, n.ID)
+		prevEnd := int32(0)
+		for i := range tree.Nodes {
+			n := &tree.Nodes[i]
+			if n.ArcStart != prevEnd || n.ArcEnd < n.ArcStart {
+				t.Errorf("node %d arc range [%d,%d) not dense after %d", i, n.ArcStart, n.ArcEnd, prevEnd)
+			}
+			prevEnd = n.ArcEnd
+			arcs := tree.NodeArcs(NodeID(i))
+			for j := 1; j < len(arcs); j++ {
+				a, b := arcs[j-1], arcs[j]
+				if a.Pos > b.Pos || (a.Pos == b.Pos && a.Kind > b.Kind) ||
+					(a.Pos == b.Pos && a.Kind == b.Kind && a.Gain < b.Gain) {
+					t.Errorf("node %d arcs %d,%d violate canonical order", i, j-1, j)
+				}
 			}
 			if i == 0 {
-				if n != tree.Root || n.Parent != nil || n.Depth != 0 {
+				if n != tree.Root() || n.Parent != NoNode || n.Depth != 0 {
 					t.Error("malformed root")
 				}
 				continue
 			}
-			if n.Parent == nil {
+			if n.Parent == NoNode {
 				t.Errorf("node %d has no parent", i)
 				continue
 			}
-			if n.Depth != n.Parent.Depth+1 {
-				t.Errorf("node %d depth %d, parent depth %d", i, n.Depth, n.Parent.Depth)
+			parent := tree.Node(n.Parent)
+			if n.Depth != parent.Depth+1 {
+				t.Errorf("node %d depth %d, parent depth %d", i, n.Depth, parent.Depth)
 			}
-			if n.KRem != n.Parent.KRem && n.KRem != n.Parent.KRem-1 {
-				t.Errorf("node %d KRem %d vs parent %d", i, n.KRem, n.Parent.KRem)
+			if n.KRem != parent.KRem && n.KRem != parent.KRem-1 {
+				t.Errorf("node %d KRem %d vs parent %d", i, n.KRem, parent.KRem)
 			}
 			// Shared prefix with parent, except a FaultDropped entry.
-			for j := 0; j < n.SwitchPos && j < len(n.Parent.Schedule.Entries); j++ {
-				if n.Schedule.Entries[j] != n.Parent.Schedule.Entries[j] {
+			for j := 0; j < n.SwitchPos && j < len(parent.Schedule.Entries); j++ {
+				if n.Schedule.Entries[j] != parent.Schedule.Entries[j] {
 					t.Errorf("node %d prefix diverges from parent at %d", i, j)
 				}
 			}
+		}
+		if int(prevEnd) != len(tree.Arcs) {
+			t.Errorf("M=%d: arc arena has %d entries, node ranges cover %d", m, len(tree.Arcs), prevEnd)
 		}
 	}
 }
@@ -153,14 +172,14 @@ func TestFTQSM1IsFTSS(t *testing.T) {
 	if tree.Size() != 1 {
 		t.Fatalf("size = %d, want 1", tree.Size())
 	}
-	if len(tree.Root.Arcs) != 0 {
-		t.Errorf("root has %d arcs, want 0", len(tree.Root.Arcs))
+	if len(tree.NodeArcs(0)) != 0 {
+		t.Errorf("root has %d arcs, want 0", len(tree.NodeArcs(0)))
 	}
 	ftss, err := FTSS(app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sameEntries(tree.Root.Schedule.Entries, ftss.Entries) {
+	if !sameEntries(tree.Root().Schedule.Entries, ftss.Entries) {
 		t.Error("M=1 root differs from FTSS")
 	}
 }
@@ -217,31 +236,31 @@ func TestFTQSFromRootValidation(t *testing.T) {
 	}
 }
 
-// TestNodeNext exercises the online switching policy.
-func TestNodeNext(t *testing.T) {
+// TestTreeNext exercises the online switching policy.
+func TestTreeNext(t *testing.T) {
 	app := apps.Fig1()
 	tree, err := FTQS(app, FTQSOptions{M: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	root := tree.Root
+	const root NodeID = 0
 	// Early completion of P1 must switch to the P2-first child.
-	n := root.Next(0, 30, CompletedOK)
+	n := tree.Next(root, 0, 30, CompletedOK)
 	if n == root {
 		t.Fatal("no switch for early completion")
 	}
-	if !orderIs(app, n.Schedule.Entries[1:], "P2", "P3") {
-		t.Errorf("switched to %v", names(app, n.Schedule.Entries))
+	if !orderIs(app, tree.Node(n).Schedule.Entries[1:], "P2", "P3") {
+		t.Errorf("switched to %v", names(app, tree.Node(n).Schedule.Entries))
 	}
 	// Past the guard, stay.
-	if got := root.Next(0, 41, CompletedOK); got != root {
-		t.Errorf("unexpected switch at tc=41 to S%d", got.ID)
+	if got := tree.Next(root, 0, 41, CompletedOK); got != root {
+		t.Errorf("unexpected switch at tc=41 to S%d", got)
 	}
 	// Unknown positions and outcomes stay put.
-	if got := root.Next(2, 500, CompletedOK); got != root {
+	if got := tree.Next(root, 2, 500, CompletedOK); got != root {
 		t.Error("switch on last entry?")
 	}
-	if got := root.Next(0, 30, DroppedByFault); got != root {
+	if got := tree.Next(root, 0, 30, DroppedByFault); got != root {
 		t.Error("hard process cannot be dropped; no FaultDropped arc may match")
 	}
 }
@@ -289,7 +308,8 @@ func TestFTQSFaultDroppedChild(t *testing.T) {
 	}
 	_ = s1
 	_ = s2
-	for _, n := range tree.Nodes {
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
 		if n.DroppedOnFault != model.NoProcess {
 			if a.Proc(n.DroppedOnFault).Kind != model.Soft {
 				t.Error("FaultDropped child for a hard process")
@@ -341,9 +361,9 @@ func TestFTQSLayeredExpansion(t *testing.T) {
 		t.Fatal(err)
 	}
 	maxDepth := 0
-	for _, n := range tree.Nodes {
-		if n.Depth > maxDepth {
-			maxDepth = n.Depth
+	for i := range tree.Nodes {
+		if tree.Nodes[i].Depth > maxDepth {
+			maxDepth = tree.Nodes[i].Depth
 		}
 	}
 	if maxDepth < 2 {

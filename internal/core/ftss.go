@@ -51,6 +51,24 @@ func SuffixFTSS(app *model.Application, executed, dropped []model.ProcessID, sta
 	return st.run()
 }
 
+// SuffixFTSSSet is SuffixFTSS with the executed/dropped state as bitsets,
+// the representation FTQS carries end-to-end.
+func SuffixFTSSSet(app *model.Application, executed, dropped model.ProcSet, start Time, kRemaining int) ([]schedule.Entry, error) {
+	ex := make([]bool, app.N())
+	dr := make([]bool, app.N())
+	for id := 0; id < app.N(); id++ {
+		pid := model.ProcessID(id)
+		if executed.Has(pid) {
+			ex[id] = true
+		}
+		if dropped.Has(pid) {
+			dr[id] = true
+		}
+	}
+	st := newFTSSState(app, ex, dr, start, kRemaining)
+	return st.run()
+}
+
 // ftssState carries the list-scheduler state of one FTSS run.
 type ftssState struct {
 	app   *model.Application

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"ftsched/internal/model"
 	"ftsched/internal/schedule"
 )
@@ -256,17 +254,6 @@ func maxTime(a, b Time) Time {
 	return b
 }
 
-// dedupeSortArcs orders a node's arcs by position, kind and descending
-// gain, the order Next relies on.
-func dedupeSortArcs(arcs []Arc) []Arc {
-	sort.SliceStable(arcs, func(i, j int) bool {
-		if arcs[i].Pos != arcs[j].Pos {
-			return arcs[i].Pos < arcs[j].Pos
-		}
-		if arcs[i].Kind != arcs[j].Kind {
-			return arcs[i].Kind < arcs[j].Kind
-		}
-		return arcs[i].Gain > arcs[j].Gain
-	})
-	return arcs
-}
+// dedupeSortArcs orders a node's arcs into the canonical order; it is the
+// synthesis-side name for SortArcs.
+func dedupeSortArcs(arcs []Arc) []Arc { return SortArcs(arcs) }

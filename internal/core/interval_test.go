@@ -152,7 +152,11 @@ func TestSuffixEvalQuadratureDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dropped := droppedSet(app, s)
+	dset := droppedSet(app, s)
+	dropped := make([]bool, app.N())
+	for id := 0; id < app.N(); id++ {
+		dropped[id] = dset.Has(model.ProcessID(id))
+	}
 	e1 := newSuffixEval(app, s.Entries, dropped, 8)
 	e2 := newSuffixEval(app, s.Entries, dropped, 8)
 	for tt := Time(0); tt < 200; tt += 5 {

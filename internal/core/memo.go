@@ -7,48 +7,37 @@ import (
 	"ftsched/internal/schedule"
 )
 
+// suffixKey identifies one SuffixFTSS request: the executed and dropped
+// process sets (as comparable bitset snapshots — the list scheduler only
+// consumes membership, never order), the start time and the fault budget.
+// Building a key is allocation-free for applications that fit the inline
+// words of model.ProcKey (≤256 processes).
+type suffixKey struct {
+	executed, dropped model.ProcKey
+	start             Time
+	kRem              int
+}
+
 // suffixMemo caches SuffixFTSS results for the lifetime of one FTQS
-// synthesis. Tree nodes that share an executed prefix (as a set — the
-// list scheduler only consumes the membership, never the order), a dropped
-// set, a start time and a fault budget request the exact same suffix
-// synthesis; without the cache each of them pays the full list-scheduler
-// run again. A nil cached value records that the synthesis failed or
-// produced an empty suffix, which callers treat alike.
+// synthesis. Tree nodes that share an executed prefix, a dropped set, a
+// start time and a fault budget request the exact same suffix synthesis;
+// without the cache each of them pays the full list-scheduler run again. A
+// nil cached value records that the synthesis failed or produced an empty
+// suffix, which callers treat alike.
 //
 // Cached suffixes are shared between candidates and must therefore never
 // be mutated; every consumer in this package copies before appending.
 type suffixMemo struct {
 	mu           sync.Mutex
-	m            map[string][]schedule.Entry
+	m            map[suffixKey][]schedule.Entry
 	hits, misses int
 }
 
 func newSuffixMemo() *suffixMemo {
-	return &suffixMemo{m: make(map[string][]schedule.Entry)}
+	return &suffixMemo{m: make(map[suffixKey][]schedule.Entry)}
 }
 
-// suffixMemoKey packs the synthesis inputs into a canonical string: one
-// bitset for the executed processes, one for the dropped processes, the
-// start time and the remaining fault budget. n is the application size.
-func suffixMemoKey(n int, executed, dropped []model.ProcessID, start Time, kRem int) string {
-	words := (n + 7) / 8
-	b := make([]byte, 2*words+9)
-	for _, id := range executed {
-		b[int(id)>>3] |= 1 << (uint(id) & 7)
-	}
-	for _, id := range dropped {
-		b[words+int(id)>>3] |= 1 << (uint(id) & 7)
-	}
-	off := 2 * words
-	u := uint64(start)
-	for i := 0; i < 8; i++ {
-		b[off+i] = byte(u >> (8 * uint(i)))
-	}
-	b[off+8] = byte(kRem)
-	return string(b)
-}
-
-func (c *suffixMemo) get(key string) ([]schedule.Entry, bool) {
+func (c *suffixMemo) get(key suffixKey) ([]schedule.Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
@@ -60,7 +49,7 @@ func (c *suffixMemo) get(key string) ([]schedule.Entry, bool) {
 	return e, ok
 }
 
-func (c *suffixMemo) put(key string, entries []schedule.Entry) {
+func (c *suffixMemo) put(key suffixKey, entries []schedule.Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = entries

@@ -20,8 +20,9 @@ func (t *Tree) MemoryFootprint() int {
 		arcBytes    = 13
 	)
 	total := 0
-	for _, n := range t.Nodes {
-		total += headerBytes + entryBytes*len(n.Schedule.Entries) + arcBytes*len(n.Arcs)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		total += headerBytes + entryBytes*len(n.Schedule.Entries) + arcBytes*int(n.ArcEnd-n.ArcStart)
 	}
 	return total
 }

@@ -20,34 +20,29 @@ func requireTreesEqual(t *testing.T, label string, a, b *Tree) {
 		t.Fatalf("%s: tree sizes differ: %d vs %d", label, a.Size(), b.Size())
 	}
 	for i := range a.Nodes {
-		na, nb := a.Nodes[i], b.Nodes[i]
-		if na.ID != nb.ID || na.SwitchPos != nb.SwitchPos ||
+		na, nb := &a.Nodes[i], &b.Nodes[i]
+		if na.SwitchPos != nb.SwitchPos ||
 			na.KRem != nb.KRem || na.Depth != nb.Depth ||
 			na.DroppedOnFault != nb.DroppedOnFault {
 			t.Fatalf("%s: node %d headers differ: %+v vs %+v", label, i, na, nb)
 		}
-		if (na.Parent == nil) != (nb.Parent == nil) {
-			t.Fatalf("%s: node %d parent presence differs", label, i)
-		}
-		if na.Parent != nil && na.Parent.ID != nb.Parent.ID {
+		if na.Parent != nb.Parent {
 			t.Fatalf("%s: node %d parents differ: S%d vs S%d",
-				label, i, na.Parent.ID, nb.Parent.ID)
+				label, i, na.Parent, nb.Parent)
 		}
 		if !sameEntries(na.Schedule.Entries, nb.Schedule.Entries) {
 			t.Fatalf("%s: node %d schedules differ:\n%v\n%v",
 				label, i, na.Schedule.Entries, nb.Schedule.Entries)
 		}
-		if len(na.Arcs) != len(nb.Arcs) {
+		arcsA, arcsB := a.NodeArcs(NodeID(i)), b.NodeArcs(NodeID(i))
+		if len(arcsA) != len(arcsB) {
 			t.Fatalf("%s: node %d arc counts differ: %d vs %d",
-				label, i, len(na.Arcs), len(nb.Arcs))
+				label, i, len(arcsA), len(arcsB))
 		}
-		for j := range na.Arcs {
-			aa, ab := na.Arcs[j], nb.Arcs[j]
-			if aa.Pos != ab.Pos || aa.Kind != ab.Kind ||
-				aa.Lo != ab.Lo || aa.Hi != ab.Hi ||
-				aa.Gain != ab.Gain || aa.Child.ID != ab.Child.ID {
+		for j := range arcsA {
+			if arcsA[j] != arcsB[j] {
 				t.Fatalf("%s: node %d arc %d differs: %+v vs %+v",
-					label, i, j, aa, ab)
+					label, i, j, arcsA[j], arcsB[j])
 			}
 		}
 	}
@@ -117,17 +112,27 @@ func TestFTQSParallelGoldenTree(t *testing.T) {
 	}
 }
 
+// procSetOf builds a ProcSet over n processes from explicit members.
+func procSetOf(n int, ids ...model.ProcessID) model.ProcSet {
+	s := model.NewProcSet(n)
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
 // TestSuffixMemo: identical (executed set, dropped set, start, budget)
-// requests hit the cache regardless of list order; differing inputs miss.
+// requests hit the cache; differing inputs miss.
 func TestSuffixMemo(t *testing.T) {
 	app := apps.Fig8()
 	s := newSynthesizer(app, FTQSOptions{M: 4}.withDefaults())
 	defer s.close()
 
+	n := app.N()
 	p0 := model.ProcessID(0)
 	p1 := model.ProcessID(1)
-	first := s.suffixFTSS([]model.ProcessID{p0, p1}, nil, 100, 1)
-	second := s.suffixFTSS([]model.ProcessID{p1, p0}, nil, 100, 1) // order irrelevant
+	first := s.suffixFTSS(procSetOf(n, p0, p1), procSetOf(n), 100, 1)
+	second := s.suffixFTSS(procSetOf(n, p1, p0), procSetOf(n), 100, 1) // same set, fresh ProcSet value
 	if !sameEntries(first, second) {
 		t.Error("memoized suffix differs for the same executed set")
 	}
@@ -136,14 +141,40 @@ func TestSuffixMemo(t *testing.T) {
 		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
 	}
 	// A different start time is a different synthesis.
-	s.suffixFTSS([]model.ProcessID{p0, p1}, nil, 101, 1)
+	s.suffixFTSS(procSetOf(n, p0, p1), procSetOf(n), 101, 1)
 	if h, m := s.memo.stats(); h != 1 || m != 2 {
 		t.Errorf("hits=%d misses=%d after new start, want 1/2", h, m)
 	}
 	// A different dropped set is a different synthesis.
-	s.suffixFTSS([]model.ProcessID{p0}, []model.ProcessID{p1}, 100, 1)
+	s.suffixFTSS(procSetOf(n, p0), procSetOf(n, p1), 100, 1)
 	if h, m := s.memo.stats(); h != 1 || m != 3 {
 		t.Errorf("hits=%d misses=%d after new dropped set, want 1/3", h, m)
+	}
+}
+
+// TestSuffixMemoKeyAllocs: forming the memo key from ProcSets and probing
+// the cache must not allocate — the string-keyed cache this replaced
+// built a fresh key string per lookup.
+func TestSuffixMemoKeyAllocs(t *testing.T) {
+	app := apps.CruiseController()
+	n := app.N()
+	executed := procSetOf(n, 0, 3, 7, 12)
+	dropped := procSetOf(n, 20, 25)
+	memo := newSuffixMemo()
+	memo.put(suffixKey{executed: executed.Key(), dropped: dropped.Key(), start: 100, kRem: 1}, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		key := suffixKey{
+			executed: executed.Key(),
+			dropped:  dropped.Key(),
+			start:    100,
+			kRem:     1,
+		}
+		if _, ok := memo.get(key); !ok {
+			t.Fatal("lookup missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("memo key construction + lookup allocates %.1f times per run, want 0", allocs)
 	}
 }
 
@@ -158,22 +189,25 @@ func TestSuffixMemoHitsDuringSynthesis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rootNode := &Node{ID: 0, Schedule: root, KRem: app.K(), DroppedOnFault: model.NoProcess}
-	tree := &Tree{App: app, Root: rootNode, Nodes: []*Node{rootNode}}
-	for tree.Size() < opts.M {
-		n := pickNext(tree)
+	b := &treeBuilder{app: app}
+	b.add(&bNode{Node: Node{
+		Schedule: root, KRem: app.K(),
+		DroppedOnFault: model.NoProcess, Parent: NoNode,
+	}})
+	for len(b.nodes) < opts.M {
+		n := b.pickNext()
 		if n == nil {
 			break
 		}
 		cands := s.candidates(n)
 		n.expanded = true
 		for _, c := range cands {
-			if tree.Size() >= opts.M {
+			if len(b.nodes) >= opts.M {
 				break
 			}
-			attachChild(tree, n, c)
+			b.attachChild(n, c)
 		}
-		n.Arcs = dedupeSortArcs(n.Arcs)
+		n.arcs = dedupeSortArcs(n.arcs)
 	}
 	hits, misses := s.memo.stats()
 	if misses == 0 {

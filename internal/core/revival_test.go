@@ -17,14 +17,14 @@ func TestDisableRevivalInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 	rootHas := make(map[model.ProcessID]bool)
-	for _, e := range tree.Root.Schedule.Entries {
+	for _, e := range tree.Root().Schedule.Entries {
 		rootHas[e.Proc] = true
 	}
-	for _, n := range tree.Nodes {
-		for _, e := range n.Schedule.Entries {
+	for id := range tree.Nodes {
+		for _, e := range tree.Nodes[id].Schedule.Entries {
 			if !rootHas[e.Proc] {
 				t.Errorf("S%d schedules %s, which the root dropped (revival disabled)",
-					n.ID, app.Proc(e.Proc).Name)
+					id, app.Proc(e.Proc).Name)
 			}
 		}
 	}
@@ -39,11 +39,11 @@ func TestRevivalAddsProcesses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tree.Root.Schedule.Dropped(app)) == 0 {
+	if len(tree.Root().Schedule.Dropped(app)) == 0 {
 		t.Skip("root drops nothing; revival has no headroom here")
 	}
 	rootHas := make(map[model.ProcessID]bool)
-	for _, e := range tree.Root.Schedule.Entries {
+	for _, e := range tree.Root().Schedule.Entries {
 		rootHas[e.Proc] = true
 	}
 	revived := false
@@ -68,7 +68,8 @@ func TestRevivalSoundness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, n := range tree.Nodes {
+		for id := range tree.Nodes {
+			n := &tree.Nodes[id]
 			pos := make(map[model.ProcessID]int)
 			for i, e := range n.Schedule.Entries {
 				pos[e.Proc] = i
@@ -77,7 +78,7 @@ func TestRevivalSoundness(t *testing.T) {
 				for _, s := range app.Succs(e.Proc) {
 					if sp, ok := pos[s]; ok && sp < pos[e.Proc] {
 						t.Errorf("%s: S%d runs %s after its consumer %s",
-							app.Name(), n.ID, app.Proc(e.Proc).Name, app.Proc(s).Name)
+							app.Name(), id, app.Proc(e.Proc).Name, app.Proc(s).Name)
 					}
 				}
 			}

@@ -52,6 +52,9 @@ func (e *VerifyError) Error() string {
 
 // VerifyTree audits a quasi-static tree:
 //
+//   - the arena is well-formed: every node's arc range lies inside the arc
+//     slice, every arc's child and every parent reference is a valid
+//     NodeID, and the root has no parent;
 //   - the root schedule is structurally valid (schedule.Validate) and
 //     schedulable from time zero with k = App.K() faults;
 //   - every node's fault budget is consistent with its parent's (equal for
@@ -70,41 +73,59 @@ func (e *VerifyError) Error() string {
 func VerifyTree(t *Tree) error {
 	var issues []VerifyIssue
 	app := t.App
-	nodeIssue := func(n *Node, msg string, args ...any) {
-		issues = append(issues, VerifyIssue{Node: n.ID, Arc: -1, Msg: fmt.Sprintf(msg, args...)})
+	nodeIssue := func(id NodeID, msg string, args ...any) {
+		issues = append(issues, VerifyIssue{Node: int(id), Arc: -1, Msg: fmt.Sprintf(msg, args...)})
 	}
-	arcIssue := func(n *Node, arc int, msg string, args ...any) {
-		issues = append(issues, VerifyIssue{Node: n.ID, Arc: arc, Msg: fmt.Sprintf(msg, args...)})
+	arcIssue := func(id NodeID, arc int, msg string, args ...any) {
+		issues = append(issues, VerifyIssue{Node: int(id), Arc: arc, Msg: fmt.Sprintf(msg, args...)})
 	}
 
-	if t.Root == nil || len(t.Nodes) == 0 || t.Nodes[0] != t.Root {
+	if len(t.Nodes) == 0 {
 		return &VerifyError{Issues: []VerifyIssue{{Node: -1, Arc: -1, Msg: "malformed tree: missing root"}}}
 	}
-	if err := schedule.Validate(app, t.Root.Schedule); err != nil {
-		nodeIssue(t.Root, "invalid root schedule: %v", err)
+	root := t.Root()
+	if root.Parent != NoNode {
+		nodeIssue(0, "root has parent S%d", root.Parent)
 	}
-	if err := schedule.CheckSchedulable(app, t.Root.Schedule.Entries, 0, app.K()); err != nil {
-		nodeIssue(t.Root, "root not schedulable: %v", err)
+	if err := schedule.Validate(app, root.Schedule); err != nil {
+		nodeIssue(0, "invalid root schedule: %v", err)
+	}
+	if err := schedule.CheckSchedulable(app, root.Schedule.Entries, 0, app.K()); err != nil {
+		nodeIssue(0, "root not schedulable: %v", err)
 	}
 
-	for _, n := range t.Nodes {
-		if n.KRem < 0 || n.KRem > app.K() {
-			nodeIssue(n, "fault budget %d outside [0,%d]", n.KRem, app.K())
+	for idx := range t.Nodes {
+		id := NodeID(idx)
+		n := &t.Nodes[idx]
+		if n.ArcStart < 0 || n.ArcEnd < n.ArcStart || int(n.ArcEnd) > len(t.Arcs) {
+			nodeIssue(id, "arc range [%d,%d) outside arena of %d arcs", n.ArcStart, n.ArcEnd, len(t.Arcs))
+			continue
 		}
-		if n.Parent != nil {
-			if n.KRem != n.Parent.KRem && n.KRem != n.Parent.KRem-1 {
-				nodeIssue(n, "fault budget %d inconsistent with parent's %d", n.KRem, n.Parent.KRem)
+		if n.KRem < 0 || n.KRem > app.K() {
+			nodeIssue(id, "fault budget %d outside [0,%d]", n.KRem, app.K())
+		}
+		var parent *Node
+		if id != 0 {
+			if n.Parent < 0 || int(n.Parent) >= len(t.Nodes) {
+				nodeIssue(id, "parent S%d out of range", n.Parent)
+			} else {
+				parent = &t.Nodes[n.Parent]
+			}
+		}
+		if parent != nil {
+			if n.KRem != parent.KRem && n.KRem != parent.KRem-1 {
+				nodeIssue(id, "fault budget %d inconsistent with parent's %d", n.KRem, parent.KRem)
 			}
 			if n.SwitchPos <= 0 || n.SwitchPos > len(n.Schedule.Entries) {
-				nodeIssue(n, "switch position %d out of range", n.SwitchPos)
+				nodeIssue(id, "switch position %d out of range", n.SwitchPos)
 			}
 			limit := n.SwitchPos
-			if limit > len(n.Parent.Schedule.Entries) {
-				limit = len(n.Parent.Schedule.Entries)
+			if limit > len(parent.Schedule.Entries) {
+				limit = len(parent.Schedule.Entries)
 			}
 			for j := 0; j < limit; j++ {
-				if n.Schedule.Entries[j] != n.Parent.Schedule.Entries[j] {
-					nodeIssue(n, "prefix diverges from parent at entry %d", j)
+				if n.Schedule.Entries[j] != parent.Schedule.Entries[j] {
+					nodeIssue(id, "prefix diverges from parent at entry %d", j)
 					break
 				}
 			}
@@ -113,64 +134,68 @@ func VerifyTree(t *Tree) error {
 		// except a DroppedOnFault marker can never be hard.
 		if n.DroppedOnFault != model.NoProcess &&
 			app.Proc(n.DroppedOnFault).Kind == model.Hard {
-			nodeIssue(n, "fault-dropped process %s is hard", app.Proc(n.DroppedOnFault).Name)
+			nodeIssue(id, "fault-dropped process %s is hard", app.Proc(n.DroppedOnFault).Name)
 		}
 		for _, h := range app.HardIDs() {
 			if !n.Schedule.Contains(h) {
-				nodeIssue(n, "hard process %s missing from schedule", app.Proc(h).Name)
+				nodeIssue(id, "hard process %s missing from schedule", app.Proc(h).Name)
 			}
 		}
 
-		for ai := range n.Arcs {
-			a := &n.Arcs[ai]
+		arcs := t.NodeArcs(id)
+		for ai := range arcs {
+			a := &arcs[ai]
 			if a.Pos < 0 || a.Pos >= len(n.Schedule.Entries) {
-				arcIssue(n, ai, "guard position %d out of range", a.Pos)
+				arcIssue(id, ai, "guard position %d out of range", a.Pos)
 				continue
 			}
 			if a.Lo > a.Hi {
-				arcIssue(n, ai, "empty guard [%d,%d]", a.Lo, a.Hi)
+				arcIssue(id, ai, "empty guard [%d,%d]", a.Lo, a.Hi)
 			}
-			if a.Child == nil {
-				arcIssue(n, ai, "dangling arc")
+			if a.Child < 0 || int(a.Child) >= len(t.Nodes) {
+				arcIssue(id, ai, "dangling arc to S%d", a.Child)
 				continue
 			}
-			if a.Child.Parent != n {
-				arcIssue(n, ai, "child S%d does not point back to this node", a.Child.ID)
+			child := &t.Nodes[a.Child]
+			if child.Parent != id {
+				arcIssue(id, ai, "child S%d does not point back to this node", a.Child)
 			}
-			if a.Child.SwitchPos != a.Pos+1 {
-				arcIssue(n, ai, "child S%d switch position %d does not follow guard position %d",
-					a.Child.ID, a.Child.SwitchPos, a.Pos)
+			if child.SwitchPos != a.Pos+1 {
+				arcIssue(id, ai, "child S%d switch position %d does not follow guard position %d",
+					a.Child, child.SwitchPos, a.Pos)
 			}
 			switch a.Kind {
 			case Completion:
 				// Completion children must keep the budget.
-				if a.Child.KRem != n.KRem {
-					arcIssue(n, ai, "completion child S%d changes fault budget %d -> %d",
-						a.Child.ID, n.KRem, a.Child.KRem)
+				if child.KRem != n.KRem {
+					arcIssue(id, ai, "completion child S%d changes fault budget %d -> %d",
+						a.Child, n.KRem, child.KRem)
 				}
 			case FaultRecovered:
 				// Fault children must decrement it: their suffixes were
 				// synthesised after one consumed fault.
-				if a.Child.KRem != n.KRem-1 {
-					arcIssue(n, ai, "fault child S%d has budget %d, want %d",
-						a.Child.ID, a.Child.KRem, n.KRem-1)
+				if child.KRem != n.KRem-1 {
+					arcIssue(id, ai, "fault child S%d has budget %d, want %d",
+						a.Child, child.KRem, n.KRem-1)
 				}
 			case FaultDropped:
-				if a.Child.KRem != n.KRem-1 {
-					arcIssue(n, ai, "fault-dropped child S%d has budget %d, want %d",
-						a.Child.ID, a.Child.KRem, n.KRem-1)
+				if child.KRem != n.KRem-1 {
+					arcIssue(id, ai, "fault-dropped child S%d has budget %d, want %d",
+						a.Child, child.KRem, n.KRem-1)
 				}
-				if a.Child.DroppedOnFault != n.Schedule.Entries[a.Pos].Proc {
-					arcIssue(n, ai, "fault-dropped child S%d does not mark the guarded entry", a.Child.ID)
+				if child.DroppedOnFault != n.Schedule.Entries[a.Pos].Proc {
+					arcIssue(id, ai, "fault-dropped child S%d does not mark the guarded entry", a.Child)
 				}
 			default:
-				arcIssue(n, ai, "unknown arc kind %d", int(a.Kind))
+				arcIssue(id, ai, "unknown arc kind %d", int(a.Kind))
 			}
 			// The safety bound: the child suffix entered at the guard's
 			// upper end must keep every hard deadline and the period.
-			suffix := a.Child.Schedule.Entries[a.Child.SwitchPos:]
-			if err := schedule.CheckSchedulable(app, suffix, a.Hi, a.Child.KRem); err != nil {
-				arcIssue(n, ai, "unsafe switch at guard end %d: %v", a.Hi, err)
+			if child.SwitchPos >= 0 && child.SwitchPos <= len(child.Schedule.Entries) {
+				suffix := child.Schedule.Entries[child.SwitchPos:]
+				if err := schedule.CheckSchedulable(app, suffix, a.Hi, child.KRem); err != nil {
+					arcIssue(id, ai, "unsafe switch at guard end %d: %v", a.Hi, err)
+				}
 			}
 		}
 	}

@@ -40,31 +40,25 @@ func TestVerifyTreeDetectsCorruption(t *testing.T) {
 			return len(tr.Nodes) > 1
 		}, "fault budget"},
 		{"guard widened past safety", func(tr *Tree) bool {
-			for i := range tr.Nodes {
-				for j := range tr.Nodes[i].Arcs {
-					tr.Nodes[i].Arcs[j].Hi = app.Period() * 2
-					return true
-				}
+			if len(tr.Arcs) == 0 {
+				return false
 			}
-			return false
+			tr.Arcs[0].Hi = app.Period() * 2
+			return true
 		}, "unsafe switch"},
 		{"empty guard", func(tr *Tree) bool {
-			for i := range tr.Nodes {
-				for j := range tr.Nodes[i].Arcs {
-					tr.Nodes[i].Arcs[j].Lo = tr.Nodes[i].Arcs[j].Hi + 1
-					return true
-				}
+			if len(tr.Arcs) == 0 {
+				return false
 			}
-			return false
+			tr.Arcs[0].Lo = tr.Arcs[0].Hi + 1
+			return true
 		}, "empty guard"},
 		{"dangling arc", func(tr *Tree) bool {
-			for i := range tr.Nodes {
-				for j := range tr.Nodes[i].Arcs {
-					tr.Nodes[i].Arcs[j].Child = nil
-					return true
-				}
+			if len(tr.Arcs) == 0 {
+				return false
 			}
-			return false
+			tr.Arcs[0].Child = NodeID(len(tr.Nodes))
+			return true
 		}, "dangling"},
 		{"prefix divergence", func(tr *Tree) bool {
 			if len(tr.Nodes) < 2 || tr.Nodes[1].SwitchPos < 1 {
@@ -77,9 +71,8 @@ func TestVerifyTreeDetectsCorruption(t *testing.T) {
 			if len(tr.Nodes) < 2 {
 				return false
 			}
-			n := tr.Nodes[1]
 			// Remove the first entry (P1, hard) from the child.
-			n.Schedule.Entries = n.Schedule.Entries[1:]
+			tr.Nodes[1].Schedule.Entries = tr.Nodes[1].Schedule.Entries[1:]
 			return true
 		}, "missing from schedule"},
 	}
@@ -165,10 +158,11 @@ func TestVerifyTreeFaultBudgetMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	patched := false
-	for _, n := range tree.Nodes {
-		for i := range n.Arcs {
-			if n.Arcs[i].Kind == FaultRecovered {
-				n.Arcs[i].Child.KRem = n.KRem // wrong: must be KRem-1
+	for id := range tree.Nodes {
+		n := &tree.Nodes[id]
+		for _, a := range tree.NodeArcs(NodeID(id)) {
+			if a.Kind == FaultRecovered {
+				tree.Nodes[a.Child].KRem = n.KRem // wrong: must be KRem-1
 				patched = true
 			}
 		}

@@ -358,7 +358,7 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 		var utils [4][]float64
 		for _, c := range cases {
 			t0 := time.Now()
-			tree, err := core.FTQSFromRoot(c.app, c.root.Root.Schedule,
+			tree, err := core.FTQSFromRoot(c.app, c.root.Root().Schedule,
 				core.FTQSOptions{M: m, Workers: cfg.Workers})
 			if err != nil {
 				return nil, err

@@ -114,7 +114,7 @@ func FTCost(cfg FTCostConfig) (*FTCostResult, error) {
 			if nSoft > 0 {
 				dropped := 0
 				for _, id := range app.SoftIDs() {
-					if !tree.Root.Schedule.Contains(id) {
+					if !tree.Root().Schedule.Contains(id) {
 						dropped++
 					}
 				}

@@ -100,7 +100,7 @@ func HardRatio(cfg HardRatioConfig) (*HardRatioResult, error) {
 			if nSoft > 0 {
 				dropped := 0
 				for _, id := range app.SoftIDs() {
-					if !ftss.Root.Schedule.Contains(id) {
+					if !ftss.Root().Schedule.Contains(id) {
 						dropped++
 					}
 				}

@@ -1,0 +1,46 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/runtime"
+	"ftsched/internal/sim"
+)
+
+// BenchmarkDispatch measures one simulated operation cycle on the cruise
+// controller tree (M=20, two injected faults) with a pre-compiled
+// dispatcher and a reused Result — the steady state of a Monte-Carlo
+// evaluation. The pre-refactor executor walked the pointer tree and
+// allocated the result and the guard scan per cycle (35 allocs/op);
+// EXPERIMENTS.md records the before/after numbers.
+func BenchmarkDispatch(b *testing.B) {
+	app := apps.CruiseController()
+	tree := synthesize(b, app, 20)
+	d := runtime.NewDispatcher(tree)
+	rng := rand.New(rand.NewSource(1))
+	sc := sim.Sample(app, rng, 2, nil)
+	var res runtime.Result
+	d.RunInto(&res, sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.RunInto(&res, sc)
+	}
+}
+
+// BenchmarkMonteCarlo measures the full parallel evaluation pipeline —
+// compile, sample, dispatch, reduce — at the scale of one experiment
+// configuration (2000 scenarios, two faults each).
+func BenchmarkMonteCarlo(b *testing.B) {
+	app := apps.CruiseController()
+	tree := synthesize(b, app, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.MonteCarlo(tree, sim.MCConfig{Scenarios: 2000, Faults: 2, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package runtime
+
+import (
+	"sync"
+
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/utility"
+)
+
+// segment is one disjoint piece of a compiled guard group: completion
+// times in [lo, hi] switch to child. Within a group, segments are sorted
+// by lo and never overlap.
+type segment struct {
+	lo, hi model.Time
+	child  core.NodeID
+}
+
+// group is the compiled dispatch entry for one (position, kind) pair of a
+// node: the slice [segStart, segEnd) of the segment arena.
+type group struct {
+	pos              int32
+	kind             core.ArcKind
+	segStart, segEnd int32
+}
+
+// groupRange delimits one node's groups in the group arena.
+type groupRange struct {
+	start, end int32
+}
+
+// cycleBufs is the per-cycle scratch the interpreter needs beyond the
+// caller's Result: fault budgets, stale statuses and α coefficients. They
+// are pooled so concurrent cycles on one Dispatcher stay allocation-free.
+type cycleBufs struct {
+	faultsLeft []int
+	status     []utility.StaleStatus
+	alpha      []float64
+}
+
+// Dispatcher is the compiled, immutable online-scheduler state for one
+// quasi-static tree. Construction resolves the tree's overlapping guard
+// arcs into disjoint segments and caches the application topology the
+// utility accounting needs every cycle; afterwards executing a scenario
+// performs no allocation (with RunInto) and no linear arc scan. A
+// Dispatcher is safe for concurrent use by multiple goroutines.
+type Dispatcher struct {
+	tree *core.Tree
+	app  *model.Application
+
+	nodeGroups []groupRange
+	groups     []group
+	segs       []segment
+
+	// procs caches the process table; order/preds cache the topology in
+	// the form utility.CoefficientsInto consumes (validated once during
+	// construction via StaleCoefficients).
+	procs   []model.Process
+	order   []int
+	preds   [][]int
+	hardIDs []model.ProcessID
+
+	bufs sync.Pool
+}
+
+// NewDispatcher compiles a tree. The tree must stay unmodified while the
+// Dispatcher is in use (trimming recompiles after each mutation).
+func NewDispatcher(tree *core.Tree) *Dispatcher {
+	app := tree.App
+	n := app.N()
+	d := &Dispatcher{
+		tree:    tree,
+		app:     app,
+		procs:   make([]model.Process, n),
+		order:   make([]int, n),
+		preds:   make([][]int, n),
+		hardIDs: app.HardIDs(),
+	}
+	for id := 0; id < n; id++ {
+		d.procs[id] = app.Proc(model.ProcessID(id))
+	}
+	for i, id := range app.Topo() {
+		d.order[i] = int(id)
+	}
+	for id := 0; id < n; id++ {
+		ps := app.Preds(model.ProcessID(id))
+		row := make([]int, len(ps))
+		for i, p := range ps {
+			row[i] = int(p)
+		}
+		d.preds[id] = row
+	}
+	d.bufs.New = func() any {
+		return &cycleBufs{
+			faultsLeft: make([]int, n),
+			status:     make([]utility.StaleStatus, n),
+			alpha:      make([]float64, n),
+		}
+	}
+	d.compile()
+	return d
+}
+
+// compile flattens every node's arcs into disjoint dispatch segments. The
+// arena already delivers arcs grouped by (Pos, Kind) with descending gain
+// inside a group — the tree's canonical order — so within a group the
+// first arc containing a completion time is the winner. compile makes that
+// priority explicit: each arc claims only the parts of its guard no
+// higher-gain arc of the same group already covers, producing disjoint
+// segments that a binary search resolves with no gain comparison at run
+// time. Arcs with an empty guard (Lo > Hi, trimming's disable marker) are
+// skipped.
+func (d *Dispatcher) compile() {
+	t := d.tree
+	d.nodeGroups = make([]groupRange, len(t.Nodes))
+	d.groups = d.groups[:0]
+	d.segs = d.segs[:0]
+	var claimed []segment // coverage of the current group, sorted by lo
+	for id := range t.Nodes {
+		arcs := t.NodeArcs(core.NodeID(id))
+		gStart := int32(len(d.groups))
+		for i := 0; i < len(arcs); {
+			j := i
+			for j < len(arcs) && arcs[j].Pos == arcs[i].Pos && arcs[j].Kind == arcs[i].Kind {
+				j++
+			}
+			segStart := int32(len(d.segs))
+			claimed = claimed[:0]
+			for _, a := range arcs[i:j] {
+				if a.Lo > a.Hi {
+					continue
+				}
+				claimed = claim(claimed, a.Lo, a.Hi, a.Child)
+			}
+			for _, s := range claimed {
+				d.segs = append(d.segs, s)
+			}
+			if len(d.segs) > int(segStart) {
+				d.groups = append(d.groups, group{
+					pos:      int32(arcs[i].Pos),
+					kind:     arcs[i].Kind,
+					segStart: segStart,
+					segEnd:   int32(len(d.segs)),
+				})
+			}
+			i = j
+		}
+		d.nodeGroups[id] = groupRange{start: gStart, end: int32(len(d.groups))}
+	}
+}
+
+// claim inserts [lo, hi]→child into the sorted disjoint coverage, keeping
+// only the parts not already covered (earlier claims have priority).
+func claim(cov []segment, lo, hi model.Time, child core.NodeID) []segment {
+	// Walk the sorted coverage, collecting the uncovered gaps of [lo, hi].
+	var pieces []segment
+	cur := lo
+	for _, s := range cov {
+		if cur > hi {
+			break
+		}
+		if s.hi < cur {
+			continue
+		}
+		if s.lo > hi {
+			break
+		}
+		if s.lo > cur {
+			pieces = append(pieces, segment{lo: cur, hi: s.lo - 1, child: child})
+		}
+		cur = s.hi + 1
+	}
+	if cur <= hi {
+		pieces = append(pieces, segment{lo: cur, hi: hi, child: child})
+	}
+	cov = append(cov, pieces...)
+	// Insertion sort: groups are small and cov was sorted before.
+	for i := 1; i < len(cov); i++ {
+		for j := i; j > 0 && cov[j].lo < cov[j-1].lo; j-- {
+			cov[j], cov[j-1] = cov[j-1], cov[j]
+		}
+	}
+	return cov
+}
+
+// Tree returns the tree the dispatcher was compiled from.
+func (d *Dispatcher) Tree() *core.Tree { return d.tree }
+
+// next resolves the schedule switch after entry pos of node id completed
+// (or was abandoned) at time tc — the compiled equivalent of
+// core.Tree.Next, with identical semantics.
+func (d *Dispatcher) next(id core.NodeID, pos int, tc model.Time, outcome core.EntryOutcome) core.NodeID {
+	switch outcome {
+	case core.CompletedOK:
+		if c := d.lookup(id, pos, core.Completion, tc); c != core.NoNode {
+			return c
+		}
+	case core.CompletedRecovered:
+		if c := d.lookup(id, pos, core.FaultRecovered, tc); c != core.NoNode {
+			return c
+		}
+		if c := d.lookup(id, pos, core.Completion, tc); c != core.NoNode {
+			return c
+		}
+	case core.DroppedByFault:
+		if c := d.lookup(id, pos, core.FaultDropped, tc); c != core.NoNode {
+			return c
+		}
+	}
+	return id
+}
+
+// lookup binary-searches the node's compiled groups for (pos, kind), then
+// the group's disjoint segments for tc.
+func (d *Dispatcher) lookup(id core.NodeID, pos int, kind core.ArcKind, tc model.Time) core.NodeID {
+	gr := d.nodeGroups[id]
+	gs := d.groups[gr.start:gr.end]
+	lo, hi := 0, len(gs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		g := &gs[mid]
+		if int(g.pos) < pos || (int(g.pos) == pos && g.kind < kind) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(gs) || int(gs[lo].pos) != pos || gs[lo].kind != kind {
+		return core.NoNode
+	}
+	segs := d.segs[gs[lo].segStart:gs[lo].segEnd]
+	a, b := 0, len(segs)
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if segs[mid].hi < tc {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	if a < len(segs) && segs[a].lo <= tc && tc <= segs[a].hi {
+		return segs[a].child
+	}
+	return core.NoNode
+}
+
+// Run executes one scenario and returns a freshly allocated Result.
+func (d *Dispatcher) Run(sc Scenario) Result {
+	var res Result
+	d.run(&res, sc, nil)
+	return res
+}
+
+// RunInto executes one scenario, reusing the buffers of res. It is the
+// allocation-free entry point for bulk evaluation: pass the same Result to
+// successive calls and copy out (or reduce) what you need between them.
+func (d *Dispatcher) RunInto(res *Result, sc Scenario) {
+	d.run(res, sc, nil)
+}
+
+// RunTrace is Run with full event recording, for visualisation and
+// debugging. The returned events are ordered by time (ties in execution
+// order).
+func (d *Dispatcher) RunTrace(sc Scenario) (Result, []TraceEvent) {
+	var res Result
+	var events []TraceEvent
+	d.run(&res, sc, &events)
+	return res, events
+}
+
+// resizeInt/resizeTime/resizeOutcome reuse a slice when it has capacity.
+func resizeOutcome(s []ProcessOutcome, n int) []ProcessOutcome {
+	if cap(s) < n {
+		return make([]ProcessOutcome, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = NotScheduled
+	}
+	return s
+}
+
+func resizeTime(s []model.Time, n int) []model.Time {
+	if cap(s) < n {
+		return make([]model.Time, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// run is the interpreter: entries of the active schedule run in order;
+// faults trigger in-slack re-execution (or run-time dropping for soft
+// processes out of recovery budget); after every entry the compiled guard
+// table is consulted and the best matching switch is taken.
+func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
+	app := d.app
+	n := app.N()
+	res.Utility = 0
+	res.Outcomes = resizeOutcome(res.Outcomes, n)
+	res.CompletionTimes = resizeTime(res.CompletionTimes, n)
+	res.HardViolations = res.HardViolations[:0]
+	res.Makespan = 0
+	res.Switches = 0
+	res.FaultsConsumed = 0
+	res.Recoveries = 0
+
+	bufs := d.bufs.Get().(*cycleBufs)
+	faultsLeft := bufs.faultsLeft
+	copy(faultsLeft, sc.FaultsAt)
+
+	node := core.NodeID(0)
+	entries := d.tree.Nodes[node].Schedule.Entries
+	now := model.Time(0)
+	for pos := 0; pos < len(entries); pos++ {
+		e := entries[pos]
+		p := &d.procs[e.Proc]
+		start := now
+		if p.Release > start {
+			start = p.Release
+		}
+
+		// Execute with in-slack re-execution.
+		outcome := core.CompletedOK
+		faulted := false
+		completed := false
+		t := start
+		for attempt := 0; ; attempt++ {
+			if events != nil {
+				*events = append(*events, TraceEvent{Kind: TraceStart, At: t, Proc: e.Proc, Attempt: attempt})
+			}
+			t += sc.Durations[e.Proc]
+			if faultsLeft[e.Proc] > 0 {
+				// This attempt is hit by a transient fault,
+				// detected at the end of the execution.
+				faultsLeft[e.Proc]--
+				res.FaultsConsumed++
+				faulted = true
+				if events != nil {
+					*events = append(*events, TraceEvent{Kind: TraceFault, At: t, Proc: e.Proc, Attempt: attempt})
+				}
+				if attempt < e.Recoveries {
+					// Re-execute after the recovery overhead µ.
+					if events != nil {
+						*events = append(*events, TraceEvent{Kind: TraceRecovery, At: t, Proc: e.Proc, Attempt: attempt})
+					}
+					t += app.MuOf(e.Proc)
+					res.Recoveries++
+					continue
+				}
+				// Recovery budget exhausted: abandon.
+				break
+			}
+			completed = true
+			break
+		}
+		now = t
+
+		if completed {
+			res.Outcomes[e.Proc] = Completed
+			res.CompletionTimes[e.Proc] = now
+			if events != nil {
+				*events = append(*events, TraceEvent{Kind: TraceComplete, At: now, Proc: e.Proc})
+			}
+			if faulted {
+				outcome = core.CompletedRecovered
+			}
+			if p.Kind == model.Hard && now > p.Deadline {
+				res.HardViolations = append(res.HardViolations, e.Proc)
+			}
+		} else {
+			res.Outcomes[e.Proc] = AbandonedByFault
+			outcome = core.DroppedByFault
+			if events != nil {
+				*events = append(*events, TraceEvent{Kind: TraceAbandon, At: now, Proc: e.Proc})
+			}
+			if p.Kind == model.Hard {
+				// Cannot happen for NFaults <= k: hard entries
+				// carry k recoveries. Record as violation.
+				res.HardViolations = append(res.HardViolations, e.Proc)
+			}
+		}
+		res.Makespan = now
+
+		next := d.next(node, pos, now, outcome)
+		if next != node {
+			node = next
+			entries = d.tree.Nodes[node].Schedule.Entries
+			res.Switches++
+			if events != nil {
+				*events = append(*events, TraceEvent{Kind: TraceSwitch, At: now, Proc: e.Proc, Node: int(node)})
+			}
+		}
+	}
+	res.FinalNode = int(node)
+
+	// Hard processes that never ran are violations too.
+	for _, h := range d.hardIDs {
+		if res.Outcomes[h] != Completed {
+			already := false
+			for _, v := range res.HardViolations {
+				if v == h {
+					already = true
+					break
+				}
+			}
+			if !already {
+				res.HardViolations = append(res.HardViolations, h)
+			}
+		}
+	}
+
+	res.Utility = d.totalUtility(res.Outcomes, res.CompletionTimes, bufs)
+	d.bufs.Put(bufs)
+}
+
+// totalUtility applies the stale-value model to the realised outcomes,
+// using the cached topology and pooled coefficient buffers. The arithmetic
+// matches app.StaleCoefficients exactly (same order, same operations).
+func (d *Dispatcher) totalUtility(outcomes []ProcessOutcome, done []model.Time, bufs *cycleBufs) float64 {
+	status := bufs.status
+	for id := range status {
+		if outcomes[id] == Completed {
+			status[id] = utility.Executed
+		} else {
+			status[id] = utility.Dropped
+		}
+	}
+	utility.CoefficientsInto(bufs.alpha, d.order, d.preds, status)
+	var total float64
+	for id := range d.procs {
+		if d.procs[id].Kind != model.Soft || outcomes[id] != Completed {
+			continue
+		}
+		total += bufs.alpha[id] * d.app.UtilityOf(model.ProcessID(id)).Value(done[id])
+	}
+	return total
+}

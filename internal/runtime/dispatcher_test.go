@@ -1,0 +1,244 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/runtime"
+	"ftsched/internal/sim"
+)
+
+// synthesize builds a quasi-static tree or fails the test.
+func synthesize(t testing.TB, app *model.Application, m int) *core.Tree {
+	t.Helper()
+	tree, err := core.FTQS(app, core.FTQSOptions{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// probeTimes collects the interesting completion times of a node: every
+// guard boundary and its neighbours, plus a spread of random points.
+func probeTimes(tree *core.Tree, id core.NodeID, rng *rand.Rand) []model.Time {
+	period := tree.App.Period()
+	times := []model.Time{0, period, period + 1}
+	for _, a := range tree.NodeArcs(id) {
+		times = append(times, a.Lo-1, a.Lo, a.Lo+1, a.Hi-1, a.Hi, a.Hi+1)
+	}
+	for i := 0; i < 16; i++ {
+		times = append(times, model.Time(rng.Int63n(int64(period)+1)))
+	}
+	return times
+}
+
+// TestDispatcherMatchesTreeNext: the compiled disjoint-segment lookup must
+// resolve every (node, position, completion time, outcome) probe to the
+// same child as the interpretive core.Tree.Next — including guard
+// boundaries, overlap regions decided by gain, and times no guard covers.
+func TestDispatcherMatchesTreeNext(t *testing.T) {
+	outcomes := []core.EntryOutcome{core.CompletedOK, core.CompletedRecovered, core.DroppedByFault}
+	for _, tc := range []struct {
+		app *model.Application
+		m   int
+	}{
+		{apps.Fig1(), 8},
+		{apps.Fig8(), 20},
+		{apps.CruiseController(), 24},
+	} {
+		tree := synthesize(t, tc.app, tc.m)
+		d := runtime.NewDispatcher(tree)
+		rng := rand.New(rand.NewSource(3))
+		for id := range tree.Nodes {
+			nid := core.NodeID(id)
+			n := &tree.Nodes[id]
+			for pos := 0; pos < len(n.Schedule.Entries); pos++ {
+				for _, at := range probeTimes(tree, nid, rng) {
+					for _, out := range outcomes {
+						want := tree.Next(nid, pos, at, out)
+						got := d.Next(nid, pos, at, out)
+						if got != want {
+							t.Fatalf("%s: node %d pos %d t=%d outcome %d: dispatcher -> %d, tree -> %d",
+								tc.app.Name(), id, pos, at, out, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDispatcherTrimmedGuards: arcs disabled by trimming (Lo > Hi) must be
+// invisible to the compiled lookup, exactly as they are to Tree.Next.
+func TestDispatcherTrimmedGuards(t *testing.T) {
+	tree := synthesize(t, apps.Fig8(), 16)
+	// Disable every other arc the way sim.Trim does.
+	for i := range tree.Arcs {
+		if i%2 == 1 {
+			tree.Arcs[i].Lo, tree.Arcs[i].Hi = 1, 0
+		}
+	}
+	d := runtime.NewDispatcher(tree)
+	rng := rand.New(rand.NewSource(5))
+	for id := range tree.Nodes {
+		nid := core.NodeID(id)
+		n := &tree.Nodes[id]
+		for pos := 0; pos < len(n.Schedule.Entries); pos++ {
+			for _, at := range probeTimes(tree, nid, rng) {
+				for _, out := range []core.EntryOutcome{core.CompletedOK, core.CompletedRecovered, core.DroppedByFault} {
+					if got, want := d.Next(nid, pos, at, out), tree.Next(nid, pos, at, out); got != want {
+						t.Fatalf("node %d pos %d t=%d: dispatcher -> %d, tree -> %d", id, pos, at, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// resultsEqual compares results treating nil and empty slices alike (Run
+// returns nil slices where a reused RunInto result holds empty ones).
+func resultsEqual(a, b *runtime.Result) bool {
+	if a.Utility != b.Utility || a.Makespan != b.Makespan ||
+		a.Switches != b.Switches || a.FinalNode != b.FinalNode ||
+		a.FaultsConsumed != b.FaultsConsumed || a.Recoveries != b.Recoveries {
+		return false
+	}
+	if len(a.Outcomes) != len(b.Outcomes) || len(a.HardViolations) != len(b.HardViolations) {
+		return false
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			return false
+		}
+		if a.Outcomes[i] == runtime.Completed && a.CompletionTimes[i] != b.CompletionTimes[i] {
+			return false
+		}
+	}
+	for i := range a.HardViolations {
+		if a.HardViolations[i] != b.HardViolations[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunIntoMatchesRun: reusing one Result across scenarios must leave no
+// residue — every call reports exactly what a fresh Run would.
+func TestRunIntoMatchesRun(t *testing.T) {
+	app := apps.CruiseController()
+	tree := synthesize(t, app, 20)
+	d := runtime.NewDispatcher(tree)
+	rng := rand.New(rand.NewSource(11))
+	var reused runtime.Result
+	for i := 0; i < 500; i++ {
+		sc := sim.Sample(app, rng, i%(app.K()+1), nil)
+		d.RunInto(&reused, sc)
+		fresh := d.Run(sc)
+		if !resultsEqual(&reused, &fresh) {
+			t.Fatalf("scenario %d: RunInto %+v != Run %+v", i, reused, fresh)
+		}
+	}
+}
+
+// TestRunTraceMatchesRun: tracing must not perturb the simulation, and the
+// event stream must be time-ordered.
+func TestRunTraceMatchesRun(t *testing.T) {
+	app := apps.Fig8()
+	tree := synthesize(t, app, 16)
+	d := runtime.NewDispatcher(tree)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		sc := sim.Sample(app, rng, i%(app.K()+1), nil)
+		plain := d.Run(sc)
+		traced, events := d.RunTrace(sc)
+		if !resultsEqual(&plain, &traced) {
+			t.Fatalf("scenario %d: tracing changed the result", i)
+		}
+		for j := 1; j < len(events); j++ {
+			if events[j].At < events[j-1].At {
+				t.Fatalf("scenario %d: events out of order at %d: %+v after %+v",
+					i, j, events[j], events[j-1])
+			}
+		}
+	}
+}
+
+// TestDispatcherConcurrent: one Dispatcher shared by many goroutines (the
+// Monte-Carlo pattern) must stay correct — run with -race.
+func TestDispatcherConcurrent(t *testing.T) {
+	app := apps.CruiseController()
+	tree := synthesize(t, app, 20)
+	d := runtime.NewDispatcher(tree)
+
+	const workers, perWorker = 8, 50
+	scenarios := make([]sim.Scenario, workers*perWorker)
+	want := make([]runtime.Result, len(scenarios))
+	rng := rand.New(rand.NewSource(23))
+	for i := range scenarios {
+		scenarios[i] = sim.Sample(app, rng, i%(app.K()+1), nil)
+		want[i] = d.Run(scenarios[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan int, len(scenarios))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var res runtime.Result
+			for i := w; i < len(scenarios); i += workers {
+				d.RunInto(&res, scenarios[i])
+				if !resultsEqual(&res, &want[i]) {
+					errs <- i
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for i := range errs {
+		t.Errorf("scenario %d diverged under concurrency", i)
+	}
+}
+
+// TestRunIntoAllocFree: the acceptance criterion of the refactor — the
+// steady-state dispatch loop must not allocate at all.
+func TestRunIntoAllocFree(t *testing.T) {
+	app := apps.CruiseController()
+	tree := synthesize(t, app, 20)
+	d := runtime.NewDispatcher(tree)
+	rng := rand.New(rand.NewSource(29))
+	sc := sim.Sample(app, rng, 2, nil)
+	var res runtime.Result
+	d.RunInto(&res, sc) // warm up the result buffers and the cycle pool
+	allocs := testing.AllocsPerRun(200, func() {
+		d.RunInto(&res, sc)
+	})
+	if allocs != 0 {
+		t.Errorf("RunInto allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+// TestScenarioValidate: the moved Scenario type keeps rejecting malformed
+// hand-built scenarios.
+func TestScenarioValidate(t *testing.T) {
+	app := apps.Fig1()
+	rng := rand.New(rand.NewSource(31))
+	sc := sim.Sample(app, rng, 1, nil)
+	if err := sc.Validate(app); err != nil {
+		t.Fatalf("sampled scenario invalid: %v", err)
+	}
+	bad := sc
+	bad.NFaults = sc.NFaults + 1
+	if err := bad.Validate(app); err == nil {
+		t.Error("inconsistent NFaults accepted")
+	}
+	short := runtime.Scenario{Durations: sc.Durations[:1], FaultsAt: sc.FaultsAt}
+	if err := short.Validate(app); err == nil {
+		t.Error("short duration vector accepted")
+	}
+}

@@ -1,0 +1,24 @@
+// Package runtime is the online half of the scheduler: it executes
+// operation cycles against a synthesised quasi-static tree. The paper's
+// premise (§1, §5) is that all expensive analysis happens off-line and the
+// online scheduler only "would have to switch to the corresponding
+// schedule" from observed completion times and faults — this package is
+// that fast path, factored out of the simulation layer so simulators,
+// baselines and a future embedded target all share one interpreter.
+//
+// The central type is Dispatcher, a compiled form of a core.Tree. The
+// arena tree already stores each node's arcs contiguously in the canonical
+// (Pos, Kind, Gain-descending) order; NewDispatcher additionally resolves
+// the overlaps between same-group guards (higher gain wins) into disjoint,
+// Lo-sorted segments, so a runtime switch decision is two binary searches
+// — one for the (position, outcome-kind) group, one for the completion
+// time — with no per-arc gain comparison left at run time.
+//
+// A Dispatcher is immutable after construction and safe for concurrent
+// use. The execution entry points are allocation-free on the hot path:
+// RunInto reuses the caller's Result buffers and per-cycle scratch
+// (fault budgets, stale statuses, stale-value coefficients α) comes from
+// an internal sync.Pool. Monte-Carlo evaluation in internal/sim drives one
+// shared Dispatcher from many goroutines; see BenchmarkDispatch for the
+// per-cycle cost.
+package runtime

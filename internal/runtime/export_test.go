@@ -1,0 +1,15 @@
+package runtime
+
+import (
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+)
+
+// Next exposes the compiled switch resolution so the external tests can
+// check it against core.Tree.Next point for point.
+func (d *Dispatcher) Next(id core.NodeID, pos int, tc model.Time, outcome core.EntryOutcome) core.NodeID {
+	return d.next(id, pos, tc, outcome)
+}
+
+// Segments returns the compiled segment count, for the compile-shape tests.
+func (d *Dispatcher) Segments() int { return len(d.segs) }

@@ -1,0 +1,178 @@
+package runtime
+
+import (
+	"fmt"
+
+	"ftsched/internal/model"
+	"ftsched/internal/utility"
+)
+
+// Scenario fixes everything that is random in one operation cycle: the
+// actual execution time of every process and the processes hit by
+// transient faults.
+//
+// Modelling choices (documented in DESIGN.md): a process's re-execution
+// takes the same sampled duration as its primary execution (same input
+// data), and each injected fault picks a victim process uniformly at
+// random among the given candidates; the fault hits the victim's next
+// execution attempt. A fault aimed at a process that never starts (because
+// it was dropped) does not materialise, mirroring the physical reality
+// that a transient fault only matters while its victim is executing.
+type Scenario struct {
+	// Durations[p] is the sampled actual execution time of process p,
+	// uniform on [BCET, WCET].
+	Durations []model.Time
+	// FaultsAt[p] is the number of faults that will hit p's first
+	// execution attempts.
+	FaultsAt []int
+	// NFaults is the total number of injected faults.
+	NFaults int
+}
+
+// Validate checks a hand-built scenario against the application.
+func (sc *Scenario) Validate(app *model.Application) error {
+	if len(sc.Durations) != app.N() || len(sc.FaultsAt) != app.N() {
+		return fmt.Errorf("sim: scenario sized for %d processes, application has %d",
+			len(sc.Durations), app.N())
+	}
+	total := 0
+	for id := 0; id < app.N(); id++ {
+		p := app.Proc(model.ProcessID(id))
+		if sc.Durations[id] < p.BCET || sc.Durations[id] > p.WCET {
+			return fmt.Errorf("sim: duration %d of %s outside [%d,%d]",
+				sc.Durations[id], p.Name, p.BCET, p.WCET)
+		}
+		if sc.FaultsAt[id] < 0 {
+			return fmt.Errorf("sim: negative fault count on %s", p.Name)
+		}
+		total += sc.FaultsAt[id]
+	}
+	if total != sc.NFaults {
+		return fmt.Errorf("sim: fault counts sum to %d, NFaults is %d", total, sc.NFaults)
+	}
+	if sc.NFaults > app.K() {
+		return fmt.Errorf("sim: %d faults exceed the application bound k=%d", sc.NFaults, app.K())
+	}
+	return nil
+}
+
+// ProcessOutcome records how one process ended in a simulated cycle.
+type ProcessOutcome int
+
+const (
+	// NotScheduled: the process was dropped off-line (absent from the
+	// active schedule) or skipped after a schedule switch.
+	NotScheduled ProcessOutcome = iota
+	// Completed: the process ran to completion (possibly re-executed).
+	Completed
+	// AbandonedByFault: a fault hit the process and its recovery budget
+	// was exhausted; it was dropped at run time.
+	AbandonedByFault
+)
+
+// Result is the outcome of executing one scenario.
+type Result struct {
+	// Utility is the total utility of the cycle: Σ α_i · U_i(t_i^c) over
+	// the soft processes that completed.
+	Utility float64
+	// Outcomes and CompletionTimes are indexed by process ID;
+	// CompletionTimes is meaningful only for Completed processes.
+	Outcomes        []ProcessOutcome
+	CompletionTimes []model.Time
+	// HardViolations lists hard processes that missed their deadline or
+	// were not executed. It must stay empty for any schedule or tree
+	// synthesised by this library with NFaults <= k; a non-empty slice
+	// indicates a scheduler bug.
+	HardViolations []model.ProcessID
+	// Makespan is the completion time of the last executed entry.
+	Makespan model.Time
+	// Switches counts quasi-static schedule switches taken.
+	Switches int
+	// FinalNode is the ID of the tree node active at the end.
+	FinalNode int
+	// FaultsConsumed counts injected faults that actually hit an
+	// executing process.
+	FaultsConsumed int
+	// Recoveries counts re-executions performed.
+	Recoveries int
+}
+
+// TotalUtility applies the stale-value model to realised outcomes:
+// Σ α_i · U_i(t_i^c) over the soft processes that completed. It is the
+// standalone (allocating) form of the accounting a Dispatcher performs
+// with cached topology; the online rescheduler, which has no tree to
+// compile, shares it.
+func TotalUtility(app *model.Application, outcomes []ProcessOutcome, done []model.Time) float64 {
+	status := make([]utility.StaleStatus, app.N())
+	for id := range status {
+		if outcomes[id] == Completed {
+			status[id] = utility.Executed
+		} else {
+			status[id] = utility.Dropped
+		}
+	}
+	alpha, err := app.StaleCoefficients(status)
+	if err != nil {
+		panic(err) // unreachable for a validated application
+	}
+	var total float64
+	for id := 0; id < app.N(); id++ {
+		pid := model.ProcessID(id)
+		if app.Proc(pid).Kind != model.Soft || outcomes[id] != Completed {
+			continue
+		}
+		total += alpha[id] * app.UtilityOf(pid).Value(done[id])
+	}
+	return total
+}
+
+// TraceEventKind classifies execution-trace events.
+type TraceEventKind int
+
+const (
+	// TraceStart: an execution attempt of a process begins.
+	TraceStart TraceEventKind = iota
+	// TraceFault: a transient fault is detected at the end of an attempt.
+	TraceFault
+	// TraceRecovery: the recovery overhead µ begins (re-execution follows).
+	TraceRecovery
+	// TraceComplete: the process completed.
+	TraceComplete
+	// TraceAbandon: the process was abandoned (soft, budget exhausted).
+	TraceAbandon
+	// TraceSwitch: the online scheduler switched to another schedule.
+	TraceSwitch
+)
+
+// String implements fmt.Stringer.
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceStart:
+		return "start"
+	case TraceFault:
+		return "fault"
+	case TraceRecovery:
+		return "recovery"
+	case TraceComplete:
+		return "complete"
+	case TraceAbandon:
+		return "abandon"
+	case TraceSwitch:
+		return "switch"
+	default:
+		return "TraceEventKind(?)"
+	}
+}
+
+// TraceEvent is one timestamped event of a simulated cycle.
+type TraceEvent struct {
+	Kind TraceEventKind
+	// At is the event time.
+	At model.Time
+	// Proc is the process concerned (undefined for TraceSwitch).
+	Proc model.ProcessID
+	// Attempt numbers the execution attempt (0 = primary execution).
+	Attempt int
+	// Node is the tree node switched to (TraceSwitch only).
+	Node int
+}

@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
+	goruntime "runtime"
 	"sort"
 	"sync"
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/runtime"
 )
 
 // MCConfig parametrises a Monte-Carlo evaluation.
@@ -84,7 +85,10 @@ func (p *mcPartial) add(r *Result) {
 // f-schedule) over cfg.Scenarios random execution scenarios with
 // cfg.Faults injected faults each, and returns the aggregate statistics.
 // Scenarios are spread over cfg.Workers goroutines (default: one per CPU);
-// the result is bit-identical for any worker count.
+// the result is bit-identical for any worker count. The tree is compiled
+// once into a shared runtime.Dispatcher; each worker reuses one scenario,
+// one Result and one RNG across all its scenarios, so the steady state
+// simulates without allocation.
 func MonteCarlo(tree *core.Tree, cfg MCConfig) (MCStats, error) {
 	if cfg.Scenarios <= 0 {
 		return MCStats{}, fmt.Errorf("sim: Scenarios must be positive (got %d)", cfg.Scenarios)
@@ -95,15 +99,17 @@ func MonteCarlo(tree *core.Tree, cfg MCConfig) (MCStats, error) {
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = goruntime.NumCPU()
 	}
 	if workers > cfg.Scenarios {
 		workers = cfg.Scenarios
 	}
-	candidates := make([]model.ProcessID, 0, len(tree.Root.Schedule.Entries))
-	for _, e := range tree.Root.Schedule.Entries {
+	rootEntries := tree.Root().Schedule.Entries
+	candidates := make([]model.ProcessID, 0, len(rootEntries))
+	for _, e := range rootEntries {
 		candidates = append(candidates, e.Proc)
 	}
+	d := runtime.NewDispatcher(tree)
 
 	// Per-scenario results are collected by index and reduced
 	// sequentially afterwards, so floating-point summation order — and
@@ -116,12 +122,18 @@ func MonteCarlo(tree *core.Tree, cfg MCConfig) (MCStats, error) {
 		go func(w int) {
 			defer wg.Done()
 			p := &partials[w]
+			// Reseeding one RNG per scenario produces the same stream
+			// as a fresh rand.New(rand.NewSource(seed)) would, without
+			// the per-scenario allocation.
+			rng := rand.New(rand.NewSource(0))
+			var sc Scenario
+			var res Result
 			for i := w; i < cfg.Scenarios; i += workers {
-				rng := rand.New(rand.NewSource(scenarioSeed(cfg.Seed, i)))
-				sc := Sample(app, rng, cfg.Faults, candidates)
-				r := Run(tree, sc)
-				utils[i] = r.Utility
-				p.add(&r)
+				rng.Seed(scenarioSeed(cfg.Seed, i))
+				SampleInto(&sc, app, rng, cfg.Faults, candidates)
+				d.RunInto(&res, sc)
+				utils[i] = res.Utility
+				p.add(&res)
 			}
 		}(w)
 	}

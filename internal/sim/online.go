@@ -5,6 +5,7 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/runtime"
 	"ftsched/internal/schedule"
 )
 
@@ -48,11 +49,19 @@ func RunOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Sc
 	droppedIDs := make([]model.ProcessID, 0, app.N())
 	kRem := app.K()
 	now := model.Time(0)
-	remaining := append([]schedule.Entry(nil), root.Entries...)
+	// The active remainder is consumed by index: root.Entries is never
+	// mutated, and every accepted re-synthesis replaces the slice
+	// wholesale, so no per-cycle defensive copy is needed. exSet and the
+	// drop scratch are likewise reused across iterations instead of being
+	// rebuilt per processed entry.
+	remaining := root.Entries
+	idx := 0
+	exSet := make([]bool, app.N())
+	dropBuf := make([]model.ProcessID, 0, app.N())
 
-	for len(remaining) > 0 {
-		e := remaining[0]
-		remaining = remaining[1:]
+	for idx < len(remaining) {
+		e := remaining[idx]
+		idx++
 		p := app.Proc(e.Proc)
 		start := now
 		if p.Release > start {
@@ -84,6 +93,7 @@ func RunOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Sc
 			res.Outcomes[e.Proc] = Completed
 			res.CompletionTimes[e.Proc] = now
 			executedIDs = append(executedIDs, e.Proc)
+			exSet[e.Proc] = true
 			if p.Kind == model.Hard && now > p.Deadline {
 				res.HardViolations = append(res.HardViolations, e.Proc)
 			}
@@ -95,7 +105,7 @@ func RunOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Sc
 			}
 		}
 
-		if len(remaining) == 0 {
+		if idx >= len(remaining) {
 			break
 		}
 		// Recompute the remainder for the observed state.
@@ -106,11 +116,7 @@ func RunOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Sc
 		// executed must stay out of future schedules: its consumer
 		// already ran on the stale value (same soundness rule as FTQS
 		// revival).
-		exSet := make([]bool, app.N())
-		for _, id := range executedIDs {
-			exSet[id] = true
-		}
-		drop := append([]model.ProcessID(nil), droppedIDs...)
+		drop := append(dropBuf[:0], droppedIDs...)
 		for id := 0; id < app.N(); id++ {
 			pid := model.ProcessID(id)
 			if exSet[id] || res.Outcomes[id] == AbandonedByFault {
@@ -123,12 +129,14 @@ func RunOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Sc
 				}
 			}
 		}
+		dropBuf = drop[:0]
 		t0 := time.Now()
 		suffix, err := core.SuffixFTSS(app, executedIDs, drop, now, kRem)
 		res.SynthesisTime += time.Since(t0)
 		res.Reschedules++
 		if err == nil && len(suffix) > 0 && schedule.Schedulable(app, suffix, now, kRem) {
 			remaining = suffix
+			idx = 0
 		}
 		// On failure keep the previous remainder: its shared slack was
 		// sized for the faults that can still occur.
@@ -149,6 +157,6 @@ func RunOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Sc
 			}
 		}
 	}
-	res.Utility = totalUtility(app, res.Outcomes, res.CompletionTimes)
+	res.Utility = runtime.TotalUtility(app, res.Outcomes, res.CompletionTimes)
 	return res
 }

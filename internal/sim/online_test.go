@@ -2,12 +2,15 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"ftsched/internal/apps"
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/runtime"
+	"ftsched/internal/schedule"
 )
 
 func TestOnlineRescheduleNoFault(t *testing.T) {
@@ -117,6 +120,146 @@ func TestOnlineRescheduleSafetyProperty(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// referenceOnlineReschedule is the pre-optimisation implementation of
+// RunOnlineReschedule, kept verbatim as a behavioural oracle: it copies the
+// remaining entries every cycle and rebuilds the executed/dropped state per
+// processed entry. The production version replaced those allocations with
+// index consumption and reused buffers; this reference pins down that the
+// rewrite changed nothing observable.
+func referenceOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Scenario) RescheduleResult {
+	res := RescheduleResult{
+		Result: Result{
+			Outcomes:        make([]ProcessOutcome, app.N()),
+			CompletionTimes: make([]model.Time, app.N()),
+		},
+	}
+	faultsLeft := make([]int, app.N())
+	copy(faultsLeft, sc.FaultsAt)
+
+	executedIDs := make([]model.ProcessID, 0, app.N())
+	droppedIDs := make([]model.ProcessID, 0, app.N())
+	kRem := app.K()
+	now := model.Time(0)
+	remaining := append([]schedule.Entry(nil), root.Entries...)
+
+	for len(remaining) > 0 {
+		e := remaining[0]
+		remaining = remaining[1:]
+		p := app.Proc(e.Proc)
+		start := now
+		if p.Release > start {
+			start = p.Release
+		}
+
+		completed := false
+		t := start
+		for attempt := 0; ; attempt++ {
+			t += sc.Durations[e.Proc]
+			if faultsLeft[e.Proc] > 0 {
+				faultsLeft[e.Proc]--
+				res.FaultsConsumed++
+				kRem--
+				if attempt < e.Recoveries {
+					t += app.MuOf(e.Proc)
+					res.Recoveries++
+					continue
+				}
+				break
+			}
+			completed = true
+			break
+		}
+		now = t
+		res.Makespan = now
+
+		if completed {
+			res.Outcomes[e.Proc] = Completed
+			res.CompletionTimes[e.Proc] = now
+			executedIDs = append(executedIDs, e.Proc)
+			if p.Kind == model.Hard && now > p.Deadline {
+				res.HardViolations = append(res.HardViolations, e.Proc)
+			}
+		} else {
+			res.Outcomes[e.Proc] = AbandonedByFault
+			droppedIDs = append(droppedIDs, e.Proc)
+			if p.Kind == model.Hard {
+				res.HardViolations = append(res.HardViolations, e.Proc)
+			}
+		}
+
+		if len(remaining) == 0 {
+			break
+		}
+		if kRem < 0 {
+			kRem = 0
+		}
+		exSet := make(map[model.ProcessID]bool, len(executedIDs))
+		for _, id := range executedIDs {
+			exSet[id] = true
+		}
+		drop := append([]model.ProcessID(nil), droppedIDs...)
+		for id := 0; id < app.N(); id++ {
+			pid := model.ProcessID(id)
+			if exSet[pid] || res.Outcomes[id] == AbandonedByFault {
+				continue
+			}
+			for _, s := range app.Succs(pid) {
+				if exSet[s] {
+					drop = append(drop, pid)
+					break
+				}
+			}
+		}
+		suffix, err := core.SuffixFTSS(app, executedIDs, drop, now, kRem)
+		res.Reschedules++
+		if err == nil && len(suffix) > 0 && schedule.Schedulable(app, suffix, now, kRem) {
+			remaining = append([]schedule.Entry(nil), suffix...)
+		}
+	}
+	res.FinalNode = -1
+
+	for _, h := range app.HardIDs() {
+		if res.Outcomes[h] != Completed {
+			already := false
+			for _, v := range res.HardViolations {
+				if v == h {
+					already = true
+					break
+				}
+			}
+			if !already {
+				res.HardViolations = append(res.HardViolations, h)
+			}
+		}
+	}
+	res.Utility = runtime.TotalUtility(app, res.Outcomes, res.CompletionTimes)
+	return res
+}
+
+// TestOnlineRescheduleMatchesReference: the buffer-reusing implementation
+// must reproduce the copying reference exactly — every result field except
+// the wall-clock SynthesisTime — across the paper fixtures and many random
+// fault patterns.
+func TestOnlineRescheduleMatchesReference(t *testing.T) {
+	for _, app := range []*model.Application{apps.Fig1(), apps.Fig8(), apps.CruiseController()} {
+		root, err := core.FTSS(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 200; i++ {
+			sc := Sample(app, rng, i%(app.K()+1), nil)
+			got := RunOnlineReschedule(app, root, sc)
+			want := referenceOnlineReschedule(app, root, sc)
+			got.SynthesisTime, want.SynthesisTime = 0, 0
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s scenario %d: results diverge:\ngot  %+v\nwant %+v",
+					app.Name(), i, got, want)
+			}
+		}
 	}
 }
 

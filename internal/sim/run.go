@@ -2,187 +2,37 @@ package sim
 
 import (
 	"ftsched/internal/core"
-	"ftsched/internal/model"
-	"ftsched/internal/utility"
+	"ftsched/internal/runtime"
 )
 
+// The execution types live in internal/runtime (the online interpreter);
+// sim re-exports them so simulation code and its callers keep one
+// vocabulary.
+
 // ProcessOutcome records how one process ended in a simulated cycle.
-type ProcessOutcome int
+type ProcessOutcome = runtime.ProcessOutcome
 
 const (
 	// NotScheduled: the process was dropped off-line (absent from the
 	// active schedule) or skipped after a schedule switch.
-	NotScheduled ProcessOutcome = iota
+	NotScheduled = runtime.NotScheduled
 	// Completed: the process ran to completion (possibly re-executed).
-	Completed
+	Completed = runtime.Completed
 	// AbandonedByFault: a fault hit the process and its recovery budget
 	// was exhausted; it was dropped at run time.
-	AbandonedByFault
+	AbandonedByFault = runtime.AbandonedByFault
 )
 
 // Result is the outcome of executing one scenario.
-type Result struct {
-	// Utility is the total utility of the cycle: Σ α_i · U_i(t_i^c) over
-	// the soft processes that completed.
-	Utility float64
-	// Outcomes and CompletionTimes are indexed by process ID;
-	// CompletionTimes is meaningful only for Completed processes.
-	Outcomes        []ProcessOutcome
-	CompletionTimes []model.Time
-	// HardViolations lists hard processes that missed their deadline or
-	// were not executed. It must stay empty for any schedule or tree
-	// synthesised by this library with NFaults <= k; a non-empty slice
-	// indicates a scheduler bug.
-	HardViolations []model.ProcessID
-	// Makespan is the completion time of the last executed entry.
-	Makespan model.Time
-	// Switches counts quasi-static schedule switches taken.
-	Switches int
-	// FinalNode is the ID of the tree node active at the end.
-	FinalNode int
-	// FaultsConsumed counts injected faults that actually hit an
-	// executing process.
-	FaultsConsumed int
-	// Recoveries counts re-executions performed.
-	Recoveries int
-}
+type Result = runtime.Result
 
 // Run executes one scenario against a quasi-static tree: entries of the
 // active schedule run in order; faults trigger in-slack re-execution (or
 // run-time dropping for soft processes out of recovery budget); after every
 // entry the node's guarded arcs are consulted and the best matching switch
-// is taken. See core.Node.Next for the switching policy.
+// is taken. See runtime.Dispatcher for the switching machinery; bulk
+// evaluation should compile the tree once with runtime.NewDispatcher
+// instead of calling Run per scenario.
 func Run(tree *core.Tree, sc Scenario) Result {
-	return runTree(tree, sc, nil)
-}
-
-// runTree is Run with an optional trace-event sink.
-func runTree(tree *core.Tree, sc Scenario, events *[]TraceEvent) Result {
-	emit := func(e TraceEvent) {
-		if events != nil {
-			*events = append(*events, e)
-		}
-	}
-	app := tree.App
-	res := Result{
-		Outcomes:        make([]ProcessOutcome, app.N()),
-		CompletionTimes: make([]model.Time, app.N()),
-	}
-	faultsLeft := make([]int, app.N())
-	copy(faultsLeft, sc.FaultsAt)
-
-	node := tree.Root
-	now := model.Time(0)
-	for pos := 0; pos < len(node.Schedule.Entries); pos++ {
-		e := node.Schedule.Entries[pos]
-		p := app.Proc(e.Proc)
-		start := now
-		if p.Release > start {
-			start = p.Release
-		}
-
-		// Execute with in-slack re-execution.
-		outcome := core.CompletedOK
-		faulted := false
-		completed := false
-		t := start
-		for attempt := 0; ; attempt++ {
-			emit(TraceEvent{Kind: TraceStart, At: t, Proc: e.Proc, Attempt: attempt})
-			t += sc.Durations[e.Proc]
-			if faultsLeft[e.Proc] > 0 {
-				// This attempt is hit by a transient fault,
-				// detected at the end of the execution.
-				faultsLeft[e.Proc]--
-				res.FaultsConsumed++
-				faulted = true
-				emit(TraceEvent{Kind: TraceFault, At: t, Proc: e.Proc, Attempt: attempt})
-				if attempt < e.Recoveries {
-					// Re-execute after the recovery overhead µ.
-					emit(TraceEvent{Kind: TraceRecovery, At: t, Proc: e.Proc, Attempt: attempt})
-					t += app.MuOf(e.Proc)
-					res.Recoveries++
-					continue
-				}
-				// Recovery budget exhausted: abandon.
-				break
-			}
-			completed = true
-			break
-		}
-		now = t
-
-		if completed {
-			res.Outcomes[e.Proc] = Completed
-			res.CompletionTimes[e.Proc] = now
-			emit(TraceEvent{Kind: TraceComplete, At: now, Proc: e.Proc})
-			if faulted {
-				outcome = core.CompletedRecovered
-			}
-			if p.Kind == model.Hard && now > p.Deadline {
-				res.HardViolations = append(res.HardViolations, e.Proc)
-			}
-		} else {
-			res.Outcomes[e.Proc] = AbandonedByFault
-			outcome = core.DroppedByFault
-			emit(TraceEvent{Kind: TraceAbandon, At: now, Proc: e.Proc})
-			if p.Kind == model.Hard {
-				// Cannot happen for NFaults <= k: hard entries
-				// carry k recoveries. Record as violation.
-				res.HardViolations = append(res.HardViolations, e.Proc)
-			}
-		}
-		res.Makespan = now
-
-		next := node.Next(pos, now, outcome)
-		if next != node {
-			node = next
-			res.Switches++
-			emit(TraceEvent{Kind: TraceSwitch, At: now, Proc: e.Proc, Node: node.ID})
-		}
-	}
-	res.FinalNode = node.ID
-
-	// Hard processes that never ran are violations too.
-	for _, h := range app.HardIDs() {
-		if res.Outcomes[h] != Completed {
-			already := false
-			for _, v := range res.HardViolations {
-				if v == h {
-					already = true
-					break
-				}
-			}
-			if !already {
-				res.HardViolations = append(res.HardViolations, h)
-			}
-		}
-	}
-
-	res.Utility = totalUtility(app, res.Outcomes, res.CompletionTimes)
-	return res
-}
-
-// totalUtility applies the stale-value model to the realised outcomes.
-func totalUtility(app *model.Application, outcomes []ProcessOutcome, done []model.Time) float64 {
-	status := make([]utility.StaleStatus, app.N())
-	for id := range status {
-		if outcomes[id] == Completed {
-			status[id] = utility.Executed
-		} else {
-			status[id] = utility.Dropped
-		}
-	}
-	alpha, err := app.StaleCoefficients(status)
-	if err != nil {
-		panic(err) // unreachable for a validated application
-	}
-	var total float64
-	for id := 0; id < app.N(); id++ {
-		pid := model.ProcessID(id)
-		if app.Proc(pid).Kind != model.Soft || outcomes[id] != Completed {
-			continue
-		}
-		total += alpha[id] * app.UtilityOf(pid).Value(done[id])
-	}
-	return total
+	return runtime.NewDispatcher(tree).Run(sc)
 }

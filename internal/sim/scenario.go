@@ -1,47 +1,47 @@
 package sim
 
 import (
-	"fmt"
 	"math/rand"
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/runtime"
 	"ftsched/internal/schedule"
 )
 
-// Scenario fixes everything that is random in one operation cycle: the
-// actual execution time of every process and the processes hit by
-// transient faults.
-//
-// Modelling choices (documented in DESIGN.md): a process's re-execution
-// takes the same sampled duration as its primary execution (same input
-// data), and each injected fault picks a victim process uniformly at
-// random among the given candidates; the fault hits the victim's next
-// execution attempt. A fault aimed at a process that never starts (because
-// it was dropped) does not materialise, mirroring the physical reality
-// that a transient fault only matters while its victim is executing.
-type Scenario struct {
-	// Durations[p] is the sampled actual execution time of process p,
-	// uniform on [BCET, WCET].
-	Durations []model.Time
-	// FaultsAt[p] is the number of faults that will hit p's first
-	// execution attempts.
-	FaultsAt []int
-	// NFaults is the total number of injected faults.
-	NFaults int
-}
+// Scenario fixes everything that is random in one operation cycle; see
+// runtime.Scenario for the modelling choices.
+type Scenario = runtime.Scenario
 
 // Sample draws a scenario for the application: uniform execution times and
 // nFaults faults aimed at uniformly chosen victims (with replacement) among
 // the candidate processes. Candidates are typically the processes of the
 // root schedule; pass nil to draw victims from all processes.
 func Sample(app *model.Application, rng *rand.Rand, nFaults int, candidates []model.ProcessID) Scenario {
+	var sc Scenario
+	SampleInto(&sc, app, rng, nFaults, candidates)
+	return sc
+}
+
+// SampleInto is Sample reusing the buffers of sc, for bulk evaluation. The
+// random-number stream it consumes is identical to Sample's, so the two
+// are interchangeable scenario for scenario.
+func SampleInto(sc *Scenario, app *model.Application, rng *rand.Rand, nFaults int, candidates []model.ProcessID) {
 	n := app.N()
-	sc := Scenario{
-		Durations: make([]model.Time, n),
-		FaultsAt:  make([]int, n),
-		NFaults:   nFaults,
+	if cap(sc.Durations) < n {
+		sc.Durations = make([]model.Time, n)
+	} else {
+		sc.Durations = sc.Durations[:n]
 	}
+	if cap(sc.FaultsAt) < n {
+		sc.FaultsAt = make([]int, n)
+	} else {
+		sc.FaultsAt = sc.FaultsAt[:n]
+		for i := range sc.FaultsAt {
+			sc.FaultsAt[i] = 0
+		}
+	}
+	sc.NFaults = nFaults
 	for id := 0; id < n; id++ {
 		p := app.Proc(model.ProcessID(id))
 		span := int64(p.WCET - p.BCET)
@@ -64,46 +64,20 @@ func Sample(app *model.Application, rng *rand.Rand, nFaults int, candidates []mo
 			sc.FaultsAt[victim]++
 		}
 	}
-	return sc
-}
-
-// Validate checks a hand-built scenario against the application.
-func (sc *Scenario) Validate(app *model.Application) error {
-	if len(sc.Durations) != app.N() || len(sc.FaultsAt) != app.N() {
-		return fmt.Errorf("sim: scenario sized for %d processes, application has %d",
-			len(sc.Durations), app.N())
-	}
-	total := 0
-	for id := 0; id < app.N(); id++ {
-		p := app.Proc(model.ProcessID(id))
-		if sc.Durations[id] < p.BCET || sc.Durations[id] > p.WCET {
-			return fmt.Errorf("sim: duration %d of %s outside [%d,%d]",
-				sc.Durations[id], p.Name, p.BCET, p.WCET)
-		}
-		if sc.FaultsAt[id] < 0 {
-			return fmt.Errorf("sim: negative fault count on %s", p.Name)
-		}
-		total += sc.FaultsAt[id]
-	}
-	if total != sc.NFaults {
-		return fmt.Errorf("sim: fault counts sum to %d, NFaults is %d", total, sc.NFaults)
-	}
-	if sc.NFaults > app.K() {
-		return fmt.Errorf("sim: %d faults exceed the application bound k=%d", sc.NFaults, app.K())
-	}
-	return nil
 }
 
 // StaticTree wraps a single f-schedule as a degenerate one-node tree so
 // that static schedules (FTSS, FTSF) run through the same online executor
 // as quasi-static trees.
 func StaticTree(app *model.Application, s *schedule.FSchedule) *core.Tree {
-	root := &core.Node{
-		ID:             0,
-		Schedule:       s,
-		SwitchPos:      0,
-		KRem:           app.K(),
-		DroppedOnFault: model.NoProcess,
+	return &core.Tree{
+		App: app,
+		Nodes: []core.Node{{
+			Schedule:       s,
+			SwitchPos:      0,
+			KRem:           app.K(),
+			DroppedOnFault: model.NoProcess,
+			Parent:         core.NoNode,
+		}},
 	}
-	return &core.Tree{App: app, Root: root, Nodes: []*core.Node{root}}
 }

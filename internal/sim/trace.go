@@ -2,65 +2,33 @@ package sim
 
 import (
 	"ftsched/internal/core"
-	"ftsched/internal/model"
+	"ftsched/internal/runtime"
 )
 
 // TraceEventKind classifies execution-trace events.
-type TraceEventKind int
+type TraceEventKind = runtime.TraceEventKind
 
 const (
 	// TraceStart: an execution attempt of a process begins.
-	TraceStart TraceEventKind = iota
+	TraceStart = runtime.TraceStart
 	// TraceFault: a transient fault is detected at the end of an attempt.
-	TraceFault
+	TraceFault = runtime.TraceFault
 	// TraceRecovery: the recovery overhead µ begins (re-execution follows).
-	TraceRecovery
+	TraceRecovery = runtime.TraceRecovery
 	// TraceComplete: the process completed.
-	TraceComplete
+	TraceComplete = runtime.TraceComplete
 	// TraceAbandon: the process was abandoned (soft, budget exhausted).
-	TraceAbandon
+	TraceAbandon = runtime.TraceAbandon
 	// TraceSwitch: the online scheduler switched to another schedule.
-	TraceSwitch
+	TraceSwitch = runtime.TraceSwitch
 )
 
-// String implements fmt.Stringer.
-func (k TraceEventKind) String() string {
-	switch k {
-	case TraceStart:
-		return "start"
-	case TraceFault:
-		return "fault"
-	case TraceRecovery:
-		return "recovery"
-	case TraceComplete:
-		return "complete"
-	case TraceAbandon:
-		return "abandon"
-	case TraceSwitch:
-		return "switch"
-	default:
-		return "TraceEventKind(?)"
-	}
-}
-
 // TraceEvent is one timestamped event of a simulated cycle.
-type TraceEvent struct {
-	Kind TraceEventKind
-	// At is the event time.
-	At model.Time
-	// Proc is the process concerned (undefined for TraceSwitch).
-	Proc model.ProcessID
-	// Attempt numbers the execution attempt (0 = primary execution).
-	Attempt int
-	// Node is the tree node switched to (TraceSwitch only).
-	Node int
-}
+type TraceEvent = runtime.TraceEvent
 
 // RunTrace is Run with full event recording, for visualisation and
 // debugging. The returned events are ordered by time (ties in execution
 // order).
 func RunTrace(tree *core.Tree, sc Scenario) (Result, []TraceEvent) {
-	var events []TraceEvent
-	res := runTree(tree, sc, &events)
-	return res, events
+	return runtime.NewDispatcher(tree).RunTrace(sc)
 }

@@ -7,6 +7,7 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/runtime"
 )
 
 // TrimConfig parametrises simulation-based arc trimming.
@@ -34,6 +35,11 @@ type TrimConfig struct {
 // makes the online scheduler more conservative (staying with the current
 // schedule is always safe), and the result still passes core.VerifyTree.
 //
+// Disabled arcs are marked with an empty guard (Lo > Hi) directly in the
+// arc arena; the dispatcher's compiler skips them, so each evaluation
+// recompiles the mutated tree once and then replays all scenarios through
+// the compiled table.
+//
 // It returns the number of arcs removed.
 func Trim(tree *core.Tree, cfg TrimConfig) (int, error) {
 	if cfg.Scenarios <= 0 {
@@ -54,8 +60,9 @@ func Trim(tree *core.Tree, cfg TrimConfig) (int, error) {
 
 	// Fixed paired scenario set.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	candidates := make([]model.ProcessID, 0, len(tree.Root.Schedule.Entries))
-	for _, e := range tree.Root.Schedule.Entries {
+	rootEntries := tree.Root().Schedule.Entries
+	candidates := make([]model.ProcessID, 0, len(rootEntries))
+	for _, e := range rootEntries {
 		candidates = append(candidates, e.Proc)
 	}
 	var scenarios []Scenario
@@ -64,33 +71,32 @@ func Trim(tree *core.Tree, cfg TrimConfig) (int, error) {
 			scenarios = append(scenarios, Sample(app, rng, f, candidates))
 		}
 	}
+	var res Result
 	eval := func() float64 {
+		d := runtime.NewDispatcher(tree)
 		var sum float64
 		for i := range scenarios {
-			sum += Run(tree, scenarios[i]).Utility
+			d.RunInto(&res, scenarios[i])
+			sum += res.Utility
 		}
 		return sum / float64(len(scenarios))
 	}
 
-	// Arc references, most suspect (lowest estimated gain) first.
-	type ref struct {
-		node *core.Node
-		idx  int
-	}
-	var refs []ref
-	for _, n := range tree.Nodes {
-		for i := range n.Arcs {
-			refs = append(refs, ref{n, i})
-		}
+	// Arc references into the arena, most suspect (lowest estimated
+	// gain) first. The arena is node-major, so index order matches the
+	// node-by-node walk the gain sort is stabilised against.
+	refs := make([]int, len(tree.Arcs))
+	for i := range refs {
+		refs[i] = i
 	}
 	sort.SliceStable(refs, func(a, b int) bool {
-		return refs[a].node.Arcs[refs[a].idx].Gain < refs[b].node.Arcs[refs[b].idx].Gain
+		return tree.Arcs[refs[a]].Gain < tree.Arcs[refs[b]].Gain
 	})
 
 	baseline := eval()
 	removed := 0
-	for _, r := range refs {
-		a := &r.node.Arcs[r.idx]
+	for _, ri := range refs {
+		a := &tree.Arcs[ri]
 		savedLo, savedHi := a.Lo, a.Hi
 		a.Lo, a.Hi = 1, 0 // empty guard: the arc can never fire
 		u := eval()
@@ -105,35 +111,60 @@ func Trim(tree *core.Tree, cfg TrimConfig) (int, error) {
 		return 0, nil
 	}
 
-	// Compact: drop disabled arcs, then unreachable nodes, renumber.
-	for _, n := range tree.Nodes {
-		kept := n.Arcs[:0]
-		for _, a := range n.Arcs {
-			if a.Lo <= a.Hi {
-				kept = append(kept, a)
-			}
-		}
-		n.Arcs = kept
-	}
-	reachable := map[*core.Node]bool{tree.Root: true}
-	queue := []*core.Node{tree.Root}
+	compactTree(tree)
+	return removed, nil
+}
+
+// compactTree drops disabled arcs (empty guards), prunes nodes no longer
+// reachable from the root, and rebuilds both arenas with renumbered IDs.
+func compactTree(tree *core.Tree) {
+	// Reachability over node indices, following live arcs only. A child
+	// is reachable only through arcs of its single parent, so pruning
+	// can never orphan a kept node's Parent reference.
+	reachable := make([]bool, len(tree.Nodes))
+	reachable[0] = true
+	queue := []core.NodeID{0}
 	for len(queue) > 0 {
-		n := queue[0]
+		id := queue[0]
 		queue = queue[1:]
-		for _, a := range n.Arcs {
-			if !reachable[a.Child] {
+		for _, a := range tree.NodeArcs(id) {
+			if a.Lo <= a.Hi && !reachable[a.Child] {
 				reachable[a.Child] = true
 				queue = append(queue, a.Child)
 			}
 		}
 	}
-	var nodes []*core.Node
-	for _, n := range tree.Nodes {
-		if reachable[n] {
-			n.ID = len(nodes)
-			nodes = append(nodes, n)
+	remap := make([]core.NodeID, len(tree.Nodes))
+	kept := 0
+	for i := range tree.Nodes {
+		if reachable[i] {
+			remap[i] = core.NodeID(kept)
+			kept++
+		} else {
+			remap[i] = core.NoNode
 		}
 	}
-	tree.Nodes = nodes
-	return removed, nil
+	newNodes := make([]core.Node, 0, kept)
+	newArcs := make([]core.Arc, 0, len(tree.Arcs))
+	for i := range tree.Nodes {
+		if !reachable[i] {
+			continue
+		}
+		n := tree.Nodes[i]
+		start := int32(len(newArcs))
+		for _, a := range tree.NodeArcs(core.NodeID(i)) {
+			if a.Lo > a.Hi {
+				continue
+			}
+			a.Child = remap[a.Child]
+			newArcs = append(newArcs, a)
+		}
+		n.ArcStart, n.ArcEnd = start, int32(len(newArcs))
+		if n.Parent != core.NoNode {
+			n.Parent = remap[n.Parent]
+		}
+		newNodes = append(newNodes, n)
+	}
+	tree.Nodes = newNodes
+	tree.Arcs = newArcs
 }

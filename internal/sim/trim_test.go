@@ -76,11 +76,22 @@ func TestTrimCompactsUnreachableNodes(t *testing.T) {
 	if removed > 0 && tree.Size() > sizeBefore {
 		t.Error("tree grew after trimming")
 	}
-	// IDs dense after renumbering.
-	for i, n := range tree.Nodes {
-		if n.ID != i {
-			t.Fatalf("node %d has ID %d after compaction", i, n.ID)
+	// Arc ranges dense after renumbering, children in range.
+	prevEnd := int32(0)
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
+		if n.ArcStart != prevEnd || n.ArcEnd < n.ArcStart {
+			t.Fatalf("node %d arc range [%d,%d) not dense after %d", i, n.ArcStart, n.ArcEnd, prevEnd)
 		}
+		prevEnd = n.ArcEnd
+		for _, a := range tree.NodeArcs(core.NodeID(i)) {
+			if a.Child < 0 || int(a.Child) >= len(tree.Nodes) {
+				t.Fatalf("node %d arc child S%d out of range after compaction", i, a.Child)
+			}
+		}
+	}
+	if int(prevEnd) != len(tree.Arcs) {
+		t.Fatalf("arc arena has %d entries, node ranges cover %d", len(tree.Arcs), prevEnd)
 	}
 	// The tree still runs.
 	rng := rand.New(rand.NewSource(1))

@@ -67,6 +67,26 @@ func Coefficients(order []int, preds [][]int, status []StaleStatus) ([]float64, 
 	return alpha, nil
 }
 
+// CoefficientsInto is Coefficients without validation or allocation: alpha
+// is overwritten in place. order must be a topological order and preds must
+// be consistent with it (the checked Coefficients establishes this once;
+// hot paths such as the runtime dispatcher then reuse the same order/preds
+// every cycle). The arithmetic — including summation order — is identical
+// to Coefficients, so both produce bit-identical coefficients.
+func CoefficientsInto(alpha []float64, order []int, preds [][]int, status []StaleStatus) {
+	for _, i := range order {
+		if status[i] == Dropped {
+			alpha[i] = 0
+			continue
+		}
+		sum := 1.0
+		for _, j := range preds[i] {
+			sum += alpha[j]
+		}
+		alpha[i] = sum / float64(1+len(preds[i]))
+	}
+}
+
 // CoefficientsInOrder is Coefficients with the identity visiting order
 // 0..n-1, for graphs whose process indices are already topologically sorted.
 func CoefficientsInOrder(preds [][]int, status []StaleStatus) ([]float64, error) {
