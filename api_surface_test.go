@@ -1,0 +1,83 @@
+package ftsched_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAPISurfaceCovered walks every exported symbol of the root ftsched
+// package and asserts it is exercised (referenced as ftsched.<Symbol>) by
+// at least one test or example in this directory. A symbol failing here is
+// either dead API — remove it — or an untested entry point — reference it
+// from a test or example.
+func TestAPISurfaceCovered(t *testing.T) {
+	fset := token.NewFileSet()
+	sources, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exported []string
+	var testText strings.Builder
+	for _, path := range sources {
+		if strings.HasSuffix(path, "_test.go") {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testText.Write(b)
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Name.Name != "ftsched" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() {
+					exported = append(exported, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							exported = append(exported, s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() {
+								exported = append(exported, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(exported) < 40 {
+		t.Fatalf("only %d exported symbols found — parsing broken?", len(exported))
+	}
+
+	text := testText.String()
+	var missing []string
+	for _, name := range exported {
+		re := regexp.MustCompile(`\bftsched\.` + regexp.QuoteMeta(name) + `\b`)
+		if !re.MatchString(text) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("exported but never referenced in a root test or example:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

@@ -217,6 +217,42 @@ func BenchmarkMonteCarlo(b *testing.B) {
 	}
 }
 
+// BenchmarkMonteCarloObs measures the observability overhead on the full
+// evaluation path: 2000 cruise-controller scenarios per iteration through
+// one dispatcher, uninstrumented vs a NopSink vs the live Metrics
+// collector. The live-sink column must stay within 10% of the plain one
+// (asserted offline from BENCH_obs.json; see EXPERIMENTS.md).
+func BenchmarkMonteCarloObs(b *testing.B) {
+	app := ftsched.CruiseController()
+	tree, err := ftsched.FTQS(app, ftsched.FTQSOptions{M: 39})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		sink ftsched.Sink
+	}{
+		{"Plain", nil},
+		{"NopSink", ftsched.NopSink{}},
+		{"LiveSink", ftsched.NewMetrics()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := ftsched.MonteCarlo(tree, ftsched.MCConfig{
+					Scenarios: 2000, Faults: 1, Seed: 7, Sink: c.sink,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.HardViolations != 0 {
+					b.Fatal("hard violation")
+				}
+			}
+		})
+	}
+}
+
 func genApp(b *testing.B, n int) *ftsched.Application {
 	b.Helper()
 	rng := rand.New(rand.NewSource(42))

@@ -20,19 +20,32 @@ import (
 	"time"
 
 	"ftsched/internal/experiments"
+	"ftsched/internal/obs"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig9, table1, cc, all")
-		apps      = flag.Int("apps", 0, "applications per configuration (0 = default)")
-		scenarios = flag.Int("scenarios", 0, "Monte-Carlo scenarios (0 = default)")
-		seed      = flag.Int64("seed", 0, "random seed (0 = default)")
-		m         = flag.Int("m", 0, "FTQS tree bound for fig9/cc (0 = default)")
-		trim      = flag.Bool("trim", false, "apply simulation-based arc trimming (table1)")
-		workers   = flag.Int("workers", 0, "goroutines per FTQS synthesis (0 = all CPUs, 1 = serial; results are identical for any value)")
+		exp         = flag.String("exp", "all", "experiment: fig9, table1, cc, all")
+		apps        = flag.Int("apps", 0, "applications per configuration (0 = default)")
+		scenarios   = flag.Int("scenarios", 0, "Monte-Carlo scenarios (0 = default)")
+		seed        = flag.Int64("seed", 0, "random seed (0 = default)")
+		m           = flag.Int("m", 0, "FTQS tree bound for fig9/cc (0 = default)")
+		trim        = flag.Bool("trim", false, "apply simulation-based arc trimming (table1)")
+		workers     = flag.Int("workers", 0, "goroutines per FTQS synthesis (0 = all CPUs, 1 = serial; results are identical for any value)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and /debug/pprof on this address (e.g. :8080) for the lifetime of the run")
 	)
 	flag.Parse()
+
+	var sink obs.Sink
+	if *metricsAddr != "" {
+		collector := obs.NewMetrics()
+		addr, _, err := obs.Serve(*metricsAddr, collector)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", addr)
+		sink = collector
+	}
 
 	runFig9 := func() {
 		cfg := experiments.DefaultFig9()
@@ -49,6 +62,7 @@ func main() {
 			cfg.M = *m
 		}
 		cfg.Workers = *workers
+		cfg.Sink = sink
 		t0 := time.Now()
 		res, err := experiments.Fig9(cfg)
 		if err != nil {
@@ -71,6 +85,7 @@ func main() {
 		}
 		cfg.Trim = *trim
 		cfg.Workers = *workers
+		cfg.Sink = sink
 		t0 := time.Now()
 		res, err := experiments.Table1(cfg)
 		if err != nil {
@@ -92,6 +107,7 @@ func main() {
 			cfg.M = *m
 		}
 		cfg.Workers = *workers
+		cfg.Sink = sink
 		t0 := time.Now()
 		res, err := experiments.CruiseController(cfg)
 		if err != nil {
@@ -116,6 +132,7 @@ func main() {
 			cfg.M = *m
 		}
 		cfg.Workers = *workers
+		cfg.Sink = sink
 		t0 := time.Now()
 		res, err := experiments.Overhead(cfg)
 		if err != nil {
@@ -141,6 +158,7 @@ func main() {
 			cfg.M = *m
 		}
 		cfg.Workers = *workers
+		cfg.Sink = sink
 		t0 := time.Now()
 		res, err := experiments.OptGap(cfg)
 		if err != nil {
@@ -166,6 +184,7 @@ func main() {
 			cfg.M = *m
 		}
 		cfg.Workers = *workers
+		cfg.Sink = sink
 		t0 := time.Now()
 		res, err := experiments.HardRatio(cfg)
 		if err != nil {
@@ -191,6 +210,7 @@ func main() {
 			cfg.M = *m
 		}
 		cfg.Workers = *workers
+		cfg.Sink = sink
 		t0 := time.Now()
 		res, err := experiments.FTCost(cfg)
 		if err != nil {

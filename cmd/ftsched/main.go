@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"ftsched/internal/appio"
 	"ftsched/internal/baseline"
 	"ftsched/internal/cli"
 	"ftsched/internal/core"
+	"ftsched/internal/obs"
 	"ftsched/internal/schedule"
 	"ftsched/internal/sim"
 )
@@ -35,6 +37,7 @@ func main() {
 		trim    = flag.Int("trim", 0, "trim arcs by paired simulation with this many scenarios per fault count (ftqs only)")
 		treeOut = flag.String("tree-out", "", "also write the synthesised tree as JSON (ftqs only)")
 		treeFmt = flag.String("tree-format", "json", "encoding for -tree-out: json (self-describing v1) or compact (v2)")
+		stats   = flag.Bool("stats", false, "print synthesis instrumentation counters to stderr (ftqs only)")
 	)
 	flag.Parse()
 
@@ -71,16 +74,25 @@ func main() {
 		fmt.Fprintf(w, "expected no-fault utility: %.2f\n\n", schedule.ExpectedUtility(app, s))
 		fmt.Fprint(w, schedule.TimingReport(app, s, app.K()))
 	case "ftqs":
-		tree, err := core.FTQS(app, core.FTQSOptions{M: *m, Workers: *workers})
+		var collector *obs.Metrics
+		var sink obs.Sink
+		if *stats {
+			collector = obs.NewMetrics()
+			sink = collector
+		}
+		tree, err := core.FTQS(app, core.FTQSOptions{M: *m, Workers: *workers, Sink: sink})
 		if err != nil {
 			fatal(err)
 		}
 		if *trim > 0 {
-			removed, err := sim.Trim(tree, sim.TrimConfig{Scenarios: *trim, Seed: 1})
+			removed, err := sim.Trim(tree, sim.TrimConfig{Scenarios: *trim, Seed: 1, Sink: sink})
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "trimmed %d arcs; %d schedules remain\n", removed, tree.Size())
+		}
+		if collector != nil {
+			printStats(collector)
 		}
 		if *treeOut != "" {
 			encode := appio.EncodeTree
@@ -122,6 +134,24 @@ func main() {
 		fmt.Fprint(w, tree.Format())
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q (want ftss, ftsf or ftqs)", *algo))
+	}
+}
+
+// printStats writes every non-zero counter of the run to stderr, sorted by
+// name, so synthesis behaviour (memoisation hit rate, candidate rejection,
+// worker utilisation) is inspectable without standing up the HTTP exporter.
+func printStats(m *obs.Metrics) {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name, v := range snap.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintln(os.Stderr, "synthesis stats:")
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "  %-40s %d\n", name, snap.Counters[name])
 	}
 }
 

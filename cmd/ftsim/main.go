@@ -20,21 +20,35 @@ import (
 	"ftsched/internal/baseline"
 	"ftsched/internal/cli"
 	"ftsched/internal/core"
+	"ftsched/internal/obs"
+	"ftsched/internal/runtime"
 	"ftsched/internal/sim"
 	"ftsched/internal/stats"
 )
 
 func main() {
 	var (
-		fixture   = flag.String("fixture", "", "built-in application: fig1, fig4c, fig8, cc")
-		appPath   = flag.String("app", "", "JSON application file")
-		m         = flag.Int("m", 16, "maximum quasi-static tree size")
-		scenarios = flag.Int("scenarios", 5000, "Monte-Carlo scenarios per configuration")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		trace     = flag.Bool("trace", false, "render one sample scenario per fault count as a Gantt chart")
-		treeIn    = flag.String("tree", "", "load a stored quasi-static tree (JSON) instead of synthesising one; it is verified before use")
+		fixture     = flag.String("fixture", "", "built-in application: fig1, fig4c, fig8, cc")
+		appPath     = flag.String("app", "", "JSON application file")
+		m           = flag.Int("m", 16, "maximum quasi-static tree size")
+		scenarios   = flag.Int("scenarios", 5000, "Monte-Carlo scenarios per configuration")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		trace       = flag.Bool("trace", false, "render one sample scenario per fault count as a Gantt chart")
+		treeIn      = flag.String("tree", "", "load a stored quasi-static tree (JSON) instead of synthesising one; it is verified before use")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and /debug/pprof on this address (e.g. :8080) for the lifetime of the run")
 	)
 	flag.Parse()
+
+	var sink obs.Sink
+	if *metricsAddr != "" {
+		collector := obs.NewMetrics()
+		addr, _, err := obs.Serve(*metricsAddr, collector)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", addr)
+		sink = collector
+	}
 
 	app, err := cli.LoadApp(*fixture, *appPath)
 	if err != nil {
@@ -62,7 +76,7 @@ func main() {
 		}
 		fmt.Printf("loaded and verified tree from %s\n", *treeIn)
 	} else {
-		tree, err = core.FTQSFromRoot(app, ftss, core.FTQSOptions{M: *m})
+		tree, err = core.FTQSFromRoot(app, ftss, core.FTQSOptions{M: *m, Sink: sink})
 		if err != nil {
 			fatal(err)
 		}
@@ -87,12 +101,22 @@ func main() {
 			tree.Size(), len(ftss.Entries), len(ftsf.Entries))
 	}
 
+	// One compiled dispatcher per tree, shared by the k+1 fault
+	// configurations (and carrying the metrics sink when one is serving).
+	dispatchers := make([]*runtime.Dispatcher, len(trees))
+	for i, tr := range trees {
+		dispatchers[i] = runtime.NewDispatcher(tr.t, runtime.WithSink(sink))
+	}
+
 	var base float64
 	fmt.Printf("%-6s %-7s %10s %8s %9s %9s %9s %9s %6s\n",
 		"algo", "faults", "utility", "norm%", "p5", "p95", "switches", "recov", "viol")
 	for f := 0; f <= app.K(); f++ {
-		for _, tr := range trees {
-			st, err := sim.MonteCarlo(tr.t, sim.MCConfig{Scenarios: *scenarios, Faults: f, Seed: *seed})
+		for i, tr := range trees {
+			st, err := sim.MonteCarlo(tr.t, sim.MCConfig{
+				Scenarios: *scenarios, Faults: f, Seed: *seed,
+				Dispatcher: dispatchers[i], Sink: sink,
+			})
 			if err != nil {
 				fatal(err)
 			}

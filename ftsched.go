@@ -44,7 +44,9 @@
 package ftsched
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"ftsched/internal/appio"
 	"ftsched/internal/apps"
@@ -52,6 +54,7 @@ import (
 	"ftsched/internal/core"
 	"ftsched/internal/gen"
 	"ftsched/internal/model"
+	"ftsched/internal/obs"
 	"ftsched/internal/optimal"
 	"ftsched/internal/runtime"
 	"ftsched/internal/schedule"
@@ -150,6 +153,64 @@ const NoProcess = model.NoProcess
 // deadlines under k faults.
 var ErrUnschedulable = core.ErrUnschedulable
 
+// UnschedulableError is the typed form of ErrUnschedulable: synthesis
+// failures carry the offending process (NoProcess when the period itself is
+// exceeded), the violated bound and the worst-case completion that violates
+// it. errors.Is(err, ErrUnschedulable) keeps matching; errors.As extracts
+// the detail.
+type UnschedulableError = core.UnschedulableError
+
+// Observability types. A Sink receives counter increments and histogram
+// samples from synthesis, dispatch and simulation; Metrics is the built-in
+// atomic collector. Instrumentation never alters results: every tree,
+// schedule and statistic is bit-identical with or without a sink.
+type (
+	// Sink consumes instrumentation events. Implementations must be safe
+	// for concurrent use and should never block; see internal/obs for the
+	// contract.
+	Sink = obs.Sink
+	// Counter identifies a monotonic event counter (e.g. dispatch cycles).
+	Counter = obs.Counter
+	// HistogramMetric identifies a value distribution (e.g. hard-deadline
+	// slack per completed process).
+	HistogramMetric = obs.Histogram
+	// Metrics is the built-in Sink: fixed atomic counters and power-of-two
+	// bucket histograms, allocation-free on the event path.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Metrics collector,
+	// keyed by the stable metric names.
+	MetricsSnapshot = obs.Snapshot
+	// DispatcherOption configures NewDispatcher (see WithSink).
+	DispatcherOption = runtime.Option
+)
+
+// NopSink is a Sink that discards every event; passing NopSink{} anywhere
+// a Sink is accepted is equivalent to passing nil.
+type NopSink = obs.NopSink
+
+// NewMetrics returns an empty metrics collector ready to be passed as the
+// Sink of FTQSOptions, MCConfig, TrimConfig or WithSink.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// WithSink routes a dispatcher's per-cycle events (cycles, switches, guard
+// search depth, faults absorbed/abandoned, hard-deadline slack) to s. A nil
+// or NopSink sink leaves the dispatcher uninstrumented; RunInto stays
+// allocation-free either way.
+func WithSink(s Sink) DispatcherOption { return runtime.WithSink(s) }
+
+// MetricsHandler returns an http.Handler exposing m in Prometheus text
+// format under /metrics, as JSON expvars under /debug/vars, and the pprof
+// profiles under /debug/pprof/.
+func MetricsHandler(m *Metrics) http.Handler { return obs.Handler(m) }
+
+// ServeMetrics starts an HTTP server for MetricsHandler(m) on addr (":0"
+// picks a free port) and returns the bound address and a shutdown function.
+// The ftsim and ftexperiments -metrics-addr flags are thin wrappers over
+// it.
+func ServeMetrics(addr string, m *Metrics) (string, func() error, error) {
+	return obs.Serve(addr, m)
+}
+
 // NewApplication creates an empty application with period T, fault bound k
 // and default recovery overhead µ. Add processes and edges, then Validate.
 func NewApplication(name string, period Time, k int, mu Time) *Application {
@@ -187,8 +248,15 @@ func FTSS(app *Application) (*FSchedule, error) { return core.FTSS(app) }
 // The synthesis fans candidate sub-schedule generation out over
 // opts.Workers goroutines (default: one per CPU) and memoises identical
 // suffix syntheses across the tree; the resulting tree is identical for
-// every worker count.
+// every worker count. It is FTQSContext with a background context.
 func FTQS(app *Application, opts FTQSOptions) (*Tree, error) { return core.FTQS(app, opts) }
+
+// FTQSContext is FTQS honouring cancellation: the coordinator checks ctx
+// before each node expansion, so synthesis aborts within one expansion and
+// returns ctx.Err() with all worker goroutines reaped.
+func FTQSContext(ctx context.Context, app *Application, opts FTQSOptions) (*Tree, error) {
+	return core.FTQSContext(ctx, app, opts)
+}
 
 // FTSF synthesises the paper's baseline: a value-maximal non-fault-tolerant
 // schedule patched with recovery slack for the hard processes.
@@ -243,11 +311,23 @@ func Run(tree *Tree, sc Scenario) RunResult { return sim.Run(tree, sc) }
 
 // NewDispatcher compiles a tree's switch guards into a binary-searchable
 // dispatch table and returns a reusable, allocation-free online scheduler.
-// The tree must not be mutated while the dispatcher is in use.
-func NewDispatcher(tree *Tree) *Dispatcher { return runtime.NewDispatcher(tree) }
+// The tree must not be mutated while the dispatcher is in use. Pass
+// WithSink to instrument its cycles.
+func NewDispatcher(tree *Tree, opts ...DispatcherOption) *Dispatcher {
+	return runtime.NewDispatcher(tree, opts...)
+}
 
-// MonteCarlo evaluates a tree over cfg.Scenarios random scenarios.
+// MonteCarlo evaluates a tree over cfg.Scenarios random scenarios. It is
+// MonteCarloContext with a background context.
 func MonteCarlo(tree *Tree, cfg MCConfig) (MCStats, error) { return sim.MonteCarlo(tree, cfg) }
+
+// MonteCarloContext is MonteCarlo honouring cancellation: every worker
+// checks ctx before each scenario, so the evaluation unwinds within one
+// scenario per worker and returns ctx.Err(); partial statistics are
+// discarded.
+func MonteCarloContext(ctx context.Context, tree *Tree, cfg MCConfig) (MCStats, error) {
+	return sim.MonteCarloContext(ctx, tree, cfg)
+}
 
 // TrimConfig parametrises simulation-based arc trimming.
 type TrimConfig = sim.TrimConfig
@@ -257,8 +337,15 @@ type TrimConfig = sim.TrimConfig
 // unreachable. An extension beyond the paper: interval partitioning prices
 // arcs with an estimate, and trimming removes the marginal arcs that the
 // estimate got wrong. Safety is unaffected. Returns the number of arcs
-// removed.
+// removed. It is TrimTreeContext with a background context.
 func TrimTree(tree *Tree, cfg TrimConfig) (int, error) { return sim.Trim(tree, cfg) }
+
+// TrimTreeContext is TrimTree honouring cancellation, checked before every
+// scenario replay. On cancellation every already-disabled arc is restored —
+// the tree is left exactly as passed in — and (0, ctx.Err()) is returned.
+func TrimTreeContext(ctx context.Context, tree *Tree, cfg TrimConfig) (int, error) {
+	return sim.TrimContext(ctx, tree, cfg)
+}
 
 // RunOnlineReschedule executes one scenario with the idealised purely
 // online scheduler the paper argues against (§1): the remaining schedule

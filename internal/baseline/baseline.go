@@ -15,6 +15,7 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 
 	"ftsched/internal/core"
@@ -66,6 +67,13 @@ func FTSF(app *model.Application) (*schedule.FSchedule, error) {
 		}
 		idx := lowestUtilitySoft(app, entries)
 		if idx < 0 {
+			// Even the hard-only schedule fails; surface which constraint.
+			var se *schedule.UnschedulableError
+			if errors.As(schedule.CheckSchedulable(app, entries, 0, k), &se) {
+				return nil, &core.UnschedulableError{
+					Process: se.Proc, Deadline: se.Bound, WorstCase: se.Completion,
+				}
+			}
 			return nil, core.ErrUnschedulable
 		}
 		entries = append(entries[:idx], entries[idx+1:]...)

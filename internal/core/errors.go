@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// UnschedulableError is the typed form of ErrUnschedulable: synthesis could
+// not guarantee the hard deadlines, and the error names the constraint that
+// broke first. It matches errors.Is(err, ErrUnschedulable), so existing
+// sentinel checks keep working; errors.As recovers the detail.
+type UnschedulableError struct {
+	// Process is the hard process whose deadline cannot be met, or
+	// model.NoProcess when the application period itself is exceeded.
+	Process model.ProcessID
+	// Deadline is the violated bound: the process deadline, or the period.
+	Deadline Time
+	// WorstCase is the offending worst-case completion time.
+	WorstCase Time
+}
+
+// Error implements error.
+func (e *UnschedulableError) Error() string {
+	if e.Process == model.NoProcess {
+		return fmt.Sprintf("core: application is not schedulable: worst-case makespan %d exceeds period %d",
+			e.WorstCase, e.Deadline)
+	}
+	return fmt.Sprintf("core: application is not schedulable: process #%d misses deadline %d (worst-case completion %d)",
+		e.Process, e.Deadline, e.WorstCase)
+}
+
+// Unwrap makes errors.Is(err, ErrUnschedulable) hold for the typed error.
+func (e *UnschedulableError) Unwrap() error { return ErrUnschedulable }
+
+// unschedulableFrom lifts a schedule-level schedulability diagnosis into
+// the typed core error. A nil or unrecognised cause degrades to the bare
+// sentinel (wrapped, so the cause's text is kept).
+func unschedulableFrom(cause error) error {
+	var se *schedule.UnschedulableError
+	if errors.As(cause, &se) {
+		return &UnschedulableError{Process: se.Proc, Deadline: se.Bound, WorstCase: se.Completion}
+	}
+	if cause != nil {
+		return fmt.Errorf("%w: %v", ErrUnschedulable, cause)
+	}
+	return ErrUnschedulable
+}

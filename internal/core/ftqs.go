@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"ftsched/internal/model"
+	"ftsched/internal/obs"
 	"ftsched/internal/schedule"
 )
 
@@ -45,6 +49,33 @@ type FTQSOptions struct {
 	// is side-effect-free and runs on a bounded worker pool, while a
 	// single coordinator goroutine attaches results in the serial order.
 	Workers int
+	// Sink receives synthesis events (nodes expanded, memoisation and
+	// prefetch hits/misses, candidates kept/rejected, worker busy time). A
+	// nil sink or obs.NopSink disables instrumentation. Instrumentation
+	// never alters the synthesised tree.
+	Sink obs.Sink
+}
+
+// Validate normalises the options and rejects impossible values: negative
+// SweepSamples, EvalScenarios or Workers, and a non-finite MinGain. Zero
+// values are replaced by the documented defaults (and M < 1 by 1), so a
+// zero FTQSOptions validates to the default configuration. Every synthesis
+// entry point applies Validate, so CLI flags and library callers get the
+// same diagnostics.
+func (o FTQSOptions) Validate() (FTQSOptions, error) {
+	if o.SweepSamples < 0 {
+		return o, fmt.Errorf("core: FTQSOptions.SweepSamples must be non-negative, got %d", o.SweepSamples)
+	}
+	if o.EvalScenarios < 0 {
+		return o, fmt.Errorf("core: FTQSOptions.EvalScenarios must be non-negative, got %d", o.EvalScenarios)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("core: FTQSOptions.Workers must be non-negative, got %d", o.Workers)
+	}
+	if math.IsNaN(o.MinGain) || math.IsInf(o.MinGain, 0) {
+		return o, fmt.Errorf("core: FTQSOptions.MinGain must be finite, got %v", o.MinGain)
+	}
+	return o.withDefaults(), nil
 }
 
 func (o FTQSOptions) withDefaults() FTQSOptions {
@@ -73,23 +104,40 @@ func (o FTQSOptions) withDefaults() FTQSOptions {
 // interval partitioning derives the switching guards. Returns
 // ErrUnschedulable when no root f-schedule guarantees the hard deadlines.
 func FTQS(app *model.Application, opts FTQSOptions) (*Tree, error) {
+	return FTQSContext(context.Background(), app, opts)
+}
+
+// FTQSContext is FTQS honouring cancellation: the coordinator checks ctx
+// before every node expansion and returns ctx.Err() once it is done,
+// after waiting out any in-flight speculative synthesis (no goroutines are
+// leaked). The tree built so far is discarded.
+func FTQSContext(ctx context.Context, app *model.Application, opts FTQSOptions) (*Tree, error) {
 	root, err := FTSS(app)
 	if err != nil {
 		return nil, err
 	}
-	return FTQSFromRoot(app, root, opts)
+	return FTQSFromRootContext(ctx, app, root, opts)
 }
 
 // FTQSFromRoot is FTQS starting from a pre-computed root f-schedule. The
 // root must be valid for the application (schedule.Validate) and
 // schedulable with k = app.K() faults; this is checked.
 func FTQSFromRoot(app *model.Application, root *schedule.FSchedule, opts FTQSOptions) (*Tree, error) {
-	opts = opts.withDefaults()
+	return FTQSFromRootContext(context.Background(), app, root, opts)
+}
+
+// FTQSFromRootContext is FTQSFromRoot honouring cancellation, with the same
+// node-expansion granularity as FTQSContext.
+func FTQSFromRootContext(ctx context.Context, app *model.Application, root *schedule.FSchedule, opts FTQSOptions) (*Tree, error) {
+	opts, err := opts.Validate()
+	if err != nil {
+		return nil, err
+	}
 	if err := schedule.Validate(app, root); err != nil {
 		return nil, err
 	}
 	if err := schedule.CheckSchedulable(app, root.Entries, 0, app.K()); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnschedulable, err)
+		return nil, unschedulableFrom(err)
 	}
 	b := &treeBuilder{app: app}
 	b.add(&bNode{Node: Node{
@@ -103,6 +151,9 @@ func FTQSFromRoot(app *model.Application, root *schedule.FSchedule, opts FTQSOpt
 	syn := newSynthesizer(app, opts)
 	defer syn.close()
 	for len(b.nodes) < opts.M {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := b.pickNext()
 		if n == nil {
 			break // every reachable sub-schedule is already in the tree
@@ -110,6 +161,7 @@ func FTQSFromRoot(app *model.Application, root *schedule.FSchedule, opts FTQSOpt
 		syn.prefetch(b)
 		cands := syn.candidates(n)
 		n.expanded = true
+		syn.count(obs.FTQSNodesExpanded, 1)
 		for _, c := range cands {
 			if len(b.nodes) >= opts.M {
 				break
@@ -296,10 +348,21 @@ type synthesizer struct {
 	opts FTQSOptions
 	pool *pool       // nil when opts.Workers == 1 (fully serial)
 	memo *suffixMemo // shared across the whole tree
+	// sink receives synthesis events; nil when observability is disabled.
+	// Emitting is always sound from worker goroutines (sinks are
+	// concurrency-safe by contract) and never influences the tree.
+	sink obs.Sink
 	// futures maps a not-yet-expanded node to its in-flight candidate
 	// generation. Coordinator-only.
 	futures map[*bNode]*candFuture
 	fwg     sync.WaitGroup
+}
+
+// count emits one counter increment if a sink is installed.
+func (s *synthesizer) count(c obs.Counter, delta int64) {
+	if s.sink != nil {
+		s.sink.Add(c, delta)
+	}
 }
 
 // candFuture is the promise of a node's candidate list.
@@ -315,17 +378,26 @@ func newSynthesizer(app *model.Application, opts FTQSOptions) *synthesizer {
 		memo:    newSuffixMemo(),
 		futures: make(map[*bNode]*candFuture),
 	}
+	if obs.Live(opts.Sink) {
+		s.sink = opts.Sink
+	}
 	if opts.Workers > 1 {
 		s.pool = newPool(opts.Workers)
 	}
 	return s
 }
 
-// close waits for outstanding speculative futures and shuts the pool down.
+// close waits for outstanding speculative futures, shuts the pool down and
+// flushes the memoisation statistics to the sink.
 func (s *synthesizer) close() {
 	s.fwg.Wait()
 	if s.pool != nil {
 		s.pool.close()
+	}
+	if s.sink != nil {
+		hits, misses := s.memo.stats()
+		s.sink.Add(obs.FTQSMemoHits, int64(hits))
+		s.sink.Add(obs.FTQSMemoMisses, int64(misses))
 	}
 }
 
@@ -361,8 +433,10 @@ func (s *synthesizer) candidates(n *bNode) []candidate {
 	if f := s.futures[n]; f != nil {
 		<-f.done
 		delete(s.futures, n)
+		s.count(obs.FTQSPrefetchHits, 1)
 		return f.cands
 	}
+	s.count(obs.FTQSPrefetchMisses, 1)
 	return s.generate(n)
 }
 
@@ -387,9 +461,20 @@ func (s *synthesizer) generate(n *bNode) []candidate {
 		return nil
 	}
 	perPos := make([][]candidate, nPos)
+	// work synthesises one position, timing itself when a sink is live so
+	// worker utilisation (busy time vs wall clock) can be derived.
+	work := func(i int) {
+		if s.sink == nil {
+			perPos[i] = s.candidatesAt(n, n.SwitchPos+i, droppedBase)
+			return
+		}
+		t0 := time.Now()
+		perPos[i] = s.candidatesAt(n, n.SwitchPos+i, droppedBase)
+		s.sink.Add(obs.FTQSWorkerBusyNanos, time.Since(t0).Nanoseconds())
+	}
 	if s.pool == nil {
 		for i := range perPos {
-			perPos[i] = s.candidatesAt(n, n.SwitchPos+i, droppedBase)
+			work(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -398,7 +483,7 @@ func (s *synthesizer) generate(n *bNode) []candidate {
 			i := i
 			s.pool.submit(func() {
 				defer wg.Done()
-				perPos[i] = s.candidatesAt(n, n.SwitchPos+i, droppedBase)
+				work(i)
 			})
 		}
 		wg.Wait()
@@ -407,6 +492,7 @@ func (s *synthesizer) generate(n *bNode) []candidate {
 	for _, cs := range perPos {
 		cands = append(cands, cs...)
 	}
+	s.count(obs.FTQSCandidatesKept, int64(len(cands)))
 	// Best candidates first (paper: keep the sub-schedules with the most
 	// significant utility improvement).
 	for i := 0; i < len(cands); i++ {
@@ -484,6 +570,7 @@ func (s *synthesizer) candidatesAt(n *bNode, pos int, droppedBase model.ProcSet)
 				continue
 			}
 			if haveFirst && sameEntries(c.suffix, firstSuffix) {
+				s.count(obs.FTQSCandidatesRejected, 1)
 				continue
 			}
 			firstSuffix, haveFirst = c.suffix, true
@@ -546,10 +633,12 @@ func (s *synthesizer) makeCandidate(n *bNode, pos int, kind ArcKind,
 	app := s.app
 	suffix := s.suffixFTSS(executed, dropped, genStart, kRem)
 	if len(suffix) == 0 {
+		s.count(obs.FTQSCandidatesRejected, 1)
 		return nil
 	}
 	parentSuffix := n.Schedule.Entries[pos+1:]
 	if kind == Completion && sameEntries(suffix, parentSuffix) {
+		s.count(obs.FTQSCandidatesRejected, 1)
 		return nil
 	}
 
@@ -568,6 +657,7 @@ func (s *synthesizer) makeCandidate(n *bNode, pos int, kind ArcKind,
 	childEval := newSuffixEval(app, suffix, childDropped, s.opts.EvalScenarios)
 	ivs := partitionChild(app, parentEval, childEval, suffix, lo, hi, kRem, s.opts.SweepSamples)
 	if len(ivs) == 0 {
+		s.count(obs.FTQSCandidatesRejected, 1)
 		return nil
 	}
 	var gain float64
@@ -576,6 +666,7 @@ func (s *synthesizer) makeCandidate(n *bNode, pos int, kind ArcKind,
 	}
 	gain /= float64(hi - lo + 1)
 	if gain < s.opts.MinGain {
+		s.count(obs.FTQSCandidatesRejected, 1)
 		return nil
 	}
 	return &candidate{

@@ -135,7 +135,7 @@ func (st *ftssState) run() ([]schedule.Entry, error) {
 				continue
 			}
 			if !st.forcedDropping() {
-				return nil, ErrUnschedulable
+				return nil, st.unschedulable()
 			}
 			if len(st.ready) == 0 {
 				break
@@ -146,16 +146,35 @@ func (st *ftssState) run() ([]schedule.Entry, error) {
 			continue
 		}
 		if len(sched) == 0 {
-			return nil, ErrUnschedulable
+			return nil, st.unschedulable()
 		}
 		best := st.bestProcess(sched)
 		st.place(best)
 	}
 	// Defensive final verification; the per-placement checks imply it.
 	if err := schedule.CheckSchedulable(st.app, st.entries, st.start, st.kRem); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnschedulable, err)
+		return nil, unschedulableFrom(err)
 	}
 	return st.entries, nil
+}
+
+// unschedulable diagnoses why the run is stuck: the placed entries plus
+// the bare hard tail is the least-constrained continuation, so its
+// CheckSchedulable verdict names the offending process; if that passes, the
+// conflict is per-candidate and the first failing S_iH is reported instead.
+func (st *ftssState) unschedulable() error {
+	cand := append([]schedule.Entry(nil), st.entries...)
+	cand = append(cand, st.hardTail(model.NoProcess)...)
+	if err := schedule.CheckSchedulable(st.app, cand, st.start, st.kRem); err != nil {
+		return unschedulableFrom(err)
+	}
+	for _, p := range st.ready {
+		c := st.candidateWithHardTail(p, st.recoveriesFor(p))
+		if err := schedule.CheckSchedulable(st.app, c, st.start, st.kRem); err != nil {
+			return unschedulableFrom(err)
+		}
+	}
+	return ErrUnschedulable
 }
 
 // removeReady deletes p from the ready list.

@@ -26,6 +26,7 @@ import (
 	"ftsched/internal/core"
 	"ftsched/internal/gen"
 	"ftsched/internal/model"
+	"ftsched/internal/obs"
 	"ftsched/internal/report"
 	"ftsched/internal/sim"
 	"ftsched/internal/stats"
@@ -37,12 +38,12 @@ import (
 // slack is patched in, no matter how many soft processes are dropped; in
 // that case ftsf is nil and the caller scores the baseline as delivering
 // zero utility (the system cannot be deployed with that schedule).
-func synthesise(app *model.Application, m, workers int) (ftqs, ftss, ftsf *core.Tree, err error) {
+func synthesise(app *model.Application, m, workers int, sink obs.Sink) (ftqs, ftss, ftsf *core.Tree, err error) {
 	root, err := core.FTSS(app)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	tree, err := core.FTQSFromRoot(app, root, core.FTQSOptions{M: m, Workers: workers})
+	tree, err := core.FTQSFromRoot(app, root, core.FTQSOptions{M: m, Workers: workers, Sink: sink})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -55,8 +56,8 @@ func synthesise(app *model.Application, m, workers int) (ftqs, ftss, ftsf *core.
 
 // meanUtility runs the Monte-Carlo evaluation and fails on any hard
 // violation — the experiments double as an end-to-end safety check.
-func meanUtility(tree *core.Tree, scenarios, faults int, seed int64) (float64, error) {
-	st, err := sim.MonteCarlo(tree, sim.MCConfig{Scenarios: scenarios, Faults: faults, Seed: seed})
+func meanUtility(tree *core.Tree, scenarios, faults int, seed int64, sink obs.Sink) (float64, error) {
+	st, err := sim.MonteCarlo(tree, sim.MCConfig{Scenarios: scenarios, Faults: faults, Seed: seed, Sink: sink})
 	if err != nil {
 		return 0, err
 	}
@@ -98,6 +99,10 @@ type Fig9Config struct {
 	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
 	// Results are identical for any value; see core.FTQSOptions.Workers.
 	Workers int
+	// Sink receives synthesis and simulation events from every run of
+	// the experiment (nil disables instrumentation; results are
+	// identical either way).
+	Sink obs.Sink
 }
 
 // DefaultFig9 returns a configuration that finishes in seconds; pass the
@@ -145,12 +150,12 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers)
+			ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}
 			seed := rng.Int63()
-			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed)
+			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}
@@ -162,7 +167,7 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 					acc[key] = append(acc[key], 0)
 					return nil
 				}
-				u, err := meanUtility(tree, cfg.Scenarios, faults, seed)
+				u, err := meanUtility(tree, cfg.Scenarios, faults, seed, cfg.Sink)
 				if err != nil {
 					return err
 				}
@@ -287,6 +292,9 @@ type Table1Config struct {
 	Trim bool
 	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Sink receives synthesis and simulation events (nil disables
+	// instrumentation; results are identical either way).
+	Sink obs.Sink
 }
 
 // DefaultTable1 returns a CI-friendly configuration.
@@ -342,7 +350,7 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 		}
 		seed := rng.Int63()
 		st := sim.StaticTree(app, root)
-		base, err := meanUtility(st, cfg.Scenarios, 0, seed)
+		base, err := meanUtility(st, cfg.Scenarios, 0, seed, cfg.Sink)
 		if err != nil {
 			return nil, err
 		}
@@ -359,12 +367,12 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 		for _, c := range cases {
 			t0 := time.Now()
 			tree, err := core.FTQSFromRoot(c.app, c.root.Root().Schedule,
-				core.FTQSOptions{M: m, Workers: cfg.Workers})
+				core.FTQSOptions{M: m, Workers: cfg.Workers, Sink: cfg.Sink})
 			if err != nil {
 				return nil, err
 			}
 			if cfg.Trim {
-				if _, err := sim.Trim(tree, sim.TrimConfig{Scenarios: 200, Seed: c.seed + 1}); err != nil {
+				if _, err := sim.Trim(tree, sim.TrimConfig{Scenarios: 200, Seed: c.seed + 1, Sink: cfg.Sink}); err != nil {
 					return nil, err
 				}
 			}
@@ -372,7 +380,7 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 			row.MeanNodes += float64(tree.Size())
 			row.MemoryBytes += float64(tree.MemoryFootprint())
 			for f := 0; f <= 3 && f <= c.app.K(); f++ {
-				u, err := meanUtility(tree, cfg.Scenarios, f, c.seed)
+				u, err := meanUtility(tree, cfg.Scenarios, f, c.seed, cfg.Sink)
 				if err != nil {
 					return nil, err
 				}
@@ -418,6 +426,9 @@ type CCConfig struct {
 	Seed      int64
 	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Sink receives synthesis and simulation events (nil disables
+	// instrumentation; results are identical either way).
+	Sink obs.Sink
 }
 
 // DefaultCC mirrors the paper's setup with a CI-friendly scenario count.
@@ -439,19 +450,19 @@ type CCResult struct {
 // CruiseController reproduces the paper's CC case study.
 func CruiseController(cfg CCConfig) (*CCResult, error) {
 	app := apps.CruiseController()
-	ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers)
+	ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers, cfg.Sink)
 	if err != nil {
 		return nil, err
 	}
 	res := &CCResult{Cfg: cfg, TreeNodes: ftqs.Size()}
 	for f := 0; f <= 2; f++ {
-		if res.FTQS[f], err = meanUtility(ftqs, cfg.Scenarios, f, cfg.Seed); err != nil {
+		if res.FTQS[f], err = meanUtility(ftqs, cfg.Scenarios, f, cfg.Seed, cfg.Sink); err != nil {
 			return nil, err
 		}
-		if res.FTSS[f], err = meanUtility(ftss, cfg.Scenarios, f, cfg.Seed); err != nil {
+		if res.FTSS[f], err = meanUtility(ftss, cfg.Scenarios, f, cfg.Seed, cfg.Sink); err != nil {
 			return nil, err
 		}
-		if res.FTSF[f], err = meanUtility(ftsf, cfg.Scenarios, f, cfg.Seed); err != nil {
+		if res.FTSF[f], err = meanUtility(ftsf, cfg.Scenarios, f, cfg.Seed, cfg.Sink); err != nil {
 			return nil, err
 		}
 	}

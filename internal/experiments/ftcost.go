@@ -7,6 +7,7 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/gen"
+	"ftsched/internal/obs"
 	"ftsched/internal/stats"
 )
 
@@ -26,6 +27,9 @@ type FTCostConfig struct {
 	Seed      int64
 	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Sink receives synthesis and simulation events (nil disables
+	// instrumentation; results are identical either way).
+	Sink obs.Sink
 }
 
 // DefaultFTCost returns a CI-friendly configuration.
@@ -97,12 +101,12 @@ func FTCost(cfg FTCostConfig) (*FTCostResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			tree, err := core.FTQS(app, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers})
+			tree, err := core.FTQS(app, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers, Sink: cfg.Sink})
 			if err != nil {
 				ok = false
 				break
 			}
-			u, err := meanUtility(tree, cfg.Scenarios, 0, seed)
+			u, err := meanUtility(tree, cfg.Scenarios, 0, seed, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}

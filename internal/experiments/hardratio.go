@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ftsched/internal/gen"
+	"ftsched/internal/obs"
 	"ftsched/internal/stats"
 )
 
@@ -24,6 +25,9 @@ type HardRatioConfig struct {
 	Seed      int64
 	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Sink receives synthesis and simulation events (nil disables
+	// instrumentation; results are identical either way).
+	Sink obs.Sink
 }
 
 // DefaultHardRatio returns a CI-friendly configuration.
@@ -69,19 +73,19 @@ func HardRatio(cfg HardRatioConfig) (*HardRatioResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers)
+			ftqs, ftss, ftsf, err := synthesise(app, cfg.M, cfg.Workers, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}
 			seed := rng.Int63()
-			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed)
+			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}
 			if base == 0 {
 				continue
 			}
-			us, err := meanUtility(ftss, cfg.Scenarios, 0, seed)
+			us, err := meanUtility(ftss, cfg.Scenarios, 0, seed, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}
@@ -90,7 +94,7 @@ func HardRatio(cfg HardRatioConfig) (*HardRatioResult, error) {
 				row.FTSFFailures++
 				ftsfAcc = append(ftsfAcc, 0)
 			} else {
-				ub, err := meanUtility(ftsf, cfg.Scenarios, 0, seed)
+				ub, err := meanUtility(ftsf, cfg.Scenarios, 0, seed, cfg.Sink)
 				if err != nil {
 					return nil, err
 				}

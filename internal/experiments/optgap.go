@@ -7,6 +7,7 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/gen"
+	"ftsched/internal/obs"
 	"ftsched/internal/optimal"
 	"ftsched/internal/schedule"
 	"ftsched/internal/sim"
@@ -25,6 +26,9 @@ type OptGapConfig struct {
 	Seed      int64
 	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Sink receives synthesis and simulation events (nil disables
+	// instrumentation; results are identical either way).
+	Sink obs.Sink
 }
 
 // DefaultOptGap returns a CI-friendly configuration.
@@ -71,7 +75,7 @@ func OptGap(cfg OptGapConfig) (*OptGapResult, error) {
 		if err != nil {
 			continue
 		}
-		tree, err := core.FTQSFromRoot(app, ftss, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers})
+		tree, err := core.FTQSFromRoot(app, ftss, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers, Sink: cfg.Sink})
 		if err != nil {
 			return nil, err
 		}
@@ -79,18 +83,18 @@ func OptGap(cfg OptGapConfig) (*OptGapResult, error) {
 		sumFTSS += schedule.ExpectedUtility(app, ftss)
 
 		seed := rng.Int63()
-		base, err := meanUtility(sim.StaticTree(app, opt.Schedule), cfg.Scenarios, 0, seed)
+		base, err := meanUtility(sim.StaticTree(app, opt.Schedule), cfg.Scenarios, 0, seed, cfg.Sink)
 		if err != nil {
 			return nil, err
 		}
 		if base == 0 {
 			continue
 		}
-		us, err := meanUtility(sim.StaticTree(app, ftss), cfg.Scenarios, 0, seed)
+		us, err := meanUtility(sim.StaticTree(app, ftss), cfg.Scenarios, 0, seed, cfg.Sink)
 		if err != nil {
 			return nil, err
 		}
-		uq, err := meanUtility(tree, cfg.Scenarios, 0, seed)
+		uq, err := meanUtility(tree, cfg.Scenarios, 0, seed, cfg.Sink)
 		if err != nil {
 			return nil, err
 		}

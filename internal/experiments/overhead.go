@@ -8,6 +8,7 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/gen"
+	"ftsched/internal/obs"
 	"ftsched/internal/sim"
 	"ftsched/internal/stats"
 )
@@ -25,6 +26,9 @@ type OverheadConfig struct {
 	Seed      int64
 	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Sink receives synthesis events (nil disables instrumentation;
+	// results are identical either way).
+	Sink obs.Sink
 }
 
 // DefaultOverhead returns a CI-friendly configuration.
@@ -66,7 +70,7 @@ func Overhead(cfg OverheadConfig) (*OverheadResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree, err := core.FTQSFromRoot(app, root, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers})
+		tree, err := core.FTQSFromRoot(app, root, core.FTQSOptions{M: cfg.M, Workers: cfg.Workers, Sink: cfg.Sink})
 		if err != nil {
 			return nil, err
 		}

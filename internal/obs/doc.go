@@ -1,0 +1,53 @@
+// Package obs is the zero-cost observability layer of the scheduler: a
+// pluggable event sink threaded through tree synthesis (internal/core),
+// online dispatch (internal/runtime) and Monte-Carlo evaluation
+// (internal/sim), plus the export machinery that turns collected events
+// into a Prometheus-text / expvar / pprof HTTP endpoint for the
+// long-running CLIs.
+//
+// # Event taxonomy
+//
+// Every event the instrumented subsystems can emit is enumerated up front
+// as either a Counter (a monotonically increasing count: cycles run,
+// schedule switches taken, memo hits, candidate schedules rejected, ...)
+// or a Histogram (a distribution over an integer magnitude: guard
+// binary-search depth, hard-deadline slack, per-scenario utility, ...).
+// The closed enumeration is deliberate: emitters pay an array index, not a
+// name lookup, and the export side can render every metric — including
+// never-incremented ones — without coordination.
+//
+// # Sink contract
+//
+// A Sink receives events. Implementations must be safe for concurrent use
+// and must not allocate in Add/Observe/ObserveN — those calls sit on the
+// dispatcher's per-cycle hot path, which is asserted to run at 0
+// allocations per cycle. NopSink discards everything; instrumented code
+// treats "no sink" (nil or NopSink) as a single branch, so disabled
+// instrumentation compiles down to a predictable-not-taken nil check.
+//
+// Metrics is the standard live implementation: fixed arrays of atomic
+// counters and fixed-bucket (power-of-two) histograms. It allocates only
+// at construction and on Snapshot, never on the event path.
+//
+// # Hot-path rules
+//
+// Instrumented subsystems follow three rules, in priority order:
+//
+//  1. The uninstrumented path stays untouched: a nil sink must cost at
+//     most a branch per cycle, and 0 allocs/cycle is asserted by test.
+//  2. Per-event work is O(1) and allocation-free: array index + atomic
+//     add. Per-entry events inside a cycle (guard-search depths) are
+//     batched in pooled scratch and flushed once per cycle with ObserveN.
+//  3. Instrumentation never changes results: sinks observe, they do not
+//     steer. Trees, schedules and statistics are bit-identical with and
+//     without a live sink.
+//
+// # Export
+//
+// Handler serves the collected metrics in Prometheus text exposition
+// format at /metrics, as expvar JSON at /debug/vars (the Metrics instance
+// is published as the expvar variable "ftsched"), and mounts
+// net/http/pprof at /debug/pprof/. Serve starts a background HTTP server
+// for a CLI (ftsim -metrics-addr, ftexperiments -metrics-addr) and
+// returns the bound address, so ":0" works in tests.
+package obs

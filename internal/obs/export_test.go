@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Add(DispatchCycles, 7)
+	m.Observe(DispatchHardSlack, 5)
+	m.Observe(DispatchHardSlack, 100)
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, w := range []string{
+		"# TYPE ftsched_dispatch_cycles_total counter",
+		"ftsched_dispatch_cycles_total 7",
+		"# TYPE ftsched_dispatch_hard_slack histogram",
+		`ftsched_dispatch_hard_slack_bucket{le="+Inf"} 2`,
+		"ftsched_dispatch_hard_slack_sum 105",
+		"ftsched_dispatch_hard_slack_count 2",
+		// Untouched metrics render too.
+		"ftsched_montecarlo_runs_total 0",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("prometheus output missing %q", w)
+		}
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count, and
+	// no le-series decreases.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "ftsched_dispatch_hard_slack_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscan(line, &n); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if n < last {
+			t.Errorf("bucket series decreases at %q", line)
+		}
+		last = n
+	}
+}
+
+// fmtSscan extracts the trailing integer of a metric line.
+func fmtSscan(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*n, err = parseInt(line[i+1:])
+	return 0, err
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		v = v*10 + int64(r-'0')
+	}
+	return v, nil
+}
+
+func TestServeEndpoints(t *testing.T) {
+	m := NewMetrics()
+	m.Add(MCRuns, 1)
+	addr, stop, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "ftsched_montecarlo_runs_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	vars := get("/debug/vars")
+	var payload map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &payload); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := payload["ftsched"]; !ok {
+		t.Errorf("/debug/vars lacks the ftsched variable: %s", vars)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload["ftsched"], &snap); err != nil {
+		t.Fatalf("ftsched expvar payload: %v", err)
+	}
+	if snap.Counters[MCRuns.Name()] != 1 {
+		t.Errorf("expvar snapshot counter = %d, want 1", snap.Counters[MCRuns.Name()])
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestHandlerFollowsLatestCollector(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Add(MCRuns, 1)
+	b.Add(MCRuns, 2)
+	_ = Handler(a)
+	_ = Handler(b)
+	if got := published.Load(); got != b {
+		t.Error("expvar publication does not follow the latest Handler call")
+	}
+}

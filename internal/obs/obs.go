@@ -1,0 +1,198 @@
+package obs
+
+// Counter identifies one monotonic event counter. The enumeration is
+// closed so emitters pay an array index per event and exporters can render
+// the complete metric set without registration.
+type Counter int
+
+const (
+	// FTQSNodesExpanded counts tree nodes whose candidate children were
+	// generated and attached during FTQS synthesis.
+	FTQSNodesExpanded Counter = iota
+	// FTQSMemoHits and FTQSMemoMisses count suffix-synthesis memoisation
+	// cache lookups (internal/core.suffixMemo).
+	FTQSMemoHits
+	FTQSMemoMisses
+	// FTQSCandidatesKept counts candidate sub-schedules that survived
+	// interval partitioning and were offered to the coordinator.
+	FTQSCandidatesKept
+	// FTQSCandidatesRejected counts candidate sub-schedules discarded as
+	// infeasible, identical to the parent's continuation, or below the
+	// minimum utility gain.
+	FTQSCandidatesRejected
+	// FTQSPrefetchHits counts node expansions served from a speculative
+	// prefetched future; FTQSPrefetchMisses counts expansions computed on
+	// the spot. Their ratio measures how well speculation tracks the
+	// coordinator's expansion order.
+	FTQSPrefetchHits
+	FTQSPrefetchMisses
+	// FTQSWorkerBusyNanos accumulates nanoseconds spent inside candidate
+	// generation across all synthesis workers; against wall-clock time it
+	// yields worker utilisation.
+	FTQSWorkerBusyNanos
+
+	// DispatchCycles counts operation cycles executed by a Dispatcher.
+	DispatchCycles
+	// DispatchSwitches counts quasi-static schedule switches taken.
+	DispatchSwitches
+	// DispatchFaultsAbsorbed counts re-executions performed (faults
+	// absorbed by recovery slack); DispatchFaultsAbandoned counts
+	// processes abandoned because their recovery budget was exhausted.
+	DispatchFaultsAbsorbed
+	DispatchFaultsAbandoned
+
+	// MCRuns counts Monte-Carlo evaluations; MCScenarios counts simulated
+	// scenarios across all evaluations.
+	MCRuns
+	MCScenarios
+
+	// TrimArcsEvaluated counts switch arcs whose removal was priced by
+	// paired replay; TrimArcsRemoved counts arcs actually removed;
+	// TrimReplays counts scenario replays performed while pricing.
+	TrimArcsEvaluated
+	TrimArcsRemoved
+	TrimReplays
+
+	numCounters
+)
+
+// NumCounters is the size of the counter enumeration, for sinks that back
+// counters with fixed arrays.
+const NumCounters = int(numCounters)
+
+// counterNames are the Prometheus/expvar metric names, indexed by Counter.
+var counterNames = [numCounters]string{
+	FTQSNodesExpanded:       "ftsched_ftqs_nodes_expanded_total",
+	FTQSMemoHits:            "ftsched_ftqs_memo_hits_total",
+	FTQSMemoMisses:          "ftsched_ftqs_memo_misses_total",
+	FTQSCandidatesKept:      "ftsched_ftqs_candidates_kept_total",
+	FTQSCandidatesRejected:  "ftsched_ftqs_candidates_rejected_total",
+	FTQSPrefetchHits:        "ftsched_ftqs_prefetch_hits_total",
+	FTQSPrefetchMisses:      "ftsched_ftqs_prefetch_misses_total",
+	FTQSWorkerBusyNanos:     "ftsched_ftqs_worker_busy_nanoseconds_total",
+	DispatchCycles:          "ftsched_dispatch_cycles_total",
+	DispatchSwitches:        "ftsched_dispatch_switches_total",
+	DispatchFaultsAbsorbed:  "ftsched_dispatch_faults_absorbed_total",
+	DispatchFaultsAbandoned: "ftsched_dispatch_faults_abandoned_total",
+	MCRuns:                  "ftsched_montecarlo_runs_total",
+	MCScenarios:             "ftsched_montecarlo_scenarios_total",
+	TrimArcsEvaluated:       "ftsched_trim_arcs_evaluated_total",
+	TrimArcsRemoved:         "ftsched_trim_arcs_removed_total",
+	TrimReplays:             "ftsched_trim_replays_total",
+}
+
+var counterHelp = [numCounters]string{
+	FTQSNodesExpanded:       "Tree nodes expanded during FTQS synthesis.",
+	FTQSMemoHits:            "Suffix-synthesis memoisation cache hits.",
+	FTQSMemoMisses:          "Suffix-synthesis memoisation cache misses.",
+	FTQSCandidatesKept:      "Candidate sub-schedules kept after interval partitioning.",
+	FTQSCandidatesRejected:  "Candidate sub-schedules rejected (infeasible, duplicate, or below the gain threshold).",
+	FTQSPrefetchHits:        "Node expansions served from a speculative prefetched future.",
+	FTQSPrefetchMisses:      "Node expansions computed on demand (no prefetched future).",
+	FTQSWorkerBusyNanos:     "Nanoseconds spent in candidate generation across synthesis workers.",
+	DispatchCycles:          "Operation cycles executed by the online dispatcher.",
+	DispatchSwitches:        "Quasi-static schedule switches taken.",
+	DispatchFaultsAbsorbed:  "Faults absorbed by re-execution within recovery slack.",
+	DispatchFaultsAbandoned: "Processes abandoned after exhausting their recovery budget.",
+	MCRuns:                  "Monte-Carlo evaluations performed.",
+	MCScenarios:             "Scenarios simulated across all Monte-Carlo evaluations.",
+	TrimArcsEvaluated:       "Switch arcs priced by paired scenario replay during trimming.",
+	TrimArcsRemoved:         "Switch arcs removed by trimming.",
+	TrimReplays:             "Scenario replays performed while pricing arc removals.",
+}
+
+// Name returns the stable metric name of the counter ("" for an
+// out-of-range value).
+func (c Counter) Name() string {
+	if c < 0 || c >= numCounters {
+		return ""
+	}
+	return counterNames[c]
+}
+
+// Histogram identifies one fixed-bucket distribution.
+type Histogram int
+
+const (
+	// DispatchGuardDepth is the binary-search depth (loop iterations over
+	// group plus segment tables) of one guard lookup.
+	DispatchGuardDepth Histogram = iota
+	// DispatchHardSlack is the slack (deadline minus completion time) of a
+	// completed hard process; violations land in the ≤0 bucket.
+	DispatchHardSlack
+	// DispatchSwitchNode is the NodeID switched to when a switch arc is
+	// taken — the distribution of switch traffic across the tree.
+	DispatchSwitchNode
+	// MCUtility is the per-scenario total utility (rounded to integer) of
+	// a Monte-Carlo evaluation.
+	MCUtility
+
+	numHistograms
+)
+
+// NumHistograms is the size of the histogram enumeration.
+const NumHistograms = int(numHistograms)
+
+var histogramNames = [numHistograms]string{
+	DispatchGuardDepth: "ftsched_dispatch_guard_search_depth",
+	DispatchHardSlack:  "ftsched_dispatch_hard_slack",
+	DispatchSwitchNode: "ftsched_dispatch_switch_node",
+	MCUtility:          "ftsched_montecarlo_utility",
+}
+
+var histogramHelp = [numHistograms]string{
+	DispatchGuardDepth: "Binary-search depth per guard lookup in the compiled dispatch table.",
+	DispatchHardSlack:  "Hard-deadline slack (deadline - completion) per completed hard process; violations fall in the <=0 bucket.",
+	DispatchSwitchNode: "Target NodeID per schedule switch taken.",
+	MCUtility:          "Per-scenario total utility (rounded) observed by Monte-Carlo evaluation.",
+}
+
+// Name returns the stable metric name of the histogram ("" for an
+// out-of-range value).
+func (h Histogram) Name() string {
+	if h < 0 || h >= numHistograms {
+		return ""
+	}
+	return histogramNames[h]
+}
+
+// Sink receives instrumentation events. Implementations must be safe for
+// concurrent use and must not allocate: these methods are called from the
+// dispatcher's per-cycle hot path, which is asserted to run at zero
+// allocations per cycle (see the hot-path rules in the package
+// documentation).
+type Sink interface {
+	// Add increments counter c by delta.
+	Add(c Counter, delta int64)
+	// Observe records one sample v in histogram h.
+	Observe(h Histogram, v int64)
+	// ObserveN records n identical samples v in histogram h — the batched
+	// form emitters use to flush per-cycle scratch with one call per
+	// distinct value.
+	ObserveN(h Histogram, v int64, n int64)
+}
+
+// NopSink discards every event. Instrumented code treats it exactly like a
+// nil sink: a single never-taken branch per cycle, so disabled
+// observability is free.
+type NopSink struct{}
+
+// Add implements Sink.
+func (NopSink) Add(Counter, int64) {}
+
+// Observe implements Sink.
+func (NopSink) Observe(Histogram, int64) {}
+
+// ObserveN implements Sink.
+func (NopSink) ObserveN(Histogram, int64, int64) {}
+
+// Live reports whether s is a sink worth emitting to: non-nil and not a
+// NopSink. Instrumented subsystems normalise through Live once at setup so
+// their hot paths test a single pointer.
+func Live(s Sink) bool {
+	if s == nil {
+		return false
+	}
+	_, nop := s.(NopSink)
+	return !nop
+}

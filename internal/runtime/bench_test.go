@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ftsched/internal/apps"
+	"ftsched/internal/obs"
 	"ftsched/internal/runtime"
 	"ftsched/internal/sim"
 )
@@ -19,6 +20,36 @@ func BenchmarkDispatch(b *testing.B) {
 	app := apps.CruiseController()
 	tree := synthesize(b, app, 20)
 	d := runtime.NewDispatcher(tree)
+	rng := rand.New(rand.NewSource(1))
+	sc := sim.Sample(app, rng, 2, nil)
+	var res runtime.Result
+	d.RunInto(&res, sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.RunInto(&res, sc)
+	}
+}
+
+// BenchmarkDispatchNopSink is BenchmarkDispatch with an explicitly
+// installed NopSink: the disabled-observability path, which must be
+// indistinguishable from no sink at all.
+func BenchmarkDispatchNopSink(b *testing.B) {
+	benchDispatchSink(b, obs.NopSink{})
+}
+
+// BenchmarkDispatchSink is BenchmarkDispatch with a live Metrics collector
+// attached; the delta against BenchmarkDispatch is the full per-cycle
+// instrumentation cost (counter flush, slack/switch observations, batched
+// guard-depth histogram).
+func BenchmarkDispatchSink(b *testing.B) {
+	benchDispatchSink(b, obs.NewMetrics())
+}
+
+func benchDispatchSink(b *testing.B, s obs.Sink) {
+	app := apps.CruiseController()
+	tree := synthesize(b, app, 20)
+	d := runtime.NewDispatcher(tree, runtime.WithSink(s))
 	rng := rand.New(rand.NewSource(1))
 	sc := sim.Sample(app, rng, 2, nil)
 	var res runtime.Result

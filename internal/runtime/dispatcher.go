@@ -5,6 +5,7 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/obs"
 	"ftsched/internal/utility"
 )
 
@@ -29,13 +30,32 @@ type groupRange struct {
 	start, end int32
 }
 
+// depthBuckets caps the guard binary-search depths tracked per cycle; the
+// last slot absorbs deeper searches (unreachable below 2^14 dispatch
+// groups per node).
+const depthBuckets = 16
+
 // cycleBufs is the per-cycle scratch the interpreter needs beyond the
-// caller's Result: fault budgets, stale statuses and α coefficients. They
-// are pooled so concurrent cycles on one Dispatcher stay allocation-free.
+// caller's Result: fault budgets, stale statuses and α coefficients, plus
+// the per-cycle guard-depth tally a live sink is flushed from. They are
+// pooled so concurrent cycles on one Dispatcher stay allocation-free.
 type cycleBufs struct {
 	faultsLeft []int
 	status     []utility.StaleStatus
 	alpha      []float64
+	// depthCounts[d] counts guard lookups that binary-searched d steps
+	// this cycle; batched here and flushed with ObserveN once per cycle so
+	// instrumentation costs O(distinct depths), not O(lookups), in atomic
+	// operations.
+	depthCounts [depthBuckets]int32
+}
+
+// recordDepth tallies one guard lookup of the given search depth.
+func (b *cycleBufs) recordDepth(depth int) {
+	if depth >= depthBuckets {
+		depth = depthBuckets - 1
+	}
+	b.depthCounts[depth]++
 }
 
 // Dispatcher is the compiled, immutable online-scheduler state for one
@@ -60,12 +80,37 @@ type Dispatcher struct {
 	preds   [][]int
 	hardIDs []model.ProcessID
 
+	// sink receives dispatch events; nil when observability is disabled
+	// (the default, and what obs.NopSink normalises to), so the hot path
+	// pays one branch per cycle.
+	sink obs.Sink
+
 	bufs sync.Pool
 }
 
+// Option configures a Dispatcher at construction.
+type Option func(*Dispatcher)
+
+// WithSink routes the dispatcher's events (cycles, switches, guard search
+// depths, absorbed/abandoned faults, hard-deadline slack) to s. A nil
+// sink or obs.NopSink leaves instrumentation disabled; RunInto stays at 0
+// allocations per cycle either way.
+func WithSink(s obs.Sink) Option {
+	return func(d *Dispatcher) {
+		if obs.Live(s) {
+			d.sink = s
+		} else {
+			d.sink = nil
+		}
+	}
+}
+
+// Sink returns the sink events are routed to (nil when disabled).
+func (d *Dispatcher) Sink() obs.Sink { return d.sink }
+
 // NewDispatcher compiles a tree. The tree must stay unmodified while the
 // Dispatcher is in use (trimming recompiles after each mutation).
-func NewDispatcher(tree *core.Tree) *Dispatcher {
+func NewDispatcher(tree *core.Tree, opts ...Option) *Dispatcher {
 	app := tree.App
 	n := app.N()
 	d := &Dispatcher{
@@ -75,6 +120,9 @@ func NewDispatcher(tree *core.Tree) *Dispatcher {
 		order:   make([]int, n),
 		preds:   make([][]int, n),
 		hardIDs: app.HardIDs(),
+	}
+	for _, opt := range opts {
+		opt(d)
 	}
 	for id := 0; id < n; id++ {
 		d.procs[id] = app.Proc(model.ProcessID(id))
@@ -188,22 +236,24 @@ func (d *Dispatcher) Tree() *core.Tree { return d.tree }
 
 // next resolves the schedule switch after entry pos of node id completed
 // (or was abandoned) at time tc — the compiled equivalent of
-// core.Tree.Next, with identical semantics.
-func (d *Dispatcher) next(id core.NodeID, pos int, tc model.Time, outcome core.EntryOutcome) core.NodeID {
+// core.Tree.Next, with identical semantics. With a live sink (bufs
+// non-nil), every guard lookup's binary-search depth is tallied into the
+// cycle scratch.
+func (d *Dispatcher) next(id core.NodeID, pos int, tc model.Time, outcome core.EntryOutcome, bufs *cycleBufs) core.NodeID {
 	switch outcome {
 	case core.CompletedOK:
-		if c := d.lookup(id, pos, core.Completion, tc); c != core.NoNode {
+		if c := d.lookup(id, pos, core.Completion, tc, bufs); c != core.NoNode {
 			return c
 		}
 	case core.CompletedRecovered:
-		if c := d.lookup(id, pos, core.FaultRecovered, tc); c != core.NoNode {
+		if c := d.lookup(id, pos, core.FaultRecovered, tc, bufs); c != core.NoNode {
 			return c
 		}
-		if c := d.lookup(id, pos, core.Completion, tc); c != core.NoNode {
+		if c := d.lookup(id, pos, core.Completion, tc, bufs); c != core.NoNode {
 			return c
 		}
 	case core.DroppedByFault:
-		if c := d.lookup(id, pos, core.FaultDropped, tc); c != core.NoNode {
+		if c := d.lookup(id, pos, core.FaultDropped, tc, bufs); c != core.NoNode {
 			return c
 		}
 	}
@@ -211,12 +261,15 @@ func (d *Dispatcher) next(id core.NodeID, pos int, tc model.Time, outcome core.E
 }
 
 // lookup binary-searches the node's compiled groups for (pos, kind), then
-// the group's disjoint segments for tc.
-func (d *Dispatcher) lookup(id core.NodeID, pos int, kind core.ArcKind, tc model.Time) core.NodeID {
+// the group's disjoint segments for tc. stats (nil when instrumentation is
+// off) receives the total search depth.
+func (d *Dispatcher) lookup(id core.NodeID, pos int, kind core.ArcKind, tc model.Time, stats *cycleBufs) core.NodeID {
+	depth := 0
 	gr := d.nodeGroups[id]
 	gs := d.groups[gr.start:gr.end]
 	lo, hi := 0, len(gs)
 	for lo < hi {
+		depth++
 		mid := int(uint(lo+hi) >> 1)
 		g := &gs[mid]
 		if int(g.pos) < pos || (int(g.pos) == pos && g.kind < kind) {
@@ -226,17 +279,24 @@ func (d *Dispatcher) lookup(id core.NodeID, pos int, kind core.ArcKind, tc model
 		}
 	}
 	if lo >= len(gs) || int(gs[lo].pos) != pos || gs[lo].kind != kind {
+		if stats != nil {
+			stats.recordDepth(depth)
+		}
 		return core.NoNode
 	}
 	segs := d.segs[gs[lo].segStart:gs[lo].segEnd]
 	a, b := 0, len(segs)
 	for a < b {
+		depth++
 		mid := int(uint(a+b) >> 1)
 		if segs[mid].hi < tc {
 			a = mid + 1
 		} else {
 			b = mid
 		}
+	}
+	if stats != nil {
+		stats.recordDepth(depth)
 	}
 	if a < len(segs) && segs[a].lo <= tc && tc <= segs[a].hi {
 		return segs[a].child
@@ -311,6 +371,15 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 	faultsLeft := bufs.faultsLeft
 	copy(faultsLeft, sc.FaultsAt)
 
+	// One branch decides the whole cycle's instrumentation: with no sink,
+	// stats stays nil and the hot path below never touches it.
+	sink := d.sink
+	var stats *cycleBufs
+	if sink != nil {
+		stats = bufs
+	}
+	var abandoned int64
+
 	node := core.NodeID(0)
 	entries := d.tree.Nodes[node].Schedule.Entries
 	now := model.Time(0)
@@ -367,12 +436,18 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 			if faulted {
 				outcome = core.CompletedRecovered
 			}
-			if p.Kind == model.Hard && now > p.Deadline {
-				res.HardViolations = append(res.HardViolations, e.Proc)
+			if p.Kind == model.Hard {
+				if sink != nil {
+					sink.Observe(obs.DispatchHardSlack, int64(p.Deadline-now))
+				}
+				if now > p.Deadline {
+					res.HardViolations = append(res.HardViolations, e.Proc)
+				}
 			}
 		} else {
 			res.Outcomes[e.Proc] = AbandonedByFault
 			outcome = core.DroppedByFault
+			abandoned++
 			if events != nil {
 				*events = append(*events, TraceEvent{Kind: TraceAbandon, At: now, Proc: e.Proc})
 			}
@@ -384,8 +459,11 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 		}
 		res.Makespan = now
 
-		next := d.next(node, pos, now, outcome)
+		next := d.next(node, pos, now, outcome, stats)
 		if next != node {
+			if sink != nil {
+				sink.Observe(obs.DispatchSwitchNode, int64(next))
+			}
 			node = next
 			entries = d.tree.Nodes[node].Schedule.Entries
 			res.Switches++
@@ -413,6 +491,21 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 	}
 
 	res.Utility = d.totalUtility(res.Outcomes, res.CompletionTimes, bufs)
+
+	if sink != nil {
+		sink.Add(obs.DispatchCycles, 1)
+		sink.Add(obs.DispatchSwitches, int64(res.Switches))
+		sink.Add(obs.DispatchFaultsAbsorbed, int64(res.Recoveries))
+		sink.Add(obs.DispatchFaultsAbandoned, abandoned)
+		// Flush (and zero — pooled scratch must come back clean) the
+		// guard-depth tally: one ObserveN per distinct depth.
+		for i, c := range bufs.depthCounts {
+			if c != 0 {
+				sink.ObserveN(obs.DispatchGuardDepth, int64(i), int64(c))
+				bufs.depthCounts[i] = 0
+			}
+		}
+	}
 	d.bufs.Put(bufs)
 }
 

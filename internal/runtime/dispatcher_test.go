@@ -8,6 +8,7 @@ import (
 	"ftsched/internal/apps"
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/obs"
 	"ftsched/internal/runtime"
 	"ftsched/internal/sim"
 )
@@ -208,6 +209,9 @@ func TestDispatcherConcurrent(t *testing.T) {
 // TestRunIntoAllocFree: the acceptance criterion of the refactor — the
 // steady-state dispatch loop must not allocate at all.
 func TestRunIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
 	app := apps.CruiseController()
 	tree := synthesize(t, app, 20)
 	d := runtime.NewDispatcher(tree)
@@ -220,6 +224,99 @@ func TestRunIntoAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("RunInto allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+// TestRunIntoAllocFreeWithSinks: instrumentation must not cost allocations
+// either — neither the disabled path (nil / NopSink) nor a live Metrics
+// collector may allocate per cycle.
+func TestRunIntoAllocFreeWithSinks(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	app := apps.CruiseController()
+	tree := synthesize(t, app, 20)
+	rng := rand.New(rand.NewSource(29))
+	sc := sim.Sample(app, rng, 2, nil)
+	for _, tc := range []struct {
+		name string
+		sink obs.Sink
+	}{
+		{"nop", obs.NopSink{}},
+		{"live", obs.NewMetrics()},
+	} {
+		d := runtime.NewDispatcher(tree, runtime.WithSink(tc.sink))
+		var res runtime.Result
+		d.RunInto(&res, sc)
+		allocs := testing.AllocsPerRun(200, func() {
+			d.RunInto(&res, sc)
+		})
+		if allocs != 0 {
+			t.Errorf("%s sink: RunInto allocates %.2f times per cycle, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestDispatcherSinkEvents: a live sink must see consistent dispatch events
+// — cycle/switch/fault counters matching the returned Results, a guard
+// depth sample per lookup, and a hard-slack sample per completed (or never
+// run) hard process — and must not perturb the results themselves.
+func TestDispatcherSinkEvents(t *testing.T) {
+	app := apps.CruiseController()
+	tree := synthesize(t, app, 20)
+	plain := runtime.NewDispatcher(tree)
+	m := obs.NewMetrics()
+	d := runtime.NewDispatcher(tree, runtime.WithSink(m))
+	if d.Sink() != m {
+		t.Fatal("Sink() does not return the installed sink")
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	const cycles = 300
+	var switches, recoveries, abandoned, hardDone int64
+	for i := 0; i < cycles; i++ {
+		sc := sim.Sample(app, rng, i%(app.K()+1), nil)
+		got := d.Run(sc)
+		want := plain.Run(sc)
+		if !resultsEqual(&got, &want) {
+			t.Fatalf("scenario %d: sink changed the result", i)
+		}
+		switches += int64(got.Switches)
+		recoveries += int64(got.Recoveries)
+		for _, o := range got.Outcomes {
+			if o == runtime.AbandonedByFault {
+				abandoned++
+			}
+		}
+		for _, h := range tree.App.HardIDs() {
+			if got.Outcomes[h] == runtime.Completed {
+				hardDone++
+			}
+		}
+	}
+
+	for _, c := range []struct {
+		counter obs.Counter
+		want    int64
+	}{
+		{obs.DispatchCycles, cycles},
+		{obs.DispatchSwitches, switches},
+		{obs.DispatchFaultsAbsorbed, recoveries},
+		{obs.DispatchFaultsAbandoned, abandoned},
+	} {
+		if got := m.Counter(c.counter); got != c.want {
+			t.Errorf("%s = %d, want %d", c.counter.Name(), got, c.want)
+		}
+	}
+	s := m.Snapshot()
+	if got := s.Histograms[obs.DispatchHardSlack.Name()].Count; got != hardDone {
+		t.Errorf("hard-slack samples = %d, want %d (one per completed hard process)", got, hardDone)
+	}
+	if got := s.Histograms[obs.DispatchSwitchNode.Name()].Count; got != switches {
+		t.Errorf("switch-node samples = %d, want %d", got, switches)
+	}
+	if s.Histograms[obs.DispatchGuardDepth.Name()].Count == 0 {
+		t.Error("no guard-depth samples recorded")
 	}
 }
 

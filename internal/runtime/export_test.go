@@ -8,7 +8,7 @@ import (
 // Next exposes the compiled switch resolution so the external tests can
 // check it against core.Tree.Next point for point.
 func (d *Dispatcher) Next(id core.NodeID, pos int, tc model.Time, outcome core.EntryOutcome) core.NodeID {
-	return d.next(id, pos, tc, outcome)
+	return d.next(id, pos, tc, outcome, nil)
 }
 
 // Segments returns the compiled segment count, for the compile-shape tests.

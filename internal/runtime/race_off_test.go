@@ -1,0 +1,9 @@
+//go:build !race
+
+package runtime_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation-count tests consult it: under -race, sync.Pool
+// deliberately drops a quarter of Put items to widen interleavings, so
+// pooled paths allocate spuriously and AllocsPerRun is meaningless.
+const raceEnabled = false

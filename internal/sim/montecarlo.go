@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/obs"
 	"ftsched/internal/runtime"
 )
 
@@ -28,6 +30,40 @@ type MCConfig struct {
 	// identical for any worker count: scenario i always derives from
 	// (Seed, i).
 	Workers int
+	// Dispatcher optionally reuses a pre-compiled dispatcher across
+	// evaluations; nil compiles the tree internally. It must have been
+	// compiled from the very tree being evaluated (pointer identity), which
+	// is checked. Results are identical either way.
+	Dispatcher *runtime.Dispatcher
+	// Sink receives evaluation events (runs, scenario throughput, the
+	// per-scenario utility distribution). When the dispatcher is built
+	// internally it inherits the sink, so dispatch events flow too; a
+	// caller-supplied Dispatcher keeps whatever sink it was built with. A
+	// nil sink or obs.NopSink disables instrumentation. Instrumentation
+	// never alters the statistics.
+	Sink obs.Sink
+}
+
+// Validate normalises the configuration and rejects impossible values: a
+// non-positive scenario count, a negative fault count or a negative worker
+// count. Workers 0 is replaced by the CPU count. The fault upper bound
+// depends on the application and is checked by MonteCarlo itself. Every
+// evaluation entry point applies Validate, so CLI flags and library callers
+// get the same diagnostics.
+func (c MCConfig) Validate() (MCConfig, error) {
+	if c.Scenarios <= 0 {
+		return c, fmt.Errorf("sim: Scenarios must be positive (got %d)", c.Scenarios)
+	}
+	if c.Faults < 0 {
+		return c, fmt.Errorf("sim: Faults must be non-negative (got %d)", c.Faults)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("sim: Workers must be non-negative (got %d)", c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = goruntime.NumCPU()
+	}
+	return c, nil
 }
 
 // MCStats aggregates a Monte-Carlo evaluation.
@@ -90,17 +126,23 @@ func (p *mcPartial) add(r *Result) {
 // one Result and one RNG across all its scenarios, so the steady state
 // simulates without allocation.
 func MonteCarlo(tree *core.Tree, cfg MCConfig) (MCStats, error) {
-	if cfg.Scenarios <= 0 {
-		return MCStats{}, fmt.Errorf("sim: Scenarios must be positive (got %d)", cfg.Scenarios)
+	return MonteCarloContext(context.Background(), tree, cfg)
+}
+
+// MonteCarloContext is MonteCarlo honouring cancellation: every worker
+// checks ctx before each scenario, so the evaluation unwinds within one
+// scenario's simulation time per worker and returns ctx.Err(). Partial
+// statistics are discarded.
+func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCStats, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return MCStats{}, err
 	}
 	app := tree.App
-	if cfg.Faults < 0 || cfg.Faults > app.K() {
+	if cfg.Faults > app.K() {
 		return MCStats{}, fmt.Errorf("sim: Faults %d outside [0, k=%d]", cfg.Faults, app.K())
 	}
 	workers := cfg.Workers
-	if workers <= 0 {
-		workers = goruntime.NumCPU()
-	}
 	if workers > cfg.Scenarios {
 		workers = cfg.Scenarios
 	}
@@ -109,13 +151,23 @@ func MonteCarlo(tree *core.Tree, cfg MCConfig) (MCStats, error) {
 	for _, e := range rootEntries {
 		candidates = append(candidates, e.Proc)
 	}
-	d := runtime.NewDispatcher(tree)
+	var sink obs.Sink
+	if obs.Live(cfg.Sink) {
+		sink = cfg.Sink
+	}
+	d := cfg.Dispatcher
+	if d == nil {
+		d = runtime.NewDispatcher(tree, runtime.WithSink(sink))
+	} else if d.Tree() != tree {
+		return MCStats{}, fmt.Errorf("sim: MCConfig.Dispatcher was compiled from a different tree")
+	}
 
 	// Per-scenario results are collected by index and reduced
 	// sequentially afterwards, so floating-point summation order — and
 	// therefore every statistic — is independent of the worker count.
 	utils := make([]float64, cfg.Scenarios)
 	partials := make([]mcPartial, workers)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -129,15 +181,39 @@ func MonteCarlo(tree *core.Tree, cfg MCConfig) (MCStats, error) {
 			var sc Scenario
 			var res Result
 			for i := w; i < cfg.Scenarios; i += workers {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				rng.Seed(scenarioSeed(cfg.Seed, i))
 				SampleInto(&sc, app, rng, cfg.Faults, candidates)
 				d.RunInto(&res, sc)
 				utils[i] = res.Utility
 				p.add(&res)
+				if sink != nil {
+					sink.Observe(obs.MCUtility, int64(math.Round(res.Utility)))
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+
+	if sink != nil {
+		// Scenario throughput covers what actually ran, even when the
+		// evaluation below is abandoned for cancellation.
+		var simulated int64
+		for i := range partials {
+			simulated += int64(partials[i].n)
+		}
+		sink.Add(obs.MCScenarios, simulated)
+	}
+	if err := ctx.Err(); err != nil {
+		return MCStats{}, err
+	}
+	if sink != nil {
+		sink.Add(obs.MCRuns, 1)
+	}
 
 	stats := MCStats{Scenarios: cfg.Scenarios}
 	for i := range partials {

@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
+	"ftsched/internal/obs"
 	"ftsched/internal/runtime"
 )
 
@@ -21,6 +23,9 @@ type TrimConfig struct {
 	Faults []int
 	// Seed makes trimming reproducible.
 	Seed int64
+	// Sink receives trimming events (arcs evaluated/removed, scenario
+	// replays). A nil sink or obs.NopSink disables instrumentation.
+	Sink obs.Sink
 }
 
 // Trim removes switch arcs whose measured effect on the mean utility is
@@ -42,6 +47,13 @@ type TrimConfig struct {
 //
 // It returns the number of arcs removed.
 func Trim(tree *core.Tree, cfg TrimConfig) (int, error) {
+	return TrimContext(context.Background(), tree, cfg)
+}
+
+// TrimContext is Trim honouring cancellation, checked before every scenario
+// replay. On cancellation every already-disabled guard is restored — the
+// tree is left exactly as passed in — and (0, ctx.Err()) is returned.
+func TrimContext(ctx context.Context, tree *core.Tree, cfg TrimConfig) (int, error) {
 	if cfg.Scenarios <= 0 {
 		return 0, fmt.Errorf("sim: Trim needs a positive scenario count")
 	}
@@ -71,15 +83,31 @@ func Trim(tree *core.Tree, cfg TrimConfig) (int, error) {
 			scenarios = append(scenarios, Sample(app, rng, f, candidates))
 		}
 	}
+	var sink obs.Sink
+	if obs.Live(cfg.Sink) {
+		sink = cfg.Sink
+	}
+	done := ctx.Done()
 	var res Result
-	eval := func() float64 {
+	// eval replays the fixed scenario set through a freshly compiled
+	// dispatcher; ok is false when the context was cancelled mid-replay
+	// (the partial mean is meaningless then).
+	eval := func() (float64, bool) {
 		d := runtime.NewDispatcher(tree)
 		var sum float64
 		for i := range scenarios {
+			select {
+			case <-done:
+				return 0, false
+			default:
+			}
 			d.RunInto(&res, scenarios[i])
 			sum += res.Utility
 		}
-		return sum / float64(len(scenarios))
+		if sink != nil {
+			sink.Add(obs.TrimReplays, int64(len(scenarios)))
+		}
+		return sum / float64(len(scenarios)), true
 	}
 
 	// Arc references into the arena, most suspect (lowest estimated
@@ -93,19 +121,43 @@ func Trim(tree *core.Tree, cfg TrimConfig) (int, error) {
 		return tree.Arcs[refs[a]].Gain < tree.Arcs[refs[b]].Gain
 	})
 
-	baseline := eval()
-	removed := 0
+	baseline, ok := eval()
+	if !ok {
+		return 0, ctx.Err()
+	}
+	type disabledArc struct {
+		ri     int
+		lo, hi model.Time
+	}
+	var disabled []disabledArc
+	restore := func() {
+		for _, s := range disabled {
+			tree.Arcs[s.ri].Lo, tree.Arcs[s.ri].Hi = s.lo, s.hi
+		}
+	}
 	for _, ri := range refs {
 		a := &tree.Arcs[ri]
 		savedLo, savedHi := a.Lo, a.Hi
 		a.Lo, a.Hi = 1, 0 // empty guard: the arc can never fire
-		u := eval()
+		if sink != nil {
+			sink.Add(obs.TrimArcsEvaluated, 1)
+		}
+		u, ok := eval()
+		if !ok {
+			a.Lo, a.Hi = savedLo, savedHi
+			restore()
+			return 0, ctx.Err()
+		}
 		if u >= baseline {
 			baseline = u
-			removed++
+			disabled = append(disabled, disabledArc{ri: ri, lo: savedLo, hi: savedHi})
 			continue
 		}
 		a.Lo, a.Hi = savedLo, savedHi
+	}
+	removed := len(disabled)
+	if sink != nil {
+		sink.Add(obs.TrimArcsRemoved, int64(removed))
 	}
 	if removed == 0 {
 		return 0, nil

@@ -1,0 +1,103 @@
+package ftsched_test
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpointEndToEnd builds the real ftsim binary, runs it with
+// -metrics-addr on an ephemeral port, and scrapes the live endpoints while
+// the simulation is still running: the Prometheus text page, the expvar
+// JSON, and a pprof handler. Skipped with -short.
+func TestMetricsEndpointEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and serves HTTP")
+	}
+	bin := filepath.Join(t.TempDir(), "ftsim")
+	if b, err := exec.Command("go", "build", "-o", bin, "./cmd/ftsim").CombinedOutput(); err != nil {
+		t.Fatalf("building ftsim: %v\n%s", err, b)
+	}
+
+	// A scenario count large enough that the process is still simulating
+	// while the test scrapes; it is killed afterwards.
+	cmd := exec.Command(bin,
+		"-fixture", "cc", "-m", "16", "-scenarios", "5000000",
+		"-metrics-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The address line is printed before any work starts.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		re := regexp.MustCompile(`metrics: http://([^/]+)/metrics`)
+		for sc.Scan() {
+			if m := re.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	var addr string
+	select {
+	case a, ok := <-addrCh:
+		if !ok {
+			t.Fatal("ftsim exited without printing the metrics address")
+		}
+		addr = a
+	case <-time.After(30 * time.Second):
+		t.Fatal("no metrics address within 30s")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		client := http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(b)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# HELP ftsched_ftqs_nodes_expanded_total",
+		"# TYPE ftsched_dispatch_cycles_total counter",
+		"ftsched_montecarlo_utility_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%.600s", want, metrics)
+		}
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, "ftsched") {
+		t.Errorf("/debug/vars missing ftsched:\n%.400s", vars)
+	}
+	if prof := get("/debug/pprof/cmdline"); !strings.Contains(prof, "ftsim") {
+		t.Errorf("/debug/pprof/cmdline unexpected: %q", prof)
+	}
+}
