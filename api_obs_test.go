@@ -44,7 +44,7 @@ func TestFacadeObservability(t *testing.T) {
 	}
 
 	// One dispatcher, explicitly instrumented, reused by the evaluation.
-	d := ftsched.NewDispatcher(tree, ftsched.WithSink(m))
+	d := ftsched.MustNewDispatcher(tree, ftsched.WithSink(m))
 	cfg := ftsched.MCConfig{Scenarios: 300, Faults: 1, Seed: 11, Dispatcher: d, Sink: m}
 	st, err := ftsched.MonteCarlo(tree, cfg)
 	if err != nil {
@@ -125,7 +125,7 @@ func TestFacadeObservability(t *testing.T) {
 	}
 	cs := &countingSink{}
 	var opt ftsched.DispatcherOption = ftsched.WithSink(cs)
-	_ = ftsched.NewDispatcher(tree, opt)
+	_ = ftsched.MustNewDispatcher(tree, opt)
 	if _, err := ftsched.MonteCarlo(tree, ftsched.MCConfig{Scenarios: 50, Seed: 1, Sink: cs}); err != nil {
 		t.Fatal(err)
 	}

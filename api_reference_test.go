@@ -83,10 +83,16 @@ func TestAPITreeLifecycle(t *testing.T) {
 
 	// Trace one faulty cycle and render it.
 	rng := rand.New(rand.NewSource(6))
-	sc := ftsched.SampleScenario(app, rng, 1, nil)
+	sc, err := ftsched.SampleScenario(app, rng, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var res ftsched.RunResult
 	var events []ftsched.TraceEvent
-	res, events = ftsched.RunTrace(tree, sc)
+	res, events, err = ftsched.RunTrace(tree, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(events) == 0 || len(res.HardViolations) != 0 {
 		t.Fatalf("trace: %d events, violations %v", len(events), res.HardViolations)
 	}

@@ -185,12 +185,18 @@ func BenchmarkOnlineScheduler(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	scs := make([]ftsched.Scenario, 64)
 	for i := range scs {
-		scs[i] = ftsched.SampleScenario(app, rng, i%3, nil)
+		var err error
+		if scs[i], err = ftsched.SampleScenario(app, rng, i%3, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := ftsched.Run(tree, scs[i%len(scs)])
+		r, err := ftsched.Run(tree, scs[i%len(scs)])
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.HardViolations) != 0 {
 			b.Fatal("hard violation")
 		}

@@ -10,15 +10,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"ftsched/internal/appio"
 	"ftsched/internal/baseline"
+	"ftsched/internal/certify"
 	"ftsched/internal/cli"
 	"ftsched/internal/core"
+	"ftsched/internal/model"
 	"ftsched/internal/obs"
 	"ftsched/internal/schedule"
 	"ftsched/internal/sim"
@@ -38,6 +42,9 @@ func main() {
 		treeOut = flag.String("tree-out", "", "also write the synthesised tree as JSON (ftqs only)")
 		treeFmt = flag.String("tree-format", "json", "encoding for -tree-out: json (self-describing v1) or compact (v2)")
 		stats   = flag.Bool("stats", false, "print synthesis instrumentation counters to stderr (ftqs only)")
+		doCert  = flag.Bool("certify", false, "exhaustively certify the result against <= -certify-faults faults through the compiled dispatcher")
+		certFl  = flag.Int("certify-faults", 0, "fault bound for -certify (0 = the application's k)")
+		ceOut   = flag.String("ce-out", "", "write the certification counterexample, if any, as JSON for ftsim -replay")
 	)
 	flag.Parse()
 
@@ -61,6 +68,9 @@ func main() {
 		}
 		if err != nil {
 			fatal(err)
+		}
+		if *doCert {
+			certifyTree(app, sim.StaticTree(app, s), *certFl, *workers, *ceOut)
 		}
 		if *format == "dot" {
 			tree := sim.StaticTree(app, s)
@@ -122,6 +132,9 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, "tree verified: all switch guards safe")
 		}
+		if *doCert {
+			certifyTree(app, tree, *certFl, *workers, *ceOut)
+		}
 		if *format == "dot" {
 			if err := appio.WriteTreeDOT(w, tree); err != nil {
 				fatal(err)
@@ -134,6 +147,46 @@ func main() {
 		fmt.Fprint(w, tree.Format())
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q (want ftss, ftsf or ftqs)", *algo))
+	}
+}
+
+// certifyTree runs the exhaustive certification engine and reports the
+// verdict on stderr. A counterexample is written to ceOut (when set) in
+// the format ftsim -replay consumes, and exits with status 1.
+func certifyTree(app *model.Application, tree *core.Tree, maxFaults, workers int, ceOut string) {
+	start := time.Now()
+	rep, err := certify.Certify(tree, certify.Config{MaxFaults: maxFaults, Workers: workers})
+	elapsed := time.Since(start)
+	var ceErr *certify.CounterexampleError
+	switch {
+	case errors.As(err, &ceErr):
+		ce := &ceErr.Counterexample
+		fmt.Fprintf(os.Stderr, "certification FAILED: %s\n", err)
+		if ceOut != "" {
+			f, err := os.Create(ceOut)
+			if err != nil {
+				fatal(err)
+			}
+			enc := appio.NewCounterexample(app, ce.Scenario, ce.Proc, ce.Completion, ce.Path)
+			if err := appio.EncodeCounterexample(f, enc); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "counterexample written to %s (replay: ftsim -replay %s)\n", ceOut, ceOut)
+		}
+		os.Exit(1)
+	case err != nil:
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"certified: no hard deadline missed under <= %d faults (%s mode, %d patterns [+%d pruned], %d scenarios, %d bisection probes, %v)\n",
+		rep.MaxFaults, rep.Mode, rep.Patterns, rep.PatternsPruned, rep.Scenarios, rep.BisectionRuns, elapsed.Round(time.Microsecond))
+	if rep.WorstSlackProc != model.NoProcess {
+		fmt.Fprintf(os.Stderr, "  worst hard slack: %d (process %s); minimum utility: %.2f\n",
+			rep.WorstSlack, app.Proc(rep.WorstSlackProc).Name, rep.MinUtility)
 	}
 }
 

@@ -1,12 +1,19 @@
 // Command ftsim evaluates the three scheduling algorithms on an
 // application by Monte-Carlo simulation: mean utility under 0..k injected
 // transient faults, schedule switches, re-executions, and a hard-deadline
-// audit.
+// audit. It also replays certification counterexamples (-replay) against
+// a tree, rendering the offending cycle as a Gantt chart.
 //
 // Usage:
 //
 //	ftsim -fixture cc -m 39 -scenarios 20000
 //	ftsim -app app.json -scenarios 5000 -seed 7
+//	ftsim -fixture fig1 -tree tree.json -replay ce.json
+//
+// Exit status: 0 on success, 1 on errors, 2 on flag errors (from package
+// flag), 3 when a loaded tree fails verification (pass -force to replay
+// against it anyway), 4 when a replayed counterexample reproduces a hard
+// violation.
 package main
 
 import (
@@ -20,11 +27,38 @@ import (
 	"ftsched/internal/baseline"
 	"ftsched/internal/cli"
 	"ftsched/internal/core"
+	"ftsched/internal/model"
 	"ftsched/internal/obs"
 	"ftsched/internal/runtime"
 	"ftsched/internal/sim"
 	"ftsched/internal/stats"
 )
+
+// Distinct exit codes so scripts can tell "bad tree" from "bad anything".
+const (
+	exitErr        = 1
+	exitBadTree    = 3
+	exitReproduced = 4
+)
+
+// shutdownMetrics stops the -metrics-addr server; every exit path goes
+// through exit() so in-flight scrapes are flushed before the process dies
+// instead of racing run completion.
+var shutdownMetrics func() error
+
+func exit(code int) {
+	if shutdownMetrics != nil {
+		if err := shutdownMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "ftsim: metrics shutdown:", err)
+		}
+	}
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftsim:", err)
+	exit(exitErr)
+}
 
 func main() {
 	var (
@@ -35,6 +69,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "simulation seed")
 		trace       = flag.Bool("trace", false, "render one sample scenario per fault count as a Gantt chart")
 		treeIn      = flag.String("tree", "", "load a stored quasi-static tree (JSON) instead of synthesising one; it is verified before use")
+		replay      = flag.String("replay", "", "replay a certification counterexample (JSON from ftsched -certify) against the tree and exit")
+		force       = flag.Bool("force", false, "with -replay: replay even when the tree fails verification")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and /debug/pprof on this address (e.g. :8080) for the lifetime of the run")
 	)
 	flag.Parse()
@@ -42,10 +78,11 @@ func main() {
 	var sink obs.Sink
 	if *metricsAddr != "" {
 		collector := obs.NewMetrics()
-		addr, _, err := obs.Serve(*metricsAddr, collector)
+		addr, shutdown, err := obs.Serve(*metricsAddr, collector)
 		if err != nil {
 			fatal(err)
 		}
+		shutdownMetrics = shutdown
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", addr)
 		sink = collector
 	}
@@ -72,15 +109,29 @@ func main() {
 			fatal(err)
 		}
 		if err := core.VerifyTree(tree); err != nil {
-			fatal(err)
+			// One-line diagnostic and a distinct status: scripts gate
+			// deployment on this exit code, and the full issue list is a
+			// VerifyError away (ftsched -verify prints it).
+			fmt.Fprintf(os.Stderr, "ftsim: tree %s failed verification: %s\n", *treeIn, cli.FirstLine(err))
+			if *replay == "" || !*force {
+				exit(exitBadTree)
+			}
+			fmt.Fprintln(os.Stderr, "ftsim: -force: replaying against the unverified tree")
+		} else {
+			fmt.Printf("loaded and verified tree from %s\n", *treeIn)
 		}
-		fmt.Printf("loaded and verified tree from %s\n", *treeIn)
 	} else {
 		tree, err = core.FTQSFromRoot(app, ftss, core.FTQSOptions{M: *m, Sink: sink})
 		if err != nil {
 			fatal(err)
 		}
 	}
+
+	if *replay != "" {
+		replayCounterexample(app, tree, *replay)
+		return
+	}
+
 	trees := []struct {
 		name string
 		t    *core.Tree
@@ -105,7 +156,10 @@ func main() {
 	// configurations (and carrying the metrics sink when one is serving).
 	dispatchers := make([]*runtime.Dispatcher, len(trees))
 	for i, tr := range trees {
-		dispatchers[i] = runtime.NewDispatcher(tr.t, runtime.WithSink(sink))
+		dispatchers[i], err = runtime.NewDispatcher(tr.t, runtime.WithSink(sink))
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var base float64
@@ -132,8 +186,14 @@ func main() {
 	if *trace {
 		rng := rand.New(rand.NewSource(*seed))
 		for f := 0; f <= app.K(); f++ {
-			sc := sim.Sample(app, rng, f, nil)
-			res, events := sim.RunTrace(tree, sc)
+			sc, err := sim.Sample(app, rng, f, nil)
+			if err != nil {
+				fatal(err)
+			}
+			res, events, err := sim.RunTrace(tree, sc)
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("\nsample scenario with %d fault(s): utility %.1f, %d switch(es)\n",
 				f, res.Utility, res.Switches)
 			if err := appio.WriteGantt(os.Stdout, app, events, 0, 84); err != nil {
@@ -141,9 +201,42 @@ func main() {
 			}
 		}
 	}
+	exit(0)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ftsim:", err)
-	os.Exit(1)
+// replayCounterexample re-executes a certification counterexample through
+// the tree's real dispatcher and renders the cycle, exiting with
+// exitReproduced when the hard violation shows up again.
+func replayCounterexample(app *model.Application, tree *core.Tree, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	sc, ce, err := appio.DecodeCounterexample(f, app)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replaying counterexample from %s: %d fault(s)", path, sc.NFaults)
+	if ce.Proc != "" {
+		fmt.Printf(", expected violation on %s (deadline %d, completion %d)", ce.Proc, ce.Deadline, ce.Completion)
+	}
+	fmt.Println()
+	res, events, err := sim.RunTrace(tree, sc)
+	if err != nil {
+		fatal(err)
+	}
+	if err := appio.WriteGantt(os.Stdout, app, events, 0, 84); err != nil {
+		fatal(err)
+	}
+	if len(res.HardViolations) > 0 {
+		for _, v := range res.HardViolations {
+			p := app.Proc(v)
+			fmt.Printf("hard violation reproduced: %s (deadline %d, completion %d)\n",
+				p.Name, p.Deadline, res.CompletionTimes[v])
+		}
+		exit(exitReproduced)
+	}
+	fmt.Println("no hard violation in this replay (tree or scenario differs from the certified run)")
+	exit(0)
 }

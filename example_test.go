@@ -92,7 +92,10 @@ func ExampleRun() {
 	sc.FaultsAt[p1] = 1
 	sc.NFaults = 1
 
-	r := ftsched.Run(tree, sc)
+	r, err := ftsched.Run(tree, sc)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("P1 completed at %d (deadline %d), re-executions %d, violations %d\n",
 		r.CompletionTimes[p1], app.Proc(p1).Deadline, r.Recoveries, len(r.HardViolations))
 	// Output:

@@ -44,7 +44,10 @@ func main() {
 		if err := sc.Validate(app); err != nil {
 			log.Fatal(err)
 		}
-		r := ftsched.Run(tree, sc)
+		r, err := ftsched.Run(tree, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%s\n", name)
 		for id := 0; id < app.N(); id++ {
 			p := app.Proc(ftsched.ProcessID(id))

@@ -51,6 +51,7 @@ import (
 	"ftsched/internal/appio"
 	"ftsched/internal/apps"
 	"ftsched/internal/baseline"
+	"ftsched/internal/certify"
 	"ftsched/internal/core"
 	"ftsched/internal/gen"
 	"ftsched/internal/model"
@@ -159,6 +160,43 @@ var ErrUnschedulable = core.ErrUnschedulable
 // it. errors.Is(err, ErrUnschedulable) keeps matching; errors.As extracts
 // the detail.
 type UnschedulableError = core.UnschedulableError
+
+// Graceful-degradation errors. Malformed inputs to the runtime layer
+// surface as typed errors instead of panics; errors.As extracts the
+// detail.
+type (
+	// MalformedTreeError reports a tree that failed the structural audit
+	// at dispatcher construction (out-of-range node IDs, missing
+	// schedules, cyclic parent links, inconsistent guard segments).
+	MalformedTreeError = runtime.MalformedTreeError
+	// ScenarioSizeError reports a scenario whose per-process slices do
+	// not match the application.
+	ScenarioSizeError = runtime.ScenarioSizeError
+	// SampleError reports a scenario-sampling request the application
+	// cannot satisfy (fault count out of bounds, empty victim pool).
+	SampleError = sim.SampleError
+)
+
+// Certification types. Certify enumerates every fault pattern up to the
+// bound, crossed with extreme execution-time corners, and executes all of
+// it through the real compiled dispatcher; see internal/certify for the
+// enumeration and canonicalisation details.
+type (
+	// CertifyConfig parameterises a certification run (fault bound,
+	// workers, scenario budget, bisection depth, sink).
+	CertifyConfig = certify.Config
+	// CertifyReport summarises what a certification run explored: mode,
+	// pattern/scenario counts, worst hard-deadline slack, and the
+	// utility-minimising fault placement.
+	CertifyReport = certify.Report
+	// Counterexample is a concrete hard-deadline-missing execution found
+	// by Certify: the exact scenario, the violated process and deadline,
+	// and the tree path taken. appio can serialise it for ftsim -replay.
+	Counterexample = certify.Counterexample
+	// CounterexampleError wraps a Counterexample as the error Certify
+	// returns when certification fails.
+	CounterexampleError = certify.CounterexampleError
+)
 
 // Observability types. A Sink receives counter increments and histogram
 // samples from synthesis, dispatch and simulation; Metrics is the built-in
@@ -301,20 +339,51 @@ func TimingReport(app *Application, s *FSchedule, k int) string {
 // simulated by Run/MonteCarlo.
 func StaticTree(app *Application, s *FSchedule) *Tree { return sim.StaticTree(app, s) }
 
-// SampleScenario draws random execution times and fault victims.
-func SampleScenario(app *Application, rng *rand.Rand, faults int, candidates []ProcessID) Scenario {
+// SampleScenario draws random execution times and fault victims. It
+// returns a *SampleError when faults is outside [0, app.K()] or positive
+// with an empty (non-nil) candidate pool.
+func SampleScenario(app *Application, rng *rand.Rand, faults int, candidates []ProcessID) (Scenario, error) {
 	return sim.Sample(app, rng, faults, candidates)
 }
 
-// Run executes one scenario against a tree with the online scheduler.
-func Run(tree *Tree, sc Scenario) RunResult { return sim.Run(tree, sc) }
+// Run executes one scenario against a tree with the online scheduler. It
+// returns a *MalformedTreeError for a structurally broken tree and a
+// *ScenarioSizeError for mis-sized scenario slices.
+func Run(tree *Tree, sc Scenario) (RunResult, error) { return sim.Run(tree, sc) }
 
 // NewDispatcher compiles a tree's switch guards into a binary-searchable
 // dispatch table and returns a reusable, allocation-free online scheduler.
 // The tree must not be mutated while the dispatcher is in use. Pass
-// WithSink to instrument its cycles.
-func NewDispatcher(tree *Tree, opts ...DispatcherOption) *Dispatcher {
+// WithSink to instrument its cycles. A tree failing the structural audit
+// (core.VerifyStructure) yields a *MalformedTreeError, never a panic.
+func NewDispatcher(tree *Tree, opts ...DispatcherOption) (*Dispatcher, error) {
 	return runtime.NewDispatcher(tree, opts...)
+}
+
+// MustNewDispatcher is NewDispatcher for trees known to be well-formed
+// (freshly synthesised or already verified); it panics on a malformed
+// tree.
+func MustNewDispatcher(tree *Tree, opts ...DispatcherOption) *Dispatcher {
+	return runtime.MustNewDispatcher(tree, opts...)
+}
+
+// Certify exhaustively certifies a tree against up to CertifyConfig.
+// MaxFaults transient faults (default: the application bound k): every
+// canonical fault pattern is crossed with extreme execution-time corners
+// (BCET/WCET plus bisection-located behaviour boundaries) and executed
+// through the real compiled dispatcher. It returns a report of what was
+// explored and, when an execution misses a hard deadline, a
+// *CounterexampleError carrying the exact scenario for replay with
+// ftsim -replay. Results are identical for any worker count. It is
+// CertifyContext with a background context.
+func Certify(tree *Tree, cfg CertifyConfig) (CertifyReport, error) {
+	return certify.Certify(tree, cfg)
+}
+
+// CertifyContext is Certify honouring cancellation, checked before every
+// scenario; on cancellation ctx.Err() is returned.
+func CertifyContext(ctx context.Context, tree *Tree, cfg CertifyConfig) (CertifyReport, error) {
+	return certify.CertifyContext(ctx, tree, cfg)
 }
 
 // MonteCarlo evaluates a tree over cfg.Scenarios random scenarios. It is
@@ -403,7 +472,9 @@ func WriteTreeCompact(w io.Writer, tree *Tree) error { return appio.EncodeTreeCo
 func ReadTree(r io.Reader, app *Application) (*Tree, error) { return appio.DecodeTree(r, app) }
 
 // RunTrace is Run with full event recording, for visualisation.
-func RunTrace(tree *Tree, sc Scenario) (RunResult, []TraceEvent) { return sim.RunTrace(tree, sc) }
+func RunTrace(tree *Tree, sc Scenario) (RunResult, []TraceEvent, error) {
+	return sim.RunTrace(tree, sc)
+}
 
 // WriteGantt renders a recorded trace as a time-scaled ASCII Gantt chart.
 func WriteGantt(w io.Writer, app *Application, events []TraceEvent, span Time, width int) error {

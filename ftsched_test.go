@@ -68,8 +68,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 	// Single-scenario run.
 	rng := rand.New(rand.NewSource(1))
-	sc := ftsched.SampleScenario(app, rng, 1, nil)
-	r := ftsched.Run(tree, sc)
+	sc, err := ftsched.SampleScenario(app, rng, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ftsched.Run(tree, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.HardViolations) != 0 {
 		t.Error("violations in single run")
 	}

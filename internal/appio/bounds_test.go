@@ -1,0 +1,153 @@
+package appio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/model"
+	"ftsched/internal/runtime"
+)
+
+// decodeErrPath decodes the input expecting a typed *DecodeError and
+// returns its position path.
+func decodeErrPath(t *testing.T, input string) string {
+	t.Helper()
+	_, err := DecodeTree(strings.NewReader(input), apps.Fig1())
+	if err == nil {
+		t.Fatal("malformed tree accepted")
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T (%v), want *DecodeError", err, err)
+	}
+	return de.Path
+}
+
+// TestDecodeTreeBounds: out-of-range times, non-finite gains and negative
+// budgets in either tree encoding must be rejected with a typed error
+// naming the offending position.
+func TestDecodeTreeBounds(t *testing.T) {
+	const v1Head = `{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1"}],`
+	const v2Head = `{"format":"ftsched-tree/v2","app":"paper-fig1","k":1,"procs":["P1"],`
+	for _, tc := range []struct {
+		name, input, wantPath string
+	}{
+		{"v1 negative lo",
+			v1Head + `"arcs":[{"pos":0,"kind":"completion","lo":-5,"hi":10,"child":0}]}]}`,
+			"nodes[0].arcs[0].lo"},
+		{"v1 overflowing hi",
+			v1Head + `"arcs":[{"pos":0,"kind":"completion","lo":0,"hi":99999999999999999,"child":0}]}]}`,
+			"nodes[0].arcs[0].hi"},
+		{"v1 negative recoveries",
+			`{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1","recoveries":-1}]}]}`,
+			"nodes[0].entries[0].recoveries"},
+		{"v1 dangling arc child",
+			v1Head + `"arcs":[{"pos":0,"kind":"completion","lo":0,"hi":10,"child":9}]}]}`,
+			"nodes[0].arcs[0].child"},
+		{"v2 negative l",
+			v2Head + `"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]],"nArcs":1}],"arcs":[{"p":0,"k":0,"l":-1,"h":5,"g":1,"c":0}]}`,
+			"arcs[0].l"},
+		{"v2 overflowing h",
+			v2Head + `"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]],"nArcs":1}],"arcs":[{"p":0,"k":0,"l":0,"h":99999999999999999,"g":1,"c":0}]}`,
+			"arcs[0].h"},
+		{"v2 negative recoveries",
+			v2Head + `"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,-3]]}]}`,
+			"nodes[0].suffix[0]"},
+		{"v2 unclaimed arcs",
+			v2Head + `"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]]}],"arcs":[{"p":0,"k":0,"l":0,"h":5,"g":1,"c":0}]}`,
+			"arcs"},
+		{"unsupported format",
+			`{"format":"ftsched-tree/v9"}`,
+			"format"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := decodeErrPath(t, tc.input); got != tc.wantPath {
+				t.Errorf("error path = %q, want %q", got, tc.wantPath)
+			}
+		})
+	}
+
+	// NaN and Inf gains cannot appear in standard JSON, so the guard is
+	// exercised directly.
+	if err := checkDecodedGain("g", nanValue()); err == nil {
+		t.Error("NaN gain accepted")
+	}
+}
+
+func nanValue() float64 {
+	zero := 0.0
+	return zero / zero
+}
+
+// TestCounterexampleRoundTrip: an encoded counterexample decodes back to
+// the same scenario and violation details, and the decoder rejects
+// malformed files with typed position-carrying errors.
+func TestCounterexampleRoundTrip(t *testing.T) {
+	app := apps.Fig1()
+	n := app.N()
+	sc := runtime.Scenario{
+		Durations: make([]model.Time, n),
+		FaultsAt:  make([]int, n),
+	}
+	for id := 0; id < n; id++ {
+		sc.Durations[id] = app.Proc(model.ProcessID(id)).BCET
+	}
+	p1 := app.IDByName("P1")
+	sc.FaultsAt[p1] = 1
+	sc.NFaults = 1
+
+	ce := NewCounterexample(app, sc, p1, 200, []int{0, 2})
+	var buf bytes.Buffer
+	if err := EncodeCounterexample(&buf, ce); err != nil {
+		t.Fatal(err)
+	}
+	back, decoded, err := DecodeCounterexample(&buf, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NFaults != 1 || back.FaultsAt[p1] != 1 {
+		t.Errorf("faults lost in round trip: %+v", back)
+	}
+	for id := 0; id < n; id++ {
+		if back.Durations[id] != sc.Durations[id] {
+			t.Errorf("duration of process %d changed: %d != %d", id, back.Durations[id], sc.Durations[id])
+		}
+	}
+	if decoded.Proc != "P1" || decoded.Completion != 200 || len(decoded.Path) != 2 {
+		t.Errorf("violation details lost: %+v", decoded)
+	}
+
+	// Unmentioned processes default to WCET so hand-trimmed files replay.
+	partial := `{"format":"ftsched-counterexample/v1","app":"paper-fig1","nFaults":0,"durations":{}}`
+	wcets, _, err := DecodeCounterexample(strings.NewReader(partial), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < n; id++ {
+		if want := app.Proc(model.ProcessID(id)).WCET; wcets.Durations[id] != want {
+			t.Errorf("default duration of %d = %d, want WCET %d", id, wcets.Durations[id], want)
+		}
+	}
+
+	for _, tc := range []struct {
+		name, input string
+	}{
+		{"bad format", `{"format":"nope","app":"paper-fig1","nFaults":0,"durations":{}}`},
+		{"wrong app", `{"format":"ftsched-counterexample/v1","app":"other","nFaults":0,"durations":{}}`},
+		{"unknown process", `{"format":"ftsched-counterexample/v1","app":"paper-fig1","nFaults":0,"durations":{"ZZ":5}}`},
+		{"negative fault", `{"format":"ftsched-counterexample/v1","app":"paper-fig1","nFaults":0,"faultsAt":{"P1":-1},"durations":{}}`},
+		{"inconsistent nFaults", `{"format":"ftsched-counterexample/v1","app":"paper-fig1","nFaults":3,"faultsAt":{"P1":1},"durations":{}}`},
+		{"overflowing duration", `{"format":"ftsched-counterexample/v1","app":"paper-fig1","nFaults":0,"durations":{"P1":99999999999999999}}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeCounterexample(strings.NewReader(tc.input), app)
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("err = %T (%v), want *DecodeError", err, err)
+			}
+		})
+	}
+}

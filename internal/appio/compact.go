@@ -105,16 +105,16 @@ func decodeTreeCompact(data []byte, app *model.Application) (*core.Tree, error) 
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&ct); err != nil {
-		return nil, fmt.Errorf("appio: %w", err)
+		return nil, &DecodeError{Msg: "invalid tree JSON", Err: err}
 	}
 	if ct.App != app.Name() {
-		return nil, fmt.Errorf("appio: tree was synthesised for application %q, not %q", ct.App, app.Name())
+		return nil, &DecodeError{Path: "app", Msg: fmt.Sprintf("tree was synthesised for application %q, not %q", ct.App, app.Name())}
 	}
 	if ct.K != app.K() {
-		return nil, fmt.Errorf("appio: tree assumes k=%d, application has k=%d", ct.K, app.K())
+		return nil, &DecodeError{Path: "k", Msg: fmt.Sprintf("tree assumes k=%d, application has k=%d", ct.K, app.K())}
 	}
 	if len(ct.Nodes) == 0 {
-		return nil, fmt.Errorf("appio: tree has no nodes")
+		return nil, &DecodeError{Path: "nodes", Msg: "tree has no nodes"}
 	}
 	// The name table decouples the file from the application's internal
 	// process numbering.
@@ -122,7 +122,7 @@ func decodeTreeCompact(data []byte, app *model.Application) (*core.Tree, error) 
 	for i, name := range ct.Procs {
 		id := app.IDByName(name)
 		if id == model.NoProcess {
-			return nil, fmt.Errorf("appio: unknown process %q in name table", name)
+			return nil, &DecodeError{Path: fmt.Sprintf("procs[%d]", i), Msg: fmt.Sprintf("unknown process %q in name table", name)}
 		}
 		ids[i] = id
 	}
@@ -140,7 +140,7 @@ func decodeTreeCompact(data []byte, app *model.Application) (*core.Tree, error) 
 		n.Parent = core.NoNode
 		if cn.Drop != 0 {
 			if cn.Drop < 1 || cn.Drop > len(ids) {
-				return nil, fmt.Errorf("appio: node %d: drop index %d out of range", i, cn.Drop)
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].drop", i), Msg: fmt.Sprintf("drop index %d out of range", cn.Drop)}
 			}
 			n.DroppedOnFault = ids[cn.Drop-1]
 		}
@@ -149,40 +149,53 @@ func decodeTreeCompact(data []byte, app *model.Application) (*core.Tree, error) 
 			// Parents precede children in the arena, so the parent's full
 			// schedule is already reconstructed.
 			if cn.Parent >= i {
-				return nil, fmt.Errorf("appio: node %d: parent %d does not precede it", i, cn.Parent)
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].parent", i), Msg: fmt.Sprintf("parent %d does not precede it", cn.Parent)}
 			}
 			n.Parent = core.NodeID(cn.Parent)
 			parentEntries := b.nodes[cn.Parent].Schedule.Entries
 			if cn.SwitchPos < 0 || cn.SwitchPos > len(parentEntries) {
-				return nil, fmt.Errorf("appio: node %d: switch position %d outside parent schedule", i, cn.SwitchPos)
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].sw", i), Msg: fmt.Sprintf("switch position %d outside parent schedule", cn.SwitchPos)}
 			}
 			prefix = parentEntries[:cn.SwitchPos]
 		} else {
 			if i != 0 {
-				return nil, fmt.Errorf("appio: node %d has no parent but is not the root", i)
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].parent", i), Msg: "no parent but not the root"}
 			}
 			if cn.SwitchPos != 0 {
-				return nil, fmt.Errorf("appio: root switch position %d is not 0", cn.SwitchPos)
+				return nil, &DecodeError{Path: "nodes[0].sw", Msg: fmt.Sprintf("root switch position %d is not 0", cn.SwitchPos)}
 			}
 		}
 		entries := make([]schedule.Entry, 0, len(prefix)+len(cn.Suffix))
 		entries = append(entries, prefix...)
-		for _, pair := range cn.Suffix {
+		for j, pair := range cn.Suffix {
 			if pair[0] < 0 || pair[0] >= len(ids) {
-				return nil, fmt.Errorf("appio: node %d: process index %d out of range", i, pair[0])
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].suffix[%d]", i, j), Msg: fmt.Sprintf("process index %d out of range", pair[0])}
+			}
+			if pair[1] < 0 {
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].suffix[%d]", i, j), Msg: "negative recovery budget"}
 			}
 			entries = append(entries, schedule.Entry{Proc: ids[pair[0]], Recoveries: pair[1]})
 		}
 		n.Schedule = &schedule.FSchedule{Entries: entries}
 		if cn.NArcs < 0 || arcCursor+cn.NArcs > len(ct.Arcs) {
-			return nil, fmt.Errorf("appio: node %d: arc count %d overruns the arc arena", i, cn.NArcs)
+			return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].nArcs", i), Msg: fmt.Sprintf("arc count %d overruns the arc arena", cn.NArcs)}
 		}
-		for _, ca := range ct.Arcs[arcCursor : arcCursor+cn.NArcs] {
+		for aj, ca := range ct.Arcs[arcCursor : arcCursor+cn.NArcs] {
+			ai := arcCursor + aj
 			if ca.K < int(core.Completion) || ca.K > int(core.FaultDropped) {
-				return nil, fmt.Errorf("appio: node %d: unknown arc kind %d", i, ca.K)
+				return nil, &DecodeError{Path: fmt.Sprintf("arcs[%d].k", ai), Msg: fmt.Sprintf("unknown arc kind %d", ca.K)}
 			}
 			if ca.C < 0 || ca.C >= len(ct.Nodes) {
-				return nil, fmt.Errorf("appio: node %d: arc child %d out of range", i, ca.C)
+				return nil, &DecodeError{Path: fmt.Sprintf("arcs[%d].c", ai), Msg: fmt.Sprintf("arc child %d out of range", ca.C)}
+			}
+			if derr := checkDecodedTime(fmt.Sprintf("arcs[%d].l", ai), ca.L); derr != nil {
+				return nil, derr
+			}
+			if derr := checkDecodedTime(fmt.Sprintf("arcs[%d].h", ai), ca.H); derr != nil {
+				return nil, derr
+			}
+			if derr := checkDecodedGain(fmt.Sprintf("arcs[%d].g", ai), ca.G); derr != nil {
+				return nil, derr
 			}
 			b.arcs[i] = append(b.arcs[i], core.Arc{
 				Pos: ca.P, Kind: core.ArcKind(ca.K), Lo: ca.L, Hi: ca.H,
@@ -192,7 +205,7 @@ func decodeTreeCompact(data []byte, app *model.Application) (*core.Tree, error) 
 		arcCursor += cn.NArcs
 	}
 	if arcCursor != len(ct.Arcs) {
-		return nil, fmt.Errorf("appio: %d arcs in the arena are not claimed by any node", len(ct.Arcs)-arcCursor)
+		return nil, &DecodeError{Path: "arcs", Msg: fmt.Sprintf("%d arcs in the arena are not claimed by any node", len(ct.Arcs)-arcCursor)}
 	}
 	return b.build(app), nil
 }

@@ -1,0 +1,135 @@
+package appio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ftsched/internal/model"
+	"ftsched/internal/runtime"
+)
+
+// counterexampleFormat tags the certification-counterexample file the
+// ftsched -certify command writes and ftsim -replay reads. The file is
+// self-contained: process references are by name, so it pairs with the
+// application's JSON encoding the same way trees do.
+const counterexampleFormat = "ftsched-counterexample/v1"
+
+// Counterexample is the serialisable form of a certification
+// counterexample: the exact scenario that drove the dispatcher into a
+// hard-deadline miss, plus the violation details and the tree path taken,
+// for human inspection and replay.
+type Counterexample struct {
+	Format string `json:"format"`
+	App    string `json:"app"`
+	// NFaults is the scenario's total injected fault count.
+	NFaults int `json:"nFaults"`
+	// Durations and FaultsAt describe the scenario per process name.
+	Durations map[string]model.Time `json:"durations"`
+	FaultsAt  map[string]int        `json:"faultsAt,omitempty"`
+	// Proc is the violated hard process ("" when the counterexample is
+	// informational only), with its deadline and observed completion.
+	Proc       string     `json:"proc,omitempty"`
+	Deadline   model.Time `json:"deadline,omitempty"`
+	Completion model.Time `json:"completion,omitempty"`
+	// Path is the sequence of tree node IDs the dispatcher visited
+	// (switches only, starting at the root, 0).
+	Path []int `json:"path,omitempty"`
+}
+
+// EncodeCounterexample writes a counterexample as indented JSON.
+func EncodeCounterexample(w io.Writer, ce *Counterexample) error {
+	out := *ce
+	out.Format = counterexampleFormat
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// NewCounterexample builds the serialisable record from a scenario and its
+// violation details, translating process IDs to names.
+func NewCounterexample(app *model.Application, sc runtime.Scenario, proc model.ProcessID, completion model.Time, path []int) *Counterexample {
+	ce := &Counterexample{
+		App:       app.Name(),
+		NFaults:   sc.NFaults,
+		Durations: make(map[string]model.Time, len(sc.Durations)),
+		Path:      append([]int(nil), path...),
+	}
+	for id, d := range sc.Durations {
+		ce.Durations[app.Proc(model.ProcessID(id)).Name] = d
+	}
+	for id, f := range sc.FaultsAt {
+		if f > 0 {
+			if ce.FaultsAt == nil {
+				ce.FaultsAt = make(map[string]int)
+			}
+			ce.FaultsAt[app.Proc(model.ProcessID(id)).Name] = f
+		}
+	}
+	if proc != model.NoProcess {
+		p := app.Proc(proc)
+		ce.Proc = p.Name
+		ce.Deadline = p.Deadline
+		ce.Completion = completion
+	}
+	return ce
+}
+
+// DecodeCounterexample reads a counterexample and rebuilds the scenario
+// against the application. Unknown processes, out-of-range times and
+// negative fault counts are rejected with a *DecodeError; processes the
+// file does not mention default to their WCET (the certification corner
+// the engine starts from), so hand-trimmed files stay replayable.
+func DecodeCounterexample(r io.Reader, app *model.Application) (runtime.Scenario, *Counterexample, error) {
+	var sc runtime.Scenario
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return sc, nil, &DecodeError{Msg: "reading counterexample", Err: err}
+	}
+	var ce Counterexample
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ce); err != nil {
+		return sc, nil, &DecodeError{Msg: "invalid counterexample JSON", Err: err}
+	}
+	if ce.Format != counterexampleFormat {
+		return sc, nil, &DecodeError{Path: "format", Msg: fmt.Sprintf("unsupported counterexample format %q", ce.Format)}
+	}
+	if ce.App != app.Name() {
+		return sc, nil, &DecodeError{Path: "app", Msg: fmt.Sprintf("counterexample is for application %q, not %q", ce.App, app.Name())}
+	}
+	n := app.N()
+	sc.Durations = make([]model.Time, n)
+	sc.FaultsAt = make([]int, n)
+	for id := 0; id < n; id++ {
+		sc.Durations[id] = app.Proc(model.ProcessID(id)).WCET
+	}
+	for name, d := range ce.Durations {
+		id := app.IDByName(name)
+		if id == model.NoProcess {
+			return sc, nil, &DecodeError{Path: "durations." + name, Msg: "unknown process"}
+		}
+		if derr := checkDecodedTime("durations."+name, d); derr != nil {
+			return sc, nil, derr
+		}
+		sc.Durations[id] = d
+	}
+	total := 0
+	for name, f := range ce.FaultsAt {
+		id := app.IDByName(name)
+		if id == model.NoProcess {
+			return sc, nil, &DecodeError{Path: "faultsAt." + name, Msg: "unknown process"}
+		}
+		if f < 0 {
+			return sc, nil, &DecodeError{Path: "faultsAt." + name, Msg: "negative fault count"}
+		}
+		sc.FaultsAt[id] = f
+		total += f
+	}
+	if ce.NFaults != total {
+		return sc, nil, &DecodeError{Path: "nFaults", Msg: fmt.Sprintf("fault counts sum to %d, nFaults says %d", total, ce.NFaults)}
+	}
+	sc.NFaults = total
+	return sc, &ce, nil
+}

@@ -2,6 +2,7 @@ package appio
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -79,11 +80,25 @@ func FuzzDecodeTree(f *testing.F) {
 	f.Add(`{"format":"ftsched-tree/v2","app":"paper-fig1","k":1,"procs":["P1"],"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]]}]}`)
 	f.Add(`{"format":"ftsched-tree/v9"}`)
 	f.Add(`{"nodes":`)
+	// Adversarial time/gain bounds: negative and wrapping-sized guard times
+	// must be rejected with a position-carrying typed error.
+	f.Add(`{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1"}],"arcs":[{"pos":0,"kind":"completion","lo":-5,"hi":10,"child":0}]}]}`)
+	f.Add(`{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1"}],"arcs":[{"pos":0,"kind":"completion","lo":0,"hi":99999999999999999,"child":0}]}]}`)
+	f.Add(`{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1","recoveries":-2}]}]}`)
 
 	f.Fuzz(func(t *testing.T, input string) {
 		got, err := DecodeTree(strings.NewReader(input), app)
 		if err != nil {
-			return // rejection is fine; panics are not
+			// Every rejection is a typed *DecodeError with a message;
+			// anything else (or a panic) is a decoder bug.
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("rejection is %T (%v), want *DecodeError", err, err)
+			}
+			if de.Error() == "" {
+				t.Fatal("empty DecodeError message")
+			}
+			return
 		}
 		// Decoding validates structure only; the full audit gates the
 		// round-trip checks (Format and re-encoding index entries by the

@@ -32,7 +32,10 @@ func traceScenario(t *testing.T, faults map[string]int, durs map[string]model.Ti
 		sc.FaultsAt[app.IDByName(n)] = f
 		sc.NFaults += f
 	}
-	res, events := sim.RunTrace(tree, sc)
+	res, events, err := sim.RunTrace(tree, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return app, events, res
 }
 
@@ -81,7 +84,10 @@ func TestRunTraceMatchesRun(t *testing.T) {
 		sc.Durations[id] = app.Proc(model.ProcessID(id)).AET
 	}
 	sc.Durations[app.IDByName("P1")] = 30
-	plain := sim.Run(tree, sc)
+	plain, err := sim.Run(tree, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if plain.Utility != traced.Utility || plain.Switches != traced.Switches {
 		t.Errorf("traced run diverges: %v vs %v", traced, plain)
 	}

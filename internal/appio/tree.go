@@ -109,12 +109,13 @@ func EncodeTree(w io.Writer, tree *core.Tree) error {
 
 // DecodeTree reads a tree in either format and rebinds it to the
 // application. Structural errors (unknown processes, dangling references,
-// ID mismatches) are rejected here; run core.VerifyTree on the result for
-// the safety audit.
+// ID mismatches, out-of-range times, non-finite gains) are rejected here
+// with a *DecodeError carrying the offending position; run core.VerifyTree
+// on the result for the safety audit.
 func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("appio: %w", err)
+		return nil, &DecodeError{Msg: "reading tree", Err: err}
 	}
 	var probe struct {
 		Format string `json:"format"`
@@ -129,7 +130,7 @@ func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
 	case compactTreeFormat:
 		return decodeTreeCompact(data, app)
 	default:
-		return nil, fmt.Errorf("appio: unsupported tree format %q", probe.Format)
+		return nil, &DecodeError{Path: "format", Msg: fmt.Sprintf("unsupported tree format %q", probe.Format)}
 	}
 }
 
@@ -164,16 +165,16 @@ func decodeTreeV1(data []byte, app *model.Application) (*core.Tree, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&jt); err != nil {
-		return nil, fmt.Errorf("appio: %w", err)
+		return nil, &DecodeError{Msg: "invalid tree JSON", Err: err}
 	}
 	if jt.App != app.Name() {
-		return nil, fmt.Errorf("appio: tree was synthesised for application %q, not %q", jt.App, app.Name())
+		return nil, &DecodeError{Path: "app", Msg: fmt.Sprintf("tree was synthesised for application %q, not %q", jt.App, app.Name())}
 	}
 	if jt.K != app.K() {
-		return nil, fmt.Errorf("appio: tree assumes k=%d, application has k=%d", jt.K, app.K())
+		return nil, &DecodeError{Path: "k", Msg: fmt.Sprintf("tree assumes k=%d, application has k=%d", jt.K, app.K())}
 	}
 	if len(jt.Nodes) == 0 {
-		return nil, fmt.Errorf("appio: tree has no nodes")
+		return nil, &DecodeError{Path: "nodes", Msg: "tree has no nodes"}
 	}
 	b := &treeBuilder{
 		nodes: make([]core.Node, len(jt.Nodes)),
@@ -181,7 +182,7 @@ func decodeTreeV1(data []byte, app *model.Application) (*core.Tree, error) {
 	}
 	for i, jn := range jt.Nodes {
 		if jn.ID != i {
-			return nil, fmt.Errorf("appio: node %d carries ID %d; IDs must be dense and ordered", i, jn.ID)
+			return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].id", i), Msg: fmt.Sprintf("carries ID %d; IDs must be dense and ordered", jn.ID)}
 		}
 		n := &b.nodes[i]
 		n.SwitchPos = jn.SwitchPos
@@ -192,15 +193,18 @@ func decodeTreeV1(data []byte, app *model.Application) (*core.Tree, error) {
 		if jn.DroppedOnFault != "" {
 			id := app.IDByName(jn.DroppedOnFault)
 			if id == model.NoProcess {
-				return nil, fmt.Errorf("appio: node %d: unknown dropped process %q", i, jn.DroppedOnFault)
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].droppedOnFault", i), Msg: fmt.Sprintf("unknown process %q", jn.DroppedOnFault)}
 			}
 			n.DroppedOnFault = id
 		}
 		entries := make([]schedule.Entry, 0, len(jn.Entries))
-		for _, je := range jn.Entries {
+		for j, je := range jn.Entries {
 			id := app.IDByName(je.Proc)
 			if id == model.NoProcess {
-				return nil, fmt.Errorf("appio: node %d: unknown process %q", i, je.Proc)
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].entries[%d].proc", i, j), Msg: fmt.Sprintf("unknown process %q", je.Proc)}
+			}
+			if je.Recoveries < 0 {
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].entries[%d].recoveries", i, j), Msg: "negative recovery budget"}
 			}
 			entries = append(entries, schedule.Entry{Proc: id, Recoveries: je.Recoveries})
 		}
@@ -210,19 +214,30 @@ func decodeTreeV1(data []byte, app *model.Application) (*core.Tree, error) {
 		n := &b.nodes[i]
 		if jn.Parent >= 0 {
 			if jn.Parent >= len(b.nodes) {
-				return nil, fmt.Errorf("appio: node %d: parent %d out of range", i, jn.Parent)
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].parent", i), Msg: fmt.Sprintf("parent %d out of range", jn.Parent)}
 			}
 			n.Parent = core.NodeID(jn.Parent)
 		} else if i != 0 {
-			return nil, fmt.Errorf("appio: node %d has no parent but is not the root", i)
+			return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].parent", i), Msg: "no parent but not the root"}
 		}
-		for _, ja := range jn.Arcs {
+		for j, ja := range jn.Arcs {
 			kind, err := kindFromString(ja.Kind)
 			if err != nil {
-				return nil, err
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].arcs[%d].kind", i, j), Msg: "unknown arc kind", Err: err}
 			}
 			if ja.Child < 0 || ja.Child >= len(b.nodes) {
-				return nil, fmt.Errorf("appio: node %d: arc child %d out of range", i, ja.Child)
+				return nil, &DecodeError{Path: fmt.Sprintf("nodes[%d].arcs[%d].child", i, j), Msg: fmt.Sprintf("arc child %d out of range", ja.Child)}
+			}
+			// Guard bounds may be inverted (trimming's disable marker) but
+			// each endpoint must be an in-range time.
+			if derr := checkDecodedTime(fmt.Sprintf("nodes[%d].arcs[%d].lo", i, j), ja.Lo); derr != nil {
+				return nil, derr
+			}
+			if derr := checkDecodedTime(fmt.Sprintf("nodes[%d].arcs[%d].hi", i, j), ja.Hi); derr != nil {
+				return nil, derr
+			}
+			if derr := checkDecodedGain(fmt.Sprintf("nodes[%d].arcs[%d].gain", i, j), ja.Gain); derr != nil {
+				return nil, derr
 			}
 			b.arcs[i] = append(b.arcs[i], core.Arc{
 				Pos: ja.Pos, Kind: kind, Lo: ja.Lo, Hi: ja.Hi,

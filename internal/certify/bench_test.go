@@ -1,0 +1,42 @@
+package certify
+
+import (
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+)
+
+// BenchmarkCertify measures a full certification pass over each fixture:
+// pattern enumeration, corner bisection and the complete scenario sweep
+// through the compiled dispatcher. Fig1/Fig8 run exhaustive mode, the
+// cruise controller the frontier degradation.
+func BenchmarkCertify(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		app  *model.Application
+		m    int
+	}{
+		{"Fig1", apps.Fig1(), 12},
+		{"Fig8", apps.Fig8(), 16},
+		{"CruiseController", apps.CruiseController(), 39},
+	} {
+		tree, err := core.FTQS(tc.app, core.FTQSOptions{M: tc.m})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := Certify(tree, Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Scenarios == 0 {
+					b.Fatal("empty certification")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package certify
+
+import (
+	"context"
+	"sort"
+
+	"ftsched/internal/model"
+	"ftsched/internal/runtime"
+)
+
+// pathSig is the discrete behaviour signature bisection compares: two
+// durations with equal signatures drove the dispatcher through the same
+// switching decisions with the same outcome counts, so no guard or
+// deadline boundary lies strictly between them (as observed at this probe
+// resolution).
+type pathSig struct {
+	finalNode  int
+	switches   int
+	violations int
+	completed  int
+}
+
+func sigOf(res *runtime.Result) pathSig {
+	s := pathSig{
+		finalNode:  res.FinalNode,
+		switches:   res.Switches,
+		violations: len(res.HardViolations),
+	}
+	for _, o := range res.Outcomes {
+		if o == runtime.Completed {
+			s.completed++
+		}
+	}
+	return s
+}
+
+// prober runs zero-fault probe scenarios for corner bisection, reusing one
+// scenario and result buffer.
+type prober struct {
+	d    *runtime.Dispatcher
+	sc   runtime.Scenario
+	res  runtime.Result
+	runs int64
+}
+
+func newProber(d *runtime.Dispatcher, n int) *prober {
+	p := &prober{d: d}
+	p.sc.Durations = make([]model.Time, n)
+	p.sc.FaultsAt = make([]int, n)
+	return p
+}
+
+// probe executes one zero-fault scenario with process p at duration t and
+// every other process at WCET, and returns the signature.
+func (pr *prober) probe(app *model.Application, p int, t model.Time) (pathSig, error) {
+	for id := 0; id < len(pr.sc.Durations); id++ {
+		pr.sc.Durations[id] = app.Proc(model.ProcessID(id)).WCET
+	}
+	pr.sc.Durations[p] = t
+	if err := pr.d.RunInto(&pr.res, pr.sc); err != nil {
+		return pathSig{}, err
+	}
+	pr.runs++
+	return sigOf(&pr.res), nil
+}
+
+// cornerSets builds the per-process execution-time corner lists: BCET and
+// WCET always, plus both sides of every behaviour change point bisection
+// finds (up to maxBoundaries change points per process). Lists are sorted
+// ascending and deduplicated; enumeration order is deterministic.
+func cornerSets(ctx context.Context, d *runtime.Dispatcher, app *model.Application, maxBoundaries int) ([][]model.Time, int64, error) {
+	n := app.N()
+	corners := make([][]model.Time, n)
+	pr := newProber(d, n)
+	for p := 0; p < n; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, pr.runs, err
+		}
+		proc := app.Proc(model.ProcessID(p))
+		set := []model.Time{proc.BCET, proc.WCET}
+		if maxBoundaries > 0 && proc.WCET > proc.BCET {
+			sLo, err := pr.probe(app, p, proc.BCET)
+			if err != nil {
+				return nil, pr.runs, err
+			}
+			sHi, err := pr.probe(app, p, proc.WCET)
+			if err != nil {
+				return nil, pr.runs, err
+			}
+			found := 0
+			var rec func(lo, hi model.Time, a, b pathSig) error
+			rec = func(lo, hi model.Time, a, b pathSig) error {
+				if a == b || found >= maxBoundaries {
+					return nil
+				}
+				if hi-lo == 1 {
+					// A change point between adjacent durations: both
+					// sides are corners.
+					set = append(set, lo, hi)
+					found++
+					return nil
+				}
+				mid := lo + (hi-lo)/2
+				sMid, err := pr.probe(app, p, mid)
+				if err != nil {
+					return err
+				}
+				if err := rec(lo, mid, a, sMid); err != nil {
+					return err
+				}
+				return rec(mid, hi, sMid, b)
+			}
+			if err := rec(proc.BCET, proc.WCET, sLo, sHi); err != nil {
+				return nil, pr.runs, err
+			}
+		}
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		uniq := set[:0]
+		for i, t := range set {
+			if i == 0 || t != uniq[len(uniq)-1] {
+				uniq = append(uniq, t)
+			}
+		}
+		corners[p] = uniq
+	}
+	return corners, pr.runs, nil
+}

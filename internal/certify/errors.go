@@ -1,0 +1,44 @@
+package certify
+
+import (
+	"fmt"
+
+	"ftsched/internal/model"
+	"ftsched/internal/runtime"
+)
+
+// Counterexample is one concrete execution that misses a hard deadline:
+// the full scenario to replay, the violated process and deadline, the
+// utility realised, and the tree path the dispatcher took.
+type Counterexample struct {
+	// Scenario is the exact input that produced the violation.
+	Scenario runtime.Scenario
+	// Proc is the violated hard process; Deadline its bound; Completion
+	// the observed completion time (0 when the process never ran).
+	Proc       model.ProcessID
+	Deadline   model.Time
+	Completion model.Time
+	// Path is the sequence of tree node IDs visited, starting at the
+	// root (0); each further element is a switch target in order.
+	Path []int
+	// Utility is the total utility of the violating cycle.
+	Utility float64
+	// PatternIndex and ScenarioIndex locate the scenario in the
+	// deterministic enumeration order, for reproducibility notes.
+	PatternIndex, ScenarioIndex int
+}
+
+// CounterexampleError is returned by Certify when an explored execution
+// misses a hard deadline. It is a certification verdict, not an engine
+// failure: the report alongside it is still valid for what was explored.
+type CounterexampleError struct {
+	Counterexample Counterexample
+}
+
+// Error implements error.
+func (e *CounterexampleError) Error() string {
+	ce := &e.Counterexample
+	return fmt.Sprintf(
+		"certify: counterexample with %d fault(s): process %d misses deadline %d (completion %d) [pattern %d, scenario %d]",
+		ce.Scenario.NFaults, ce.Proc, ce.Deadline, ce.Completion, ce.PatternIndex, ce.ScenarioIndex)
+}

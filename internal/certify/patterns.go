@@ -1,0 +1,139 @@
+package certify
+
+import (
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+)
+
+// pattern is one canonical fault placement: counts[p] faults aimed at
+// process p's first execution attempts, total faults.
+type pattern struct {
+	counts []int
+	total  int
+}
+
+// patternKey is the comparable canonical form of a capped pattern,
+// mirroring the bitset canonicalisation of the synthesis memoisation
+// (core.suffixKey): level t holds the set of processes hit by at least t
+// faults. Two inline ProcKeys cover every k <= 2 configuration (all the
+// paper's); deeper levels spill into a byte string, which stays correct
+// and comparable for any k.
+type patternKey struct {
+	l1, l2 model.ProcKey
+	rest   string
+}
+
+// keyOf snapshots capped counts into a patternKey. scratch must be an
+// empty ProcSet sized for the application; it is clobbered.
+func keyOf(counts []int, maxCount int, scratch model.ProcSet) patternKey {
+	var k patternKey
+	var rest []byte
+	for level := 1; level <= maxCount; level++ {
+		scratch.Clear()
+		any := false
+		for p, c := range counts {
+			if c >= level {
+				scratch.Add(model.ProcessID(p))
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		switch level {
+		case 1:
+			k.l1 = scratch.Key()
+		case 2:
+			k.l2 = scratch.Key()
+		default:
+			for _, w := range scratch {
+				for i := 0; i < 8; i++ {
+					rest = append(rest, byte(w>>(8*uint(i))))
+				}
+			}
+		}
+	}
+	k.rest = string(rest)
+	return k
+}
+
+// maxAttempts computes, per process, the most execution attempts any node
+// of the tree grants it (1 + its largest recovery budget). Faults beyond
+// this bound never materialise, which is exactly the symmetry the pattern
+// canonicalisation collapses.
+func maxAttempts(tree *core.Tree) []int {
+	att := make([]int, tree.App.N())
+	for i := range tree.Nodes {
+		sched := tree.Nodes[i].Schedule
+		if sched == nil {
+			continue
+		}
+		for _, e := range sched.Entries {
+			if a := 1 + e.Recoveries; a > att[e.Proc] {
+				att[e.Proc] = a
+			}
+		}
+	}
+	return att
+}
+
+// enumeratePatterns generates every canonical fault multiset over the
+// candidate victims with sizes 0..maxFaults, capping per-victim counts at
+// the attempt bound and deduplicating on the bitset key. It returns the
+// surviving patterns in deterministic enumeration order and the number of
+// raw patterns pruned as equivalent.
+func enumeratePatterns(n int, candidates []model.ProcessID, maxFaults int, attempts []int) (patterns []pattern, pruned int) {
+	seen := make(map[patternKey]bool)
+	scratch := model.NewProcSet(n)
+	counts := make([]int, n)
+	// Multisets are generated as non-decreasing victim sequences, so each
+	// raw multiset appears exactly once.
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			capped := make([]int, n)
+			total := 0
+			for p, c := range counts {
+				if c > attempts[p] {
+					c = attempts[p]
+				}
+				capped[p] = c
+				total += c
+			}
+			k := keyOf(capped, maxFaults, scratch)
+			if seen[k] {
+				pruned++
+				return
+			}
+			seen[k] = true
+			patterns = append(patterns, pattern{counts: capped, total: total})
+			return
+		}
+		for ci := start; ci < len(candidates); ci++ {
+			counts[candidates[ci]]++
+			rec(ci, left-1)
+			counts[candidates[ci]]--
+		}
+	}
+	for size := 0; size <= maxFaults; size++ {
+		rec(0, size)
+	}
+	return patterns, pruned
+}
+
+// rootCandidates returns the distinct processes of the root f-schedule in
+// schedule order — the only processes a fault can hit before the first
+// switch, and (because every node shares the root's prefix reachability)
+// the victim universe certification needs to cover.
+func rootCandidates(tree *core.Tree) []model.ProcessID {
+	entries := tree.Root().Schedule.Entries
+	seen := make(map[model.ProcessID]bool, len(entries))
+	out := make([]model.ProcessID, 0, len(entries))
+	for _, e := range entries {
+		if !seen[e.Proc] {
+			seen[e.Proc] = true
+			out = append(out, e.Proc)
+		}
+	}
+	return out
+}

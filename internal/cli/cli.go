@@ -5,11 +5,23 @@ package cli
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"ftsched/internal/appio"
 	"ftsched/internal/apps"
 	"ftsched/internal/model"
 )
+
+// FirstLine reduces a (possibly multi-line) error to its first line, for
+// the one-line diagnostics the CLIs print before exiting; a multi-issue
+// *core.VerifyError renders its headline count this way.
+func FirstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
 
 // LoadApp resolves the application to operate on: a named built-in fixture
 // ("fig1", "fig8", "cc") or a JSON file path. Exactly one of fixture and

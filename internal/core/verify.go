@@ -14,6 +14,14 @@ import (
 // loaded from storage, produced by a modified synthesis, or hand-edited
 // can be trusted before deployment on the single guarantee that matters:
 // no reachable execution can miss a hard deadline.
+//
+// The audit is split in two layers. VerifyStructure checks only the arena
+// invariants an interpreter needs to walk the tree without faulting —
+// index ranges, schedule presence, acyclic parent links — and is what
+// runtime.NewDispatcher runs before compiling a tree. VerifyTree runs the
+// structural audit first and then the semantic one (fault budgets, prefix
+// sharing, guard safety bounds) on whatever the structural pass did not
+// flag.
 
 // VerifyIssue is one finding of the audit.
 type VerifyIssue struct {
@@ -50,11 +58,107 @@ func (e *VerifyError) Error() string {
 	return sb.String()
 }
 
+// VerifyStructure audits only the arena invariants that make a tree safe
+// to *walk*: a root exists and is bound to an application, every node has
+// a schedule whose entries reference valid processes with non-negative
+// recovery budgets, every arc range lies inside the arc arena, every arc
+// guard position and child reference is in range, parent references are in
+// range and acyclic, and DroppedOnFault markers are valid process IDs.
+//
+// It says nothing about deadlines: a structurally valid tree can still be
+// unsafe. Run VerifyTree for the full audit. runtime.NewDispatcher applies
+// VerifyStructure so that a hostile tree yields a typed error instead of
+// an index panic.
+func VerifyStructure(t *Tree) error {
+	issues := structureIssues(t)
+	if len(issues) == 0 {
+		return nil
+	}
+	return &VerifyError{Issues: issues}
+}
+
+// structureIssues is the shared structural pass behind VerifyStructure and
+// VerifyTree.
+func structureIssues(t *Tree) []VerifyIssue {
+	if t == nil || len(t.Nodes) == 0 {
+		return []VerifyIssue{{Node: -1, Arc: -1, Msg: "malformed tree: missing root"}}
+	}
+	if t.App == nil {
+		return []VerifyIssue{{Node: -1, Arc: -1, Msg: "malformed tree: no application bound"}}
+	}
+	var issues []VerifyIssue
+	nodeIssue := func(id NodeID, msg string, args ...any) {
+		issues = append(issues, VerifyIssue{Node: int(id), Arc: -1, Msg: fmt.Sprintf(msg, args...)})
+	}
+	arcIssue := func(id NodeID, arc int, msg string, args ...any) {
+		issues = append(issues, VerifyIssue{Node: int(id), Arc: arc, Msg: fmt.Sprintf(msg, args...)})
+	}
+	nProcs := t.App.N()
+	if t.Nodes[0].Parent != NoNode {
+		nodeIssue(0, "root has parent S%d", t.Nodes[0].Parent)
+	}
+	for idx := range t.Nodes {
+		id := NodeID(idx)
+		n := &t.Nodes[idx]
+		if n.Schedule == nil {
+			nodeIssue(id, "missing schedule")
+			continue
+		}
+		for j, e := range n.Schedule.Entries {
+			if e.Proc < 0 || int(e.Proc) >= nProcs {
+				nodeIssue(id, "entry %d references process %d outside [0,%d)", j, e.Proc, nProcs)
+			}
+			if e.Recoveries < 0 {
+				nodeIssue(id, "entry %d has negative recovery budget %d", j, e.Recoveries)
+			}
+		}
+		if n.DroppedOnFault != model.NoProcess && (n.DroppedOnFault < 0 || int(n.DroppedOnFault) >= nProcs) {
+			nodeIssue(id, "dropped-on-fault marker %d outside [0,%d)", n.DroppedOnFault, nProcs)
+		}
+		if id != 0 && (n.Parent < 0 || int(n.Parent) >= len(t.Nodes) || n.Parent == id) {
+			nodeIssue(id, "parent S%d out of range", n.Parent)
+		}
+		if n.ArcStart < 0 || n.ArcEnd < n.ArcStart || int(n.ArcEnd) > len(t.Arcs) {
+			nodeIssue(id, "arc range [%d,%d) outside arena of %d arcs", n.ArcStart, n.ArcEnd, len(t.Arcs))
+			continue
+		}
+		arcs := t.NodeArcs(id)
+		for ai := range arcs {
+			a := &arcs[ai]
+			if a.Pos < 0 || a.Pos >= len(n.Schedule.Entries) {
+				arcIssue(id, ai, "guard position %d out of range", a.Pos)
+			}
+			if a.Child < 0 || int(a.Child) >= len(t.Nodes) {
+				arcIssue(id, ai, "dangling arc to S%d", a.Child)
+			}
+		}
+	}
+	// Parent links must form a forest rooted at S0: walking up from any
+	// node must terminate within len(Nodes) steps. A cycle here would hang
+	// any ancestry walk (and signals a corrupted arena even though the
+	// forward-only dispatcher cannot loop on it).
+	for idx := range t.Nodes {
+		cur := NodeID(idx)
+		steps := 0
+		for cur != NoNode && steps <= len(t.Nodes) {
+			p := t.Nodes[cur].Parent
+			if p < 0 || int(p) >= len(t.Nodes) {
+				break // out-of-range parents were reported above
+			}
+			cur = p
+			steps++
+		}
+		if steps > len(t.Nodes) {
+			nodeIssue(NodeID(idx), "parent chain is cyclic")
+			break // one report suffices; every node on the cycle would repeat it
+		}
+	}
+	return issues
+}
+
 // VerifyTree audits a quasi-static tree:
 //
-//   - the arena is well-formed: every node's arc range lies inside the arc
-//     slice, every arc's child and every parent reference is a valid
-//     NodeID, and the root has no parent;
+//   - the arena is structurally well-formed (see VerifyStructure);
 //   - the root schedule is structurally valid (schedule.Validate) and
 //     schedulable from time zero with k = App.K() faults;
 //   - every node's fault budget is consistent with its parent's (equal for
@@ -71,7 +175,10 @@ func (e *VerifyError) Error() string {
 // It returns nil when the tree is safe, or a *VerifyError listing every
 // violation.
 func VerifyTree(t *Tree) error {
-	var issues []VerifyIssue
+	issues := structureIssues(t)
+	if t == nil || len(t.Nodes) == 0 || t.App == nil {
+		return &VerifyError{Issues: issues}
+	}
 	app := t.App
 	nodeIssue := func(id NodeID, msg string, args ...any) {
 		issues = append(issues, VerifyIssue{Node: int(id), Arc: -1, Msg: fmt.Sprintf(msg, args...)})
@@ -79,37 +186,47 @@ func VerifyTree(t *Tree) error {
 	arcIssue := func(id NodeID, arc int, msg string, args ...any) {
 		issues = append(issues, VerifyIssue{Node: int(id), Arc: arc, Msg: fmt.Sprintf(msg, args...)})
 	}
+	// usable reports whether the semantic checks can safely dereference
+	// the node: schedule present, entry processes in range.
+	usable := func(n *Node) bool {
+		if n.Schedule == nil {
+			return false
+		}
+		for _, e := range n.Schedule.Entries {
+			if e.Proc < 0 || int(e.Proc) >= app.N() {
+				return false
+			}
+		}
+		return true
+	}
 
-	if len(t.Nodes) == 0 {
-		return &VerifyError{Issues: []VerifyIssue{{Node: -1, Arc: -1, Msg: "malformed tree: missing root"}}}
-	}
 	root := t.Root()
-	if root.Parent != NoNode {
-		nodeIssue(0, "root has parent S%d", root.Parent)
-	}
-	if err := schedule.Validate(app, root.Schedule); err != nil {
-		nodeIssue(0, "invalid root schedule: %v", err)
-	}
-	if err := schedule.CheckSchedulable(app, root.Schedule.Entries, 0, app.K()); err != nil {
-		nodeIssue(0, "root not schedulable: %v", err)
+	if usable(root) {
+		if err := schedule.Validate(app, root.Schedule); err != nil {
+			nodeIssue(0, "invalid root schedule: %v", err)
+		}
+		if err := schedule.CheckSchedulable(app, root.Schedule.Entries, 0, app.K()); err != nil {
+			nodeIssue(0, "root not schedulable: %v", err)
+		}
 	}
 
 	for idx := range t.Nodes {
 		id := NodeID(idx)
 		n := &t.Nodes[idx]
+		if !usable(n) {
+			continue // structural issues already recorded
+		}
 		if n.ArcStart < 0 || n.ArcEnd < n.ArcStart || int(n.ArcEnd) > len(t.Arcs) {
-			nodeIssue(id, "arc range [%d,%d) outside arena of %d arcs", n.ArcStart, n.ArcEnd, len(t.Arcs))
 			continue
 		}
 		if n.KRem < 0 || n.KRem > app.K() {
 			nodeIssue(id, "fault budget %d outside [0,%d]", n.KRem, app.K())
 		}
 		var parent *Node
-		if id != 0 {
-			if n.Parent < 0 || int(n.Parent) >= len(t.Nodes) {
-				nodeIssue(id, "parent S%d out of range", n.Parent)
-			} else {
-				parent = &t.Nodes[n.Parent]
+		if id != 0 && n.Parent >= 0 && int(n.Parent) < len(t.Nodes) {
+			parent = &t.Nodes[n.Parent]
+			if !usable(parent) {
+				parent = nil
 			}
 		}
 		if parent != nil {
@@ -133,6 +250,7 @@ func VerifyTree(t *Tree) error {
 		// Hard coverage: every hard process must be in the schedule,
 		// except a DroppedOnFault marker can never be hard.
 		if n.DroppedOnFault != model.NoProcess &&
+			n.DroppedOnFault >= 0 && int(n.DroppedOnFault) < app.N() &&
 			app.Proc(n.DroppedOnFault).Kind == model.Hard {
 			nodeIssue(id, "fault-dropped process %s is hard", app.Proc(n.DroppedOnFault).Name)
 		}
@@ -146,15 +264,13 @@ func VerifyTree(t *Tree) error {
 		for ai := range arcs {
 			a := &arcs[ai]
 			if a.Pos < 0 || a.Pos >= len(n.Schedule.Entries) {
-				arcIssue(id, ai, "guard position %d out of range", a.Pos)
-				continue
+				continue // structural issue already recorded
 			}
 			if a.Lo > a.Hi {
 				arcIssue(id, ai, "empty guard [%d,%d]", a.Lo, a.Hi)
 			}
 			if a.Child < 0 || int(a.Child) >= len(t.Nodes) {
-				arcIssue(id, ai, "dangling arc to S%d", a.Child)
-				continue
+				continue // dangling arc already recorded
 			}
 			child := &t.Nodes[a.Child]
 			if child.Parent != id {
@@ -191,7 +307,7 @@ func VerifyTree(t *Tree) error {
 			}
 			// The safety bound: the child suffix entered at the guard's
 			// upper end must keep every hard deadline and the period.
-			if child.SwitchPos >= 0 && child.SwitchPos <= len(child.Schedule.Entries) {
+			if usable(child) && child.SwitchPos >= 0 && child.SwitchPos <= len(child.Schedule.Entries) {
 				suffix := child.Schedule.Entries[child.SwitchPos:]
 				if err := schedule.CheckSchedulable(app, suffix, a.Hi, child.KRem); err != nil {
 					arcIssue(id, ai, "unsafe switch at guard end %d: %v", a.Hi, err)

@@ -77,10 +77,20 @@ func Overhead(cfg OverheadConfig) (*OverheadResult, error) {
 		static := sim.StaticTree(app, root)
 		var sumS, sumQ, sumI float64
 		for i := 0; i < cfg.Scenarios; i++ {
-			sc := sim.Sample(app, rng, 0, nil)
-			sumS += sim.Run(static, sc).Utility
+			sc, err := sim.Sample(app, rng, 0, nil)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := sim.Run(static, sc)
+			if err != nil {
+				return nil, err
+			}
+			sumS += rs.Utility
 			t0 := time.Now()
-			rq := sim.Run(tree, sc)
+			rq, err := sim.Run(tree, sc)
+			if err != nil {
+				return nil, err
+			}
 			treeTime += time.Since(t0)
 			sumQ += rq.Utility
 			ri := sim.RunOnlineReschedule(app, root, sc)

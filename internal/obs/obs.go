@@ -40,6 +40,11 @@ const (
 	// processes abandoned because their recovery budget was exhausted.
 	DispatchFaultsAbsorbed
 	DispatchFaultsAbandoned
+	// DispatchGuardFallbacks counts mid-cycle switches whose target was
+	// unusable (out-of-range node, missing schedule); the dispatcher fell
+	// back to the root f-schedule (or stayed put) instead of panicking.
+	// Non-zero values indicate a corrupted dispatch table.
+	DispatchGuardFallbacks
 
 	// MCRuns counts Monte-Carlo evaluations; MCScenarios counts simulated
 	// scenarios across all evaluations.
@@ -52,6 +57,17 @@ const (
 	TrimArcsEvaluated
 	TrimArcsRemoved
 	TrimReplays
+
+	// CertifyScenarios counts adversarial scenarios executed through the
+	// dispatcher by the certification engine; CertifyPatterns counts fault
+	// patterns certified; CertifyPatternsPruned counts fault patterns
+	// skipped because bitset canonicalisation proved them equivalent to an
+	// already-enumerated pattern; CertifyBisectionRuns counts the probe
+	// executions spent locating guard-boundary execution times.
+	CertifyScenarios
+	CertifyPatterns
+	CertifyPatternsPruned
+	CertifyBisectionRuns
 
 	numCounters
 )
@@ -74,11 +90,16 @@ var counterNames = [numCounters]string{
 	DispatchSwitches:        "ftsched_dispatch_switches_total",
 	DispatchFaultsAbsorbed:  "ftsched_dispatch_faults_absorbed_total",
 	DispatchFaultsAbandoned: "ftsched_dispatch_faults_abandoned_total",
+	DispatchGuardFallbacks:  "ftsched_dispatch_guard_fallbacks_total",
 	MCRuns:                  "ftsched_montecarlo_runs_total",
 	MCScenarios:             "ftsched_montecarlo_scenarios_total",
 	TrimArcsEvaluated:       "ftsched_trim_arcs_evaluated_total",
 	TrimArcsRemoved:         "ftsched_trim_arcs_removed_total",
 	TrimReplays:             "ftsched_trim_replays_total",
+	CertifyScenarios:        "ftsched_certify_scenarios_total",
+	CertifyPatterns:         "ftsched_certify_patterns_total",
+	CertifyPatternsPruned:   "ftsched_certify_patterns_pruned_total",
+	CertifyBisectionRuns:    "ftsched_certify_bisection_runs_total",
 }
 
 var counterHelp = [numCounters]string{
@@ -94,11 +115,16 @@ var counterHelp = [numCounters]string{
 	DispatchSwitches:        "Quasi-static schedule switches taken.",
 	DispatchFaultsAbsorbed:  "Faults absorbed by re-execution within recovery slack.",
 	DispatchFaultsAbandoned: "Processes abandoned after exhausting their recovery budget.",
+	DispatchGuardFallbacks:  "Mid-cycle switches to an unusable node resolved by falling back to the root schedule.",
 	MCRuns:                  "Monte-Carlo evaluations performed.",
 	MCScenarios:             "Scenarios simulated across all Monte-Carlo evaluations.",
 	TrimArcsEvaluated:       "Switch arcs priced by paired scenario replay during trimming.",
 	TrimArcsRemoved:         "Switch arcs removed by trimming.",
 	TrimReplays:             "Scenario replays performed while pricing arc removals.",
+	CertifyScenarios:        "Adversarial scenarios executed through the dispatcher during certification.",
+	CertifyPatterns:         "Fault patterns enumerated and certified.",
+	CertifyPatternsPruned:   "Fault patterns pruned as canonically equivalent to an enumerated one.",
+	CertifyBisectionRuns:    "Probe executions spent bisecting for guard-boundary execution times.",
 }
 
 // Name returns the stable metric name of the counter ("" for an
@@ -126,6 +152,10 @@ const (
 	// MCUtility is the per-scenario total utility (rounded to integer) of
 	// a Monte-Carlo evaluation.
 	MCUtility
+	// CertifyWorstSlack is the worst (minimum) hard-deadline slack
+	// observed per certified fault pattern; values at or below zero would
+	// be counterexamples.
+	CertifyWorstSlack
 
 	numHistograms
 )
@@ -138,6 +168,7 @@ var histogramNames = [numHistograms]string{
 	DispatchHardSlack:  "ftsched_dispatch_hard_slack",
 	DispatchSwitchNode: "ftsched_dispatch_switch_node",
 	MCUtility:          "ftsched_montecarlo_utility",
+	CertifyWorstSlack:  "ftsched_certify_worst_slack",
 }
 
 var histogramHelp = [numHistograms]string{
@@ -145,6 +176,7 @@ var histogramHelp = [numHistograms]string{
 	DispatchHardSlack:  "Hard-deadline slack (deadline - completion) per completed hard process; violations fall in the <=0 bucket.",
 	DispatchSwitchNode: "Target NodeID per schedule switch taken.",
 	MCUtility:          "Per-scenario total utility (rounded) observed by Monte-Carlo evaluation.",
+	CertifyWorstSlack:  "Worst hard-deadline slack observed per certified fault pattern.",
 }
 
 // Name returns the stable metric name of the histogram ("" for an

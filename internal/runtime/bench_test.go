@@ -19,9 +19,9 @@ import (
 func BenchmarkDispatch(b *testing.B) {
 	app := apps.CruiseController()
 	tree := synthesize(b, app, 20)
-	d := runtime.NewDispatcher(tree)
+	d := runtime.MustNewDispatcher(tree)
 	rng := rand.New(rand.NewSource(1))
-	sc := sim.Sample(app, rng, 2, nil)
+	sc := sim.MustSample(app, rng, 2, nil)
 	var res runtime.Result
 	d.RunInto(&res, sc)
 	b.ReportAllocs()
@@ -49,9 +49,9 @@ func BenchmarkDispatchSink(b *testing.B) {
 func benchDispatchSink(b *testing.B, s obs.Sink) {
 	app := apps.CruiseController()
 	tree := synthesize(b, app, 20)
-	d := runtime.NewDispatcher(tree, runtime.WithSink(s))
+	d := runtime.MustNewDispatcher(tree, runtime.WithSink(s))
 	rng := rand.New(rand.NewSource(1))
-	sc := sim.Sample(app, rng, 2, nil)
+	sc := sim.MustSample(app, rng, 2, nil)
 	var res runtime.Result
 	d.RunInto(&res, sc)
 	b.ReportAllocs()

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	"sync"
 
 	"ftsched/internal/core"
@@ -110,7 +111,19 @@ func (d *Dispatcher) Sink() obs.Sink { return d.sink }
 
 // NewDispatcher compiles a tree. The tree must stay unmodified while the
 // Dispatcher is in use (trimming recompiles after each mutation).
-func NewDispatcher(tree *core.Tree, opts ...Option) *Dispatcher {
+//
+// The tree is audited with core.VerifyStructure before compilation and the
+// compiled dispatch table is audited afterwards; a malformed tree
+// (out-of-range node IDs, missing schedules, cyclic parent links,
+// inconsistent guard segments) yields a *MalformedTreeError — never a
+// panic — so trees from untrusted storage degrade into a typed error.
+// Note this is the structural audit only: run core.VerifyTree for the
+// full hard-deadline safety audit, or internal/certify for exhaustive
+// certification against the compiled dispatcher itself.
+func NewDispatcher(tree *core.Tree, opts ...Option) (*Dispatcher, error) {
+	if err := core.VerifyStructure(tree); err != nil {
+		return nil, &MalformedTreeError{Err: err}
+	}
 	app := tree.App
 	n := app.N()
 	d := &Dispatcher{
@@ -146,7 +159,49 @@ func NewDispatcher(tree *core.Tree, opts ...Option) *Dispatcher {
 		}
 	}
 	d.compile()
+	if err := d.auditSegments(); err != nil {
+		return nil, &MalformedTreeError{Err: err}
+	}
+	return d, nil
+}
+
+// MustNewDispatcher is NewDispatcher for trees known to be well-formed
+// (freshly synthesised, already verified); it panics on a malformed tree.
+func MustNewDispatcher(tree *core.Tree, opts ...Option) *Dispatcher {
+	d, err := NewDispatcher(tree, opts...)
+	if err != nil {
+		panic(err)
+	}
 	return d
+}
+
+// auditSegments re-checks the compiled dispatch table: within every group
+// the segments must be sorted by lo, non-empty, disjoint, and switch to an
+// in-range node carrying a schedule. compile is constructed to guarantee
+// all of this, so a finding here means the compiler (or the memory under
+// it) is broken — worth one linear pass at construction to turn a would-be
+// silent misdispatch into a typed error.
+func (d *Dispatcher) auditSegments() error {
+	for gi := range d.groups {
+		g := &d.groups[gi]
+		if g.segStart < 0 || g.segEnd < g.segStart || int(g.segEnd) > len(d.segs) {
+			return fmt.Errorf("dispatch group %d: segment range [%d,%d) outside arena of %d", gi, g.segStart, g.segEnd, len(d.segs))
+		}
+		segs := d.segs[g.segStart:g.segEnd]
+		for si := range segs {
+			s := &segs[si]
+			if s.lo > s.hi {
+				return fmt.Errorf("dispatch group %d: segment %d is empty [%d,%d]", gi, si, s.lo, s.hi)
+			}
+			if si > 0 && segs[si-1].hi >= s.lo {
+				return fmt.Errorf("dispatch group %d: segments %d and %d overlap or are unsorted", gi, si-1, si)
+			}
+			if s.child < 0 || int(s.child) >= len(d.tree.Nodes) || d.tree.Nodes[s.child].Schedule == nil {
+				return fmt.Errorf("dispatch group %d: segment %d switches to unusable node S%d", gi, si, s.child)
+			}
+		}
+	}
+	return nil
 }
 
 // compile flattens every node's arcs into disjoint dispatch segments. The
@@ -304,28 +359,47 @@ func (d *Dispatcher) lookup(id core.NodeID, pos int, kind core.ArcKind, tc model
 	return core.NoNode
 }
 
-// Run executes one scenario and returns a freshly allocated Result.
-func (d *Dispatcher) Run(sc Scenario) Result {
+// checkScenario is the O(1) guard the run loop needs so scenario indexing
+// cannot fault; it deliberately does not duplicate Scenario.Validate (out
+// of the hot path — validate untrusted scenarios explicitly).
+func (d *Dispatcher) checkScenario(sc Scenario) error {
+	if n := d.app.N(); len(sc.Durations) != n || len(sc.FaultsAt) != n {
+		return &ScenarioSizeError{Durations: len(sc.Durations), Faults: len(sc.FaultsAt), Want: n}
+	}
+	return nil
+}
+
+// Run executes one scenario and returns a freshly allocated Result. The
+// only error is a *ScenarioSizeError for mis-sized scenario slices.
+func (d *Dispatcher) Run(sc Scenario) (Result, error) {
 	var res Result
-	d.run(&res, sc, nil)
-	return res
+	err := d.RunInto(&res, sc)
+	return res, err
 }
 
 // RunInto executes one scenario, reusing the buffers of res. It is the
 // allocation-free entry point for bulk evaluation: pass the same Result to
 // successive calls and copy out (or reduce) what you need between them.
-func (d *Dispatcher) RunInto(res *Result, sc Scenario) {
+// The only error is a *ScenarioSizeError for mis-sized scenario slices.
+func (d *Dispatcher) RunInto(res *Result, sc Scenario) error {
+	if err := d.checkScenario(sc); err != nil {
+		return err
+	}
 	d.run(res, sc, nil)
+	return nil
 }
 
 // RunTrace is Run with full event recording, for visualisation and
 // debugging. The returned events are ordered by time (ties in execution
 // order).
-func (d *Dispatcher) RunTrace(sc Scenario) (Result, []TraceEvent) {
+func (d *Dispatcher) RunTrace(sc Scenario) (Result, []TraceEvent, error) {
 	var res Result
+	if err := d.checkScenario(sc); err != nil {
+		return res, nil, err
+	}
 	var events []TraceEvent
 	d.run(&res, sc, &events)
-	return res, events
+	return res, events, nil
 }
 
 // resizeInt/resizeTime/resizeOutcome reuse a slice when it has capacity.
@@ -366,6 +440,7 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 	res.Switches = 0
 	res.FaultsConsumed = 0
 	res.Recoveries = 0
+	res.Fallbacks = 0
 
 	bufs := d.bufs.Get().(*cycleBufs)
 	faultsLeft := bufs.faultsLeft
@@ -460,6 +535,21 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 		res.Makespan = now
 
 		next := d.next(node, pos, now, outcome, stats)
+		if next != node {
+			// Graceful degradation: the construction audit guarantees every
+			// compiled segment targets a usable node, so an unusable target
+			// here means the table (or the tree behind it) was corrupted
+			// after construction. Fall back to the root f-schedule — safe
+			// for any ≤ k scenario by the paper's root guarantee — rather
+			// than dereferencing a broken node.
+			if next < 0 || int(next) >= len(d.tree.Nodes) || d.tree.Nodes[next].Schedule == nil {
+				res.Fallbacks++
+				if sink != nil {
+					sink.Add(obs.DispatchGuardFallbacks, 1)
+				}
+				next = 0
+			}
+		}
 		if next != node {
 			if sink != nil {
 				sink.Observe(obs.DispatchSwitchNode, int64(next))

@@ -52,7 +52,7 @@ func TestDispatcherMatchesTreeNext(t *testing.T) {
 		{apps.CruiseController(), 24},
 	} {
 		tree := synthesize(t, tc.app, tc.m)
-		d := runtime.NewDispatcher(tree)
+		d := runtime.MustNewDispatcher(tree)
 		rng := rand.New(rand.NewSource(3))
 		for id := range tree.Nodes {
 			nid := core.NodeID(id)
@@ -83,7 +83,7 @@ func TestDispatcherTrimmedGuards(t *testing.T) {
 			tree.Arcs[i].Lo, tree.Arcs[i].Hi = 1, 0
 		}
 	}
-	d := runtime.NewDispatcher(tree)
+	d := runtime.MustNewDispatcher(tree)
 	rng := rand.New(rand.NewSource(5))
 	for id := range tree.Nodes {
 		nid := core.NodeID(id)
@@ -98,6 +98,17 @@ func TestDispatcherTrimmedGuards(t *testing.T) {
 			}
 		}
 	}
+}
+
+// mustRun executes a scenario, failing the test on the (impossible for
+// well-sized scenarios) typed errors.
+func mustRun(t testing.TB, d *runtime.Dispatcher, sc runtime.Scenario) runtime.Result {
+	t.Helper()
+	res, err := d.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 // resultsEqual compares results treating nil and empty slices alike (Run
@@ -132,13 +143,13 @@ func resultsEqual(a, b *runtime.Result) bool {
 func TestRunIntoMatchesRun(t *testing.T) {
 	app := apps.CruiseController()
 	tree := synthesize(t, app, 20)
-	d := runtime.NewDispatcher(tree)
+	d := runtime.MustNewDispatcher(tree)
 	rng := rand.New(rand.NewSource(11))
 	var reused runtime.Result
 	for i := 0; i < 500; i++ {
-		sc := sim.Sample(app, rng, i%(app.K()+1), nil)
+		sc := sim.MustSample(app, rng, i%(app.K()+1), nil)
 		d.RunInto(&reused, sc)
-		fresh := d.Run(sc)
+		fresh := mustRun(t, d, sc)
 		if !resultsEqual(&reused, &fresh) {
 			t.Fatalf("scenario %d: RunInto %+v != Run %+v", i, reused, fresh)
 		}
@@ -150,12 +161,15 @@ func TestRunIntoMatchesRun(t *testing.T) {
 func TestRunTraceMatchesRun(t *testing.T) {
 	app := apps.Fig8()
 	tree := synthesize(t, app, 16)
-	d := runtime.NewDispatcher(tree)
+	d := runtime.MustNewDispatcher(tree)
 	rng := rand.New(rand.NewSource(17))
 	for i := 0; i < 100; i++ {
-		sc := sim.Sample(app, rng, i%(app.K()+1), nil)
-		plain := d.Run(sc)
-		traced, events := d.RunTrace(sc)
+		sc := sim.MustSample(app, rng, i%(app.K()+1), nil)
+		plain := mustRun(t, d, sc)
+		traced, events, err := d.RunTrace(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !resultsEqual(&plain, &traced) {
 			t.Fatalf("scenario %d: tracing changed the result", i)
 		}
@@ -173,15 +187,15 @@ func TestRunTraceMatchesRun(t *testing.T) {
 func TestDispatcherConcurrent(t *testing.T) {
 	app := apps.CruiseController()
 	tree := synthesize(t, app, 20)
-	d := runtime.NewDispatcher(tree)
+	d := runtime.MustNewDispatcher(tree)
 
 	const workers, perWorker = 8, 50
 	scenarios := make([]sim.Scenario, workers*perWorker)
 	want := make([]runtime.Result, len(scenarios))
 	rng := rand.New(rand.NewSource(23))
 	for i := range scenarios {
-		scenarios[i] = sim.Sample(app, rng, i%(app.K()+1), nil)
-		want[i] = d.Run(scenarios[i])
+		scenarios[i] = sim.MustSample(app, rng, i%(app.K()+1), nil)
+		want[i] = mustRun(t, d, scenarios[i])
 	}
 
 	var wg sync.WaitGroup
@@ -214,9 +228,9 @@ func TestRunIntoAllocFree(t *testing.T) {
 	}
 	app := apps.CruiseController()
 	tree := synthesize(t, app, 20)
-	d := runtime.NewDispatcher(tree)
+	d := runtime.MustNewDispatcher(tree)
 	rng := rand.New(rand.NewSource(29))
-	sc := sim.Sample(app, rng, 2, nil)
+	sc := sim.MustSample(app, rng, 2, nil)
 	var res runtime.Result
 	d.RunInto(&res, sc) // warm up the result buffers and the cycle pool
 	allocs := testing.AllocsPerRun(200, func() {
@@ -237,7 +251,7 @@ func TestRunIntoAllocFreeWithSinks(t *testing.T) {
 	app := apps.CruiseController()
 	tree := synthesize(t, app, 20)
 	rng := rand.New(rand.NewSource(29))
-	sc := sim.Sample(app, rng, 2, nil)
+	sc := sim.MustSample(app, rng, 2, nil)
 	for _, tc := range []struct {
 		name string
 		sink obs.Sink
@@ -245,7 +259,7 @@ func TestRunIntoAllocFreeWithSinks(t *testing.T) {
 		{"nop", obs.NopSink{}},
 		{"live", obs.NewMetrics()},
 	} {
-		d := runtime.NewDispatcher(tree, runtime.WithSink(tc.sink))
+		d := runtime.MustNewDispatcher(tree, runtime.WithSink(tc.sink))
 		var res runtime.Result
 		d.RunInto(&res, sc)
 		allocs := testing.AllocsPerRun(200, func() {
@@ -264,9 +278,9 @@ func TestRunIntoAllocFreeWithSinks(t *testing.T) {
 func TestDispatcherSinkEvents(t *testing.T) {
 	app := apps.CruiseController()
 	tree := synthesize(t, app, 20)
-	plain := runtime.NewDispatcher(tree)
+	plain := runtime.MustNewDispatcher(tree)
 	m := obs.NewMetrics()
-	d := runtime.NewDispatcher(tree, runtime.WithSink(m))
+	d := runtime.MustNewDispatcher(tree, runtime.WithSink(m))
 	if d.Sink() != m {
 		t.Fatal("Sink() does not return the installed sink")
 	}
@@ -275,9 +289,9 @@ func TestDispatcherSinkEvents(t *testing.T) {
 	const cycles = 300
 	var switches, recoveries, abandoned, hardDone int64
 	for i := 0; i < cycles; i++ {
-		sc := sim.Sample(app, rng, i%(app.K()+1), nil)
-		got := d.Run(sc)
-		want := plain.Run(sc)
+		sc := sim.MustSample(app, rng, i%(app.K()+1), nil)
+		got := mustRun(t, d, sc)
+		want := mustRun(t, plain, sc)
 		if !resultsEqual(&got, &want) {
 			t.Fatalf("scenario %d: sink changed the result", i)
 		}
@@ -325,7 +339,7 @@ func TestDispatcherSinkEvents(t *testing.T) {
 func TestScenarioValidate(t *testing.T) {
 	app := apps.Fig1()
 	rng := rand.New(rand.NewSource(31))
-	sc := sim.Sample(app, rng, 1, nil)
+	sc := sim.MustSample(app, rng, 1, nil)
 	if err := sc.Validate(app); err != nil {
 		t.Fatalf("sampled scenario invalid: %v", err)
 	}

@@ -1,0 +1,41 @@
+package runtime
+
+import (
+	"fmt"
+)
+
+// MalformedTreeError reports that a tree failed the structural audit at
+// Dispatcher construction (or that compilation produced an inconsistent
+// dispatch table, which indicates memory corruption or a compiler bug).
+// It wraps the underlying *core.VerifyError (or description) so callers
+// can inspect individual findings with errors.As.
+type MalformedTreeError struct {
+	// Err is the underlying audit failure.
+	Err error
+}
+
+// Error implements error.
+func (e *MalformedTreeError) Error() string {
+	return "runtime: malformed tree: " + e.Err.Error()
+}
+
+// Unwrap returns the underlying audit failure.
+func (e *MalformedTreeError) Unwrap() error { return e.Err }
+
+// ScenarioSizeError reports a scenario whose per-process slices do not
+// match the application the dispatcher was compiled for. It is the only
+// scenario validation the run loop performs — the O(1) length check that
+// makes out-of-range indexing impossible; semantic validation (durations
+// within [BCET,WCET], fault totals) is Scenario.Validate's job and is
+// deliberately not on the per-cycle hot path.
+type ScenarioSizeError struct {
+	// Durations and Faults are the offered slice lengths; Want is the
+	// application's process count.
+	Durations, Faults, Want int
+}
+
+// Error implements error.
+func (e *ScenarioSizeError) Error() string {
+	return fmt.Sprintf("runtime: scenario sized for %d durations / %d fault slots, application has %d processes",
+		e.Durations, e.Faults, e.Want)
+}

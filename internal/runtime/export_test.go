@@ -13,3 +13,12 @@ func (d *Dispatcher) Next(id core.NodeID, pos int, tc model.Time, outcome core.E
 
 // Segments returns the compiled segment count, for the compile-shape tests.
 func (d *Dispatcher) Segments() int { return len(d.segs) }
+
+// CorruptSegments redirects every compiled segment to the given node,
+// simulating post-construction corruption of the dispatch table so the
+// degradation tests can exercise the mid-cycle root fallback.
+func (d *Dispatcher) CorruptSegments(child core.NodeID) {
+	for i := range d.segs {
+		d.segs[i].child = child
+	}
+}

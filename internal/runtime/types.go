@@ -95,6 +95,11 @@ type Result struct {
 	FaultsConsumed int
 	// Recoveries counts re-executions performed.
 	Recoveries int
+	// Fallbacks counts mid-cycle switches whose target node was unusable
+	// and was replaced by the root f-schedule. Always zero unless the
+	// dispatch table was corrupted after construction; mirrored on the
+	// obs.DispatchGuardFallbacks counter.
+	Fallbacks int
 }
 
 // TotalUtility applies the stale-value model to realised outcomes:

@@ -53,7 +53,7 @@ func TestMonteCarloDispatcherReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := runtime.NewDispatcher(tree)
+	d := runtime.MustNewDispatcher(tree)
 	cfg.Dispatcher = d
 	for run := 0; run < 2; run++ { // reuse across calls
 		got, err := MonteCarlo(tree, cfg)
@@ -65,7 +65,7 @@ func TestMonteCarloDispatcherReuse(t *testing.T) {
 		}
 	}
 	other := buildTree(t, 8)
-	cfg.Dispatcher = runtime.NewDispatcher(other)
+	cfg.Dispatcher = runtime.MustNewDispatcher(other)
 	if _, err := MonteCarlo(tree, cfg); err == nil {
 		t.Error("dispatcher from a different tree accepted")
 	}

@@ -15,4 +15,11 @@
 // by package core (including concurrently, with FTQSOptions.Workers > 1)
 // can therefore be evaluated from many goroutines at once, which is how
 // MonteCarlo parallelises its scenario sweep.
+//
+// Scenario sampling is bound-checked: Sample and SampleInto reject fault
+// counts outside [0, k] and empty victim pools with a typed *SampleError
+// before consuming any RNG state or mutating the destination scenario, so
+// a rejected call leaves both the RNG stream and the caller's buffers
+// exactly as they were. MustSample wraps Sample for tests and examples
+// where an error is a programming bug.
 package sim

@@ -1,0 +1,19 @@
+package sim
+
+import (
+	"testing"
+
+	"ftsched/internal/core"
+)
+
+// testRun executes one scenario, failing the test on the typed errors the
+// erroring Run can now return (impossible for the well-formed trees and
+// correctly sized scenarios these tests build).
+func testRun(t testing.TB, tree *core.Tree, sc Scenario) Result {
+	t.Helper()
+	r, err := Run(tree, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

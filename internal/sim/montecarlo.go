@@ -155,9 +155,16 @@ func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCSt
 	if obs.Live(cfg.Sink) {
 		sink = cfg.Sink
 	}
+	if cfg.Faults > 0 && len(candidates) == 0 {
+		return MCStats{}, &SampleError{NFaults: cfg.Faults, EmptyPool: true}
+	}
 	d := cfg.Dispatcher
 	if d == nil {
-		d = runtime.NewDispatcher(tree, runtime.WithSink(sink))
+		var derr error
+		d, derr = runtime.NewDispatcher(tree, runtime.WithSink(sink))
+		if derr != nil {
+			return MCStats{}, derr
+		}
 	} else if d.Tree() != tree {
 		return MCStats{}, fmt.Errorf("sim: MCConfig.Dispatcher was compiled from a different tree")
 	}
@@ -168,6 +175,13 @@ func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCSt
 	utils := make([]float64, cfg.Scenarios)
 	partials := make([]mcPartial, workers)
 	done := ctx.Done()
+	// Sampling and dispatch bounds were validated above, so worker errors
+	// are unreachable; they are still captured (first one wins) rather
+	// than dropped, because silently skipped scenarios would skew the
+	// statistics.
+	var errOnce sync.Once
+	var workerErr error
+	fail := func(err error) { errOnce.Do(func() { workerErr = err }) }
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -187,8 +201,14 @@ func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCSt
 				default:
 				}
 				rng.Seed(scenarioSeed(cfg.Seed, i))
-				SampleInto(&sc, app, rng, cfg.Faults, candidates)
-				d.RunInto(&res, sc)
+				if err := SampleInto(&sc, app, rng, cfg.Faults, candidates); err != nil {
+					fail(err)
+					return
+				}
+				if err := d.RunInto(&res, sc); err != nil {
+					fail(err)
+					return
+				}
 				utils[i] = res.Utility
 				p.add(&res)
 				if sink != nil {
@@ -198,6 +218,9 @@ func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCSt
 		}(w)
 	}
 	wg.Wait()
+	if workerErr != nil {
+		return MCStats{}, workerErr
+	}
 
 	if sink != nil {
 		// Scenario throughput covers what actually ran, even when the

@@ -72,9 +72,9 @@ func TestOnlineRescheduleUpperBound(t *testing.T) {
 	const n = 2000
 	static := StaticTree(app, root)
 	for i := 0; i < n; i++ {
-		sc := Sample(app, rng, 0, nil)
-		uStatic += Run(static, sc).Utility
-		uTree += Run(tree, sc).Utility
+		sc := MustSample(app, rng, 0, nil)
+		uStatic += testRun(t, static, sc).Utility
+		uTree += testRun(t, tree, sc).Utility
 		ideal := RunOnlineReschedule(app, root, sc)
 		if len(ideal.HardViolations) != 0 {
 			t.Fatalf("ideal scheduler violated a deadline: %v", ideal.HardViolations)
@@ -104,7 +104,7 @@ func TestOnlineRescheduleSafetyProperty(t *testing.T) {
 			return true
 		}
 		for trial := 0; trial < 15; trial++ {
-			sc := Sample(app, rng, rng.Intn(app.K()+1), nil)
+			sc := MustSample(app, rng, rng.Intn(app.K()+1), nil)
 			r := RunOnlineReschedule(app, root, sc)
 			if len(r.HardViolations) > 0 {
 				t.Logf("seed %d trial %d: violations %v", seed, trial, r.HardViolations)
@@ -251,7 +251,7 @@ func TestOnlineRescheduleMatchesReference(t *testing.T) {
 		}
 		rng := rand.New(rand.NewSource(13))
 		for i := 0; i < 200; i++ {
-			sc := Sample(app, rng, i%(app.K()+1), nil)
+			sc := MustSample(app, rng, i%(app.K()+1), nil)
 			got := RunOnlineReschedule(app, root, sc)
 			want := referenceOnlineReschedule(app, root, sc)
 			got.SynthesisTime, want.SynthesisTime = 0, 0

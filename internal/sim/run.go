@@ -32,7 +32,13 @@ type Result = runtime.Result
 // entry the node's guarded arcs are consulted and the best matching switch
 // is taken. See runtime.Dispatcher for the switching machinery; bulk
 // evaluation should compile the tree once with runtime.NewDispatcher
-// instead of calling Run per scenario.
-func Run(tree *core.Tree, sc Scenario) Result {
-	return runtime.NewDispatcher(tree).Run(sc)
+// instead of calling Run per scenario. It returns the dispatcher's typed
+// errors: *runtime.MalformedTreeError for a structurally broken tree,
+// *runtime.ScenarioSizeError for mis-sized scenario slices.
+func Run(tree *core.Tree, sc Scenario) (Result, error) {
+	d, err := runtime.NewDispatcher(tree)
+	if err != nil {
+		return Result{}, err
+	}
+	return d.Run(sc)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 
 	"ftsched/internal/core"
@@ -13,20 +14,60 @@ import (
 // runtime.Scenario for the modelling choices.
 type Scenario = runtime.Scenario
 
+// SampleError reports a sampling request the application cannot satisfy:
+// a fault count outside [0, k], or faults requested with an empty victim
+// pool. Before this check, an empty pool panicked inside math/rand and an
+// over-bound count silently produced scenarios the trees carry no
+// guarantee for.
+type SampleError struct {
+	// NFaults is the requested fault count; Bound is the application's k.
+	NFaults, Bound int
+	// EmptyPool is set when faults were requested but the candidate pool
+	// was empty.
+	EmptyPool bool
+}
+
+// Error implements error.
+func (e *SampleError) Error() string {
+	if e.EmptyPool {
+		return fmt.Sprintf("sim: cannot aim %d fault(s): empty victim candidate pool", e.NFaults)
+	}
+	return fmt.Sprintf("sim: fault count %d outside the application bound [0,%d]", e.NFaults, e.Bound)
+}
+
 // Sample draws a scenario for the application: uniform execution times and
 // nFaults faults aimed at uniformly chosen victims (with replacement) among
 // the candidate processes. Candidates are typically the processes of the
-// root schedule; pass nil to draw victims from all processes.
-func Sample(app *model.Application, rng *rand.Rand, nFaults int, candidates []model.ProcessID) Scenario {
+// root schedule; pass nil to draw victims from all processes. It returns a
+// *SampleError when nFaults is outside [0, app.K()] or positive with an
+// empty candidate pool.
+func Sample(app *model.Application, rng *rand.Rand, nFaults int, candidates []model.ProcessID) (Scenario, error) {
 	var sc Scenario
-	SampleInto(&sc, app, rng, nFaults, candidates)
+	err := SampleInto(&sc, app, rng, nFaults, candidates)
+	return sc, err
+}
+
+// MustSample is Sample for requests known to be in bounds; it panics on a
+// *SampleError.
+func MustSample(app *model.Application, rng *rand.Rand, nFaults int, candidates []model.ProcessID) Scenario {
+	sc, err := Sample(app, rng, nFaults, candidates)
+	if err != nil {
+		panic(err)
+	}
 	return sc
 }
 
 // SampleInto is Sample reusing the buffers of sc, for bulk evaluation. The
 // random-number stream it consumes is identical to Sample's, so the two
-// are interchangeable scenario for scenario.
-func SampleInto(sc *Scenario, app *model.Application, rng *rand.Rand, nFaults int, candidates []model.ProcessID) {
+// are interchangeable scenario for scenario. On error, sc is unchanged and
+// the random stream is untouched.
+func SampleInto(sc *Scenario, app *model.Application, rng *rand.Rand, nFaults int, candidates []model.ProcessID) error {
+	if nFaults < 0 || nFaults > app.K() {
+		return &SampleError{NFaults: nFaults, Bound: app.K()}
+	}
+	if nFaults > 0 && candidates != nil && len(candidates) == 0 {
+		return &SampleError{NFaults: nFaults, EmptyPool: true}
+	}
 	n := app.N()
 	if cap(sc.Durations) < n {
 		sc.Durations = make([]model.Time, n)
@@ -64,6 +105,7 @@ func SampleInto(sc *Scenario, app *model.Application, rng *rand.Rand, nFaults in
 			sc.FaultsAt[victim]++
 		}
 	}
+	return nil
 }
 
 // StaticTree wraps a single f-schedule as a degenerate one-node tree so

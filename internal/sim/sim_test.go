@@ -43,7 +43,7 @@ func TestRunNoFaultAverageCase(t *testing.T) {
 	if err := sc.Validate(app); err != nil {
 		t.Fatal(err)
 	}
-	r := Run(tree, sc)
+	r := testRun(t, tree, sc)
 	// Average case of schedule S2 = P1, P3, P2: utility 60 (paper Fig. 4b2).
 	if r.Utility != 60 {
 		t.Errorf("utility = %g, want 60", r.Utility)
@@ -69,7 +69,7 @@ func TestRunFaultRecovery(t *testing.T) {
 	// Fault hits P1; it must re-execute and still meet its deadline 180:
 	// 50 + 10 + 50 = 110.
 	sc := fixedScenario(app, nil, map[string]int{"P1": 1})
-	r := Run(tree, sc)
+	r := testRun(t, tree, sc)
 	if len(r.HardViolations) != 0 {
 		t.Fatalf("hard violations: %v", r.HardViolations)
 	}
@@ -94,7 +94,7 @@ func TestRunSoftDroppedOnFault(t *testing.T) {
 	// abandon it at run time.
 	tree := StaticTree(app, s)
 	sc := fixedScenario(app, nil, map[string]int{"P3": 1})
-	r := Run(tree, sc)
+	r := testRun(t, tree, sc)
 	if r.Outcomes[app.IDByName("P3")] != AbandonedByFault {
 		t.Errorf("P3 outcome = %v, want AbandonedByFault", r.Outcomes[app.IDByName("P3")])
 	}
@@ -120,7 +120,7 @@ func TestRunQuasiStaticSwitch(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := fixedScenario(app, map[string]model.Time{"P1": 30}, nil)
-	r := Run(tree, sc)
+	r := testRun(t, tree, sc)
 	if r.Switches == 0 {
 		t.Fatalf("expected a schedule switch; tree:\n%s", tree.Format())
 	}
@@ -130,7 +130,7 @@ func TestRunQuasiStaticSwitch(t *testing.T) {
 	}
 	// Late completion: no switch, stay with P3-first (utility 60 at AET).
 	sc2 := fixedScenario(app, map[string]model.Time{"P1": 50}, nil)
-	r2 := Run(tree, sc2)
+	r2 := testRun(t, tree, sc2)
 	if r2.Utility != 60 {
 		t.Errorf("late-completion utility = %g, want 60", r2.Utility)
 	}
@@ -241,7 +241,7 @@ func TestSampleDistribution(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	cand := []model.ProcessID{app.IDByName("P1"), app.IDByName("P2")}
 	for i := 0; i < 200; i++ {
-		sc := Sample(app, rng, 2, cand)
+		sc := MustSample(app, rng, 2, cand)
 		if err := sc.Validate(app); err != nil {
 			t.Fatal(err)
 		}
@@ -255,7 +255,7 @@ func TestSampleDistribution(t *testing.T) {
 		}
 	}
 	// nil candidates → all processes eligible.
-	sc := Sample(app, rng, 1, nil)
+	sc := MustSample(app, rng, 1, nil)
 	if sc.NFaults != 1 {
 		t.Error("NFaults mismatch")
 	}
@@ -343,8 +343,8 @@ func TestHardDeadlinesNeverViolatedProperty(t *testing.T) {
 		}
 		for trial := 0; trial < 30; trial++ {
 			f := rng.Intn(k + 1)
-			sc := Sample(app, rng, f, nil)
-			r := Run(tree, sc)
+			sc := MustSample(app, rng, f, nil)
+			r := testRun(t, tree, sc)
 			if len(r.HardViolations) > 0 {
 				t.Logf("seed %d trial %d: violations %v (faults=%d)\n%s",
 					seed, trial, r.HardViolations, f, tree.Format())
@@ -379,8 +379,8 @@ func TestUtilityBoundsProperty(t *testing.T) {
 			ceiling += app.UtilityOf(id).Value(0)
 		}
 		for trial := 0; trial < 20; trial++ {
-			sc := Sample(app, rng, rng.Intn(app.K()+1), nil)
-			r := Run(tree, sc)
+			sc := MustSample(app, rng, rng.Intn(app.K()+1), nil)
+			r := testRun(t, tree, sc)
 			if r.Utility < 0 || r.Utility > ceiling+1e-9 {
 				t.Logf("seed %d: utility %g outside [0,%g]", seed, r.Utility, ceiling)
 				return false

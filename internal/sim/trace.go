@@ -28,7 +28,11 @@ type TraceEvent = runtime.TraceEvent
 
 // RunTrace is Run with full event recording, for visualisation and
 // debugging. The returned events are ordered by time (ties in execution
-// order).
-func RunTrace(tree *core.Tree, sc Scenario) (Result, []TraceEvent) {
-	return runtime.NewDispatcher(tree).RunTrace(sc)
+// order). Errors are Run's.
+func RunTrace(tree *core.Tree, sc Scenario) (Result, []TraceEvent, error) {
+	d, err := runtime.NewDispatcher(tree)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return d.RunTrace(sc)
 }

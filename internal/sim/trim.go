@@ -80,7 +80,11 @@ func TrimContext(ctx context.Context, tree *core.Tree, cfg TrimConfig) (int, err
 	var scenarios []Scenario
 	for _, f := range faults {
 		for i := 0; i < cfg.Scenarios; i++ {
-			scenarios = append(scenarios, Sample(app, rng, f, candidates))
+			sc, err := Sample(app, rng, f, candidates)
+			if err != nil {
+				return 0, err
+			}
+			scenarios = append(scenarios, sc)
 		}
 	}
 	var sink obs.Sink
@@ -90,24 +94,30 @@ func TrimContext(ctx context.Context, tree *core.Tree, cfg TrimConfig) (int, err
 	done := ctx.Done()
 	var res Result
 	// eval replays the fixed scenario set through a freshly compiled
-	// dispatcher; ok is false when the context was cancelled mid-replay
-	// (the partial mean is meaningless then).
-	eval := func() (float64, bool) {
-		d := runtime.NewDispatcher(tree)
+	// dispatcher; it returns ctx.Err() when cancelled mid-replay (the
+	// partial mean is meaningless then) or the dispatcher's typed error
+	// for a tree that went structurally bad.
+	eval := func() (float64, error) {
+		d, err := runtime.NewDispatcher(tree)
+		if err != nil {
+			return 0, err
+		}
 		var sum float64
 		for i := range scenarios {
 			select {
 			case <-done:
-				return 0, false
+				return 0, ctx.Err()
 			default:
 			}
-			d.RunInto(&res, scenarios[i])
+			if err := d.RunInto(&res, scenarios[i]); err != nil {
+				return 0, err
+			}
 			sum += res.Utility
 		}
 		if sink != nil {
 			sink.Add(obs.TrimReplays, int64(len(scenarios)))
 		}
-		return sum / float64(len(scenarios)), true
+		return sum / float64(len(scenarios)), nil
 	}
 
 	// Arc references into the arena, most suspect (lowest estimated
@@ -121,9 +131,9 @@ func TrimContext(ctx context.Context, tree *core.Tree, cfg TrimConfig) (int, err
 		return tree.Arcs[refs[a]].Gain < tree.Arcs[refs[b]].Gain
 	})
 
-	baseline, ok := eval()
-	if !ok {
-		return 0, ctx.Err()
+	baseline, err := eval()
+	if err != nil {
+		return 0, err
 	}
 	type disabledArc struct {
 		ri     int
@@ -142,11 +152,11 @@ func TrimContext(ctx context.Context, tree *core.Tree, cfg TrimConfig) (int, err
 		if sink != nil {
 			sink.Add(obs.TrimArcsEvaluated, 1)
 		}
-		u, ok := eval()
-		if !ok {
+		u, err := eval()
+		if err != nil {
 			a.Lo, a.Hi = savedLo, savedHi
 			restore()
-			return 0, ctx.Err()
+			return 0, err
 		}
 		if u >= baseline {
 			baseline = u
