@@ -112,3 +112,87 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Errorf("-workers 4 changed the synthesised tree:\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
 }
+
+// TestChaosCLIEndToEnd runs the README's "Chaos campaigns" walkthrough
+// verbatim (argument for argument; the binary is prebuilt instead of
+// `go run`) and asserts the documented exit codes: 5 when hard misses
+// trace only to out-of-model injection, 0 when clamping contains them,
+// and 5 again when the exported cycle is replayed (out-of-model scenario,
+// not a certification counterexample). Skipped with -short.
+func TestChaosCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	ftsim := filepath.Join(bin, "ftsim")
+	cmd := exec.Command("go", "build", "-o", ftsim, "./cmd/ftsim")
+	cmd.Env = os.Environ()
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ftsim: %v\n%s", err, b)
+	}
+
+	run := func(wantExit int, args ...string) string {
+		cmd := exec.Command(ftsim, args...)
+		cmd.Dir = bin
+		b, err := cmd.CombinedOutput()
+		code := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("ftsim %v: %v\n%s", args, err, b)
+			}
+			code = ee.ExitCode()
+		}
+		if code != wantExit {
+			t.Fatalf("ftsim %v: exit %d, want %d\n%s", args, code, wantExit, b)
+		}
+		return string(b)
+	}
+
+	out := run(5, "-fixture", "fig8", "-chaos", "-chaos-seed", "42", "-policy", "shed-soft")
+	for _, want := range []string{
+		"chaos campaign: 1000 cycles, seed 42, policy shed-soft",
+		"breaches 0, detection gaps 0, panics 0",
+		"hard misses only under out-of-model injection",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+	rerun := run(5, "-fixture", "fig8", "-chaos", "-chaos-seed", "42", "-policy", "shed-soft")
+	if out != rerun {
+		t.Errorf("same seed produced different campaign output:\n%s\nvs\n%s", out, rerun)
+	}
+
+	out = run(0, "-fixture", "fig8", "-chaos", "-chaos-seed", "42", "-policy", "shed-soft", "-clamp")
+	if !strings.Contains(out, "chaos: clean") || !strings.Contains(out, "misses:    hard 0") {
+		t.Errorf("clamped campaign not clean:\n%s", out)
+	}
+
+	out = run(5, "-fixture", "fig8", "-chaos", "-chaos-seed", "42", "-ce-out", "bad-cycle.json")
+	if !strings.Contains(out, "written to bad-cycle.json") {
+		t.Errorf("ce-out output:\n%s", out)
+	}
+	if fi, err := os.Stat(filepath.Join(bin, "bad-cycle.json")); err != nil || fi.Size() == 0 {
+		t.Fatalf("ce-out produced no file: %v", err)
+	}
+
+	out = run(5, "-fixture", "fig8", "-replay", "bad-cycle.json", "-policy", "shed-soft")
+	for _, want := range []string{
+		"scenario is out-of-model",
+		"envelope event:",
+		"hard violation reproduced:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Strict policy on the same campaign: typed aborts, no misses blamed
+	// on the policy, still exit 5 (hard work left unrun is a miss, but an
+	// out-of-model one).
+	out = run(5, "-fixture", "fig8", "-chaos", "-chaos-seed", "42", "-policy", "strict")
+	if !strings.Contains(out, "strict errors") || strings.Contains(out, "strict errors 0\n") {
+		t.Errorf("strict campaign raised no typed errors:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 // Command ftexperiments regenerates the evaluation of Izosimov et al.
 // (DATE 2008): Fig. 9a, Fig. 9b, Table 1 and the cruise-controller case
-// study.
+// study, plus beyond-the-paper studies (overhead, optgap, hardratio,
+// ftcost, chaos).
 //
 // Usage:
 //
@@ -8,6 +9,7 @@
 //	ftexperiments -exp fig9 -apps 50 -scenarios 20000   # paper-sized
 //	ftexperiments -exp table1 -apps 50 -scenarios 20000
 //	ftexperiments -exp cc -scenarios 20000
+//	ftexperiments -exp chaos -scenarios 5000    # out-of-model containment
 //
 // See EXPERIMENTS.md for recorded outputs and their comparison to the
 // paper's numbers.
@@ -221,6 +223,29 @@ func main() {
 			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
 	}
 
+	runChaos := func() {
+		cfg := experiments.DefaultChaos()
+		if *scenarios > 0 {
+			cfg.Cycles = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		cfg.Workers = *workers
+		cfg.Sink = sink
+		t0 := time.Now()
+		res, err := experiments.Chaos(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d cycles per policy, seed %d, %s)\n\n",
+			cfg.Cycles, cfg.Seed, time.Since(t0).Round(time.Millisecond))
+	}
+
 	switch *exp {
 	case "fig9", "fig9a", "fig9b":
 		runFig9()
@@ -236,6 +261,8 @@ func main() {
 		runHardRatio()
 	case "ftcost":
 		runFTCost()
+	case "chaos":
+		runChaos()
 	case "all":
 		runFig9()
 		runTable1()
@@ -244,8 +271,9 @@ func main() {
 		runOptGap()
 		runHardRatio()
 		runFTCost()
+		runChaos()
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want fig9, table1, cc, overhead, optgap, hardratio, ftcost or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig9, table1, cc, overhead, optgap, hardratio, ftcost, chaos or all)", *exp))
 	}
 }
 

@@ -2,21 +2,40 @@
 // application by Monte-Carlo simulation: mean utility under 0..k injected
 // transient faults, schedule switches, re-executions, and a hard-deadline
 // audit. It also replays certification counterexamples (-replay) against
-// a tree, rendering the offending cycle as a Gantt chart.
+// a tree, rendering the offending cycle as a Gantt chart, and runs seeded
+// chaos campaigns (-chaos) that push the dispatcher outside the fault
+// model — WCET overruns, >k fault bursts — and score the containment
+// contract of the selected degrade policy.
 //
 // Usage:
 //
 //	ftsim -fixture cc -m 39 -scenarios 20000
 //	ftsim -app app.json -scenarios 5000 -seed 7
 //	ftsim -fixture fig1 -tree tree.json -replay ce.json
+//	ftsim -fixture fig8 -chaos -chaos-seed 42 -policy shed-soft
+//	ftsim -fixture fig8 -chaos -chaos-faults 3 -ce-out bad-cycle.json
 //
-// Exit status: 0 on success, 1 on errors, 2 on flag errors (from package
-// flag), 3 when a loaded tree fails verification (pass -force to replay
-// against it anyway), 4 when a replayed counterexample reproduces a hard
-// violation.
+// Exit status — this table is the canonical reference; scripts and CI
+// gate on these codes:
+//
+//	0  success: nothing to report (chaos: campaign ran clean)
+//	1  errors — I/O, synthesis failure, or a chaos contract violation
+//	   (a panic, a detection gap, an in-model miss, or a hard miss the
+//	   policy promised to absorb)
+//	2  flag parse errors (from package flag)
+//	3  a loaded tree failed verification (pass -force to replay against
+//	   it anyway)
+//	4  a replayed counterexample reproduced a hard violation with an
+//	   in-model scenario (durations within [BCET,WCET], faults <= k):
+//	   a genuine certification counterexample
+//	5  hard deadlines missed only under out-of-model injection: the
+//	   chaos campaign's misses all trace to injected overruns or >k
+//	   bursts the policy does not promise to absorb, or the replayed
+//	   scenario itself violates the fault model
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +44,7 @@ import (
 
 	"ftsched/internal/appio"
 	"ftsched/internal/baseline"
+	"ftsched/internal/chaos"
 	"ftsched/internal/cli"
 	"ftsched/internal/core"
 	"ftsched/internal/model"
@@ -35,10 +55,12 @@ import (
 )
 
 // Distinct exit codes so scripts can tell "bad tree" from "bad anything".
+// The package comment above holds the canonical table.
 const (
 	exitErr        = 1
 	exitBadTree    = 3
 	exitReproduced = 4
+	exitOutOfModel = 5
 )
 
 // shutdownMetrics stops the -metrics-addr server; every exit path goes
@@ -72,6 +94,18 @@ func main() {
 		replay      = flag.String("replay", "", "replay a certification counterexample (JSON from ftsched -certify) against the tree and exit")
 		force       = flag.Bool("force", false, "with -replay: replay even when the tree fails verification")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and /debug/pprof on this address (e.g. :8080) for the lifetime of the run")
+
+		chaosMode   = flag.Bool("chaos", false, "run a seeded chaos campaign (out-of-model injection) instead of the Monte-Carlo table")
+		chaosCycles = flag.Int("chaos-cycles", 1000, "chaos: cycles per campaign")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "chaos: campaign seed (0: use -seed)")
+		chaosOver   = flag.Float64("chaos-overrun", 0.25, "chaos: per-cycle WCET-overrun probability")
+		chaosFactor = flag.Float64("chaos-overrun-factor", 2.0, "chaos: overrun duration as a multiple of WCET")
+		chaosBurst  = flag.Float64("chaos-burst", 0.25, "chaos: per-cycle probability of a fault burst exceeding k")
+		chaosFaults = flag.Int("chaos-faults", 2, "chaos: faults beyond k per burst")
+		chaosTarget = flag.String("chaos-target", "soft", "chaos: victim pool, soft or any")
+		policyName  = flag.String("policy", "", "degrade policy for -chaos and -replay: strict, shed-soft or best-effort (chaos default: shed-soft; replay default: no envelope)")
+		clamp       = flag.Bool("clamp", false, "with a policy: truncate out-of-model durations at WCET (watchdog semantics)")
+		ceOut       = flag.String("ce-out", "", "chaos: write the first offending cycle as a replayable counterexample JSON file")
 	)
 	flag.Parse()
 
@@ -128,7 +162,38 @@ func main() {
 	}
 
 	if *replay != "" {
-		replayCounterexample(app, tree, *replay)
+		replayCounterexample(app, tree, *replay, *policyName, *clamp)
+		return
+	}
+
+	if *chaosMode {
+		csd := *chaosSeed
+		if csd == 0 {
+			csd = *seed
+		}
+		pol := runtime.PolicyShedSoft
+		if *policyName != "" {
+			if err := pol.UnmarshalText([]byte(*policyName)); err != nil {
+				fatal(err)
+			}
+		}
+		cfg := chaos.Config{
+			Cycles:        *chaosCycles,
+			Seed:          csd,
+			Policy:        pol,
+			Clamp:         *clamp,
+			BaseFaults:    min(1, app.K()),
+			OverrunProb:   *chaosOver,
+			OverrunFactor: *chaosFactor,
+			BurstProb:     *chaosBurst,
+			ExtraFaults:   *chaosFaults,
+			SoftOnly:      *chaosTarget == "soft",
+			Sink:          sink,
+		}
+		if *chaosTarget != "soft" && *chaosTarget != "any" {
+			fatal(fmt.Errorf("-chaos-target must be soft or any, got %q", *chaosTarget))
+		}
+		runChaosCampaign(app, tree, cfg, *ceOut)
 		return
 	}
 
@@ -204,10 +269,13 @@ func main() {
 	exit(0)
 }
 
-// replayCounterexample re-executes a certification counterexample through
-// the tree's real dispatcher and renders the cycle, exiting with
-// exitReproduced when the hard violation shows up again.
-func replayCounterexample(app *model.Application, tree *core.Tree, path string) {
+// replayCounterexample re-executes a counterexample through the tree's
+// real dispatcher — under a containment envelope when a policy is named —
+// and renders the cycle. A reproduced hard violation exits with
+// exitReproduced when the scenario is in-model, and with exitOutOfModel
+// when the scenario itself leaves the fault model (chaos exports do), so
+// scripts can tell a certification bug from an injection artefact.
+func replayCounterexample(app *model.Application, tree *core.Tree, path, policyName string, clamp bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -222,12 +290,45 @@ func replayCounterexample(app *model.Application, tree *core.Tree, path string) 
 		fmt.Printf(", expected violation on %s (deadline %d, completion %d)", ce.Proc, ce.Deadline, ce.Completion)
 	}
 	fmt.Println()
-	res, events, err := sim.RunTrace(tree, sc)
+	inModel := sc.Validate(app) == nil
+	if !inModel {
+		fmt.Println("scenario is out-of-model (injected overruns or faults beyond k)")
+	}
+
+	var opts []runtime.Option
+	if policyName != "" {
+		var pol runtime.DegradePolicy
+		if err := pol.UnmarshalText([]byte(policyName)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("containment envelope attached: policy %s\n", pol)
+		opts = append(opts, runtime.WithEnvelope(runtime.EnvelopeConfig{Policy: pol, Clamp: clamp}))
+	}
+	d, err := runtime.NewDispatcher(tree, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	res, events, err := d.RunTrace(sc)
+	var envErr *runtime.EnvelopeError
+	if errors.As(err, &envErr) {
+		if gerr := appio.WriteGantt(os.Stdout, app, events, 0, 84); gerr != nil {
+			fatal(gerr)
+		}
+		fmt.Printf("strict envelope abort: %v\n", envErr)
+		exit(exitOutOfModel)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	if err := appio.WriteGantt(os.Stdout, app, events, 0, 84); err != nil {
 		fatal(err)
+	}
+	for _, ev := range res.Violations {
+		fmt.Printf("envelope event: %s on %s at %d (magnitude %d)\n",
+			ev.Kind, app.Proc(ev.Proc).Name, ev.At, ev.Magnitude)
+	}
+	if res.Degraded {
+		fmt.Println("cycle degraded: remaining soft work shed, hard processes on emergency suffix")
 	}
 	if len(res.HardViolations) > 0 {
 		for _, v := range res.HardViolations {
@@ -235,8 +336,114 @@ func replayCounterexample(app *model.Application, tree *core.Tree, path string) 
 			fmt.Printf("hard violation reproduced: %s (deadline %d, completion %d)\n",
 				p.Name, p.Deadline, res.CompletionTimes[v])
 		}
-		exit(exitReproduced)
+		if inModel {
+			exit(exitReproduced)
+		}
+		exit(exitOutOfModel)
 	}
 	fmt.Println("no hard violation in this replay (tree or scenario differs from the certified run)")
 	exit(0)
+}
+
+// runChaosCampaign executes a seeded out-of-model injection campaign and
+// scores the containment contract. Exit: 1 on any contract violation
+// (panic, detection gap, in-model miss, breach), exitOutOfModel when hard
+// deadlines were missed only under injections the policy does not promise
+// to absorb, 0 when the campaign ran clean.
+func runChaosCampaign(app *model.Application, tree *core.Tree, cfg chaos.Config, cePath string) {
+	c, err := chaos.New(tree, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	clampNote := ""
+	if cfg.Clamp {
+		clampNote = ", clamp"
+	}
+	fmt.Printf("chaos campaign: %d cycles, seed %d, policy %s%s, target %s\n",
+		rep.Cycles, cfg.Seed, cfg.Policy, clampNote, map[bool]string{true: "soft", false: "any"}[cfg.SoftOnly])
+	fmt.Printf("injected:  %d cycles (overruns %d, >k bursts %d, regressions %d)\n",
+		rep.Injected, rep.Overruns, rep.ExtraFaults, rep.TimeRegressions)
+	fmt.Printf("envelope:  degraded %d, budget exhausted %d, strict errors %d\n",
+		rep.Degraded, rep.BudgetExhausted, rep.StrictErrors)
+	fmt.Printf("misses:    hard %d (in-model %d)\n", rep.HardMisses, rep.InModelMisses)
+	fmt.Printf("contract:  breaches %d, detection gaps %d, panics %d\n",
+		rep.Breaches, rep.DetectionGaps, rep.Panics)
+
+	if cePath != "" {
+		if err := exportChaosCounterexample(app, tree, c, rep, cfg, cePath); err != nil {
+			fatal(err)
+		}
+	}
+	switch {
+	case rep.Panics+rep.Breaches+rep.DetectionGaps+rep.InModelMisses > 0:
+		fmt.Println("chaos: CONTRACT VIOLATED")
+		exit(exitErr)
+	case rep.HardMisses > 0:
+		fmt.Println("chaos: hard misses only under out-of-model injection (not absorbed by policy)")
+		exit(exitOutOfModel)
+	default:
+		fmt.Println("chaos: clean")
+		exit(0)
+	}
+}
+
+// exportChaosCounterexample writes the first offending cycle — a contract
+// breach if any, else the first hard miss — as a replayable
+// counterexample record (ftsim -replay reads it back; the scenario
+// re-derivation is exact, see chaos.Campaign.Scenario).
+func exportChaosCounterexample(app *model.Application, tree *core.Tree, c *chaos.Campaign, rep *chaos.Report, cfg chaos.Config, path string) error {
+	pick := -1
+	for _, rec := range rep.Records {
+		if rec.Breach || rec.InModelMiss || rec.Panic != "" {
+			pick = rec.Cycle
+			break
+		}
+		if pick < 0 && rec.HardMiss {
+			pick = rec.Cycle
+		}
+	}
+	if pick < 0 {
+		fmt.Println("ce-out: no offending cycle to export (campaign clean)")
+		return nil
+	}
+	sc, err := c.Scenario(pick)
+	if err != nil {
+		return err
+	}
+	// Re-run the cycle through an identically-configured dispatcher to
+	// recover the completion times the record does not store.
+	d, err := runtime.NewDispatcher(tree, runtime.WithEnvelope(runtime.EnvelopeConfig{Policy: cfg.Policy, Clamp: cfg.Clamp}))
+	if err != nil {
+		return err
+	}
+	res, err := d.Run(sc)
+	var envErr *runtime.EnvelopeError
+	if err != nil && !errors.As(err, &envErr) {
+		return err
+	}
+	proc, completion := model.NoProcess, model.Time(0)
+	if len(res.HardViolations) > 0 {
+		proc = res.HardViolations[0]
+		completion = res.CompletionTimes[proc]
+	}
+	ce := appio.NewCounterexample(app, sc, proc, completion, nil)
+	ce.Violations = appio.NewViolationRecords(app, rep.Records[pick].Violations)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := appio.EncodeCounterexample(f, ce); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("ce-out: cycle %d written to %s (replay: ftsim -replay %s -policy %s)\n",
+		pick, path, path, cfg.Policy)
+	return nil
 }

@@ -52,6 +52,7 @@ import (
 	"ftsched/internal/apps"
 	"ftsched/internal/baseline"
 	"ftsched/internal/certify"
+	"ftsched/internal/chaos"
 	"ftsched/internal/core"
 	"ftsched/internal/gen"
 	"ftsched/internal/model"
@@ -176,6 +177,94 @@ type (
 	// cannot satisfy (fault count out of bounds, empty victim pool).
 	SampleError = sim.SampleError
 )
+
+// Out-of-model containment types. A dispatcher built with WithEnvelope
+// detects events the paper's fault model excludes — WCET overruns, faults
+// beyond the bound k, mid-cycle time regressions — records them on
+// RunResult.Violations, and applies the configured DegradePolicy. See
+// internal/runtime for the exact detection and shedding semantics.
+type (
+	// DegradePolicy selects how an envelope reacts to the first
+	// out-of-model event of a cycle.
+	DegradePolicy = runtime.DegradePolicy
+	// ViolationKind classifies one envelope event.
+	ViolationKind = runtime.ViolationKind
+	// ViolationEvent is one envelope event of a cycle (kind, process,
+	// detection time, magnitude).
+	ViolationEvent = runtime.ViolationEvent
+	// EnvelopeConfig configures the containment layer for WithEnvelope.
+	EnvelopeConfig = runtime.EnvelopeConfig
+	// EnvelopeError is the typed error PolicyStrict returns when a cycle
+	// leaves the fault model; its Events round-trip through JSON.
+	EnvelopeError = runtime.EnvelopeError
+)
+
+// Degrade policies.
+const (
+	// PolicyStrict aborts the cycle with a typed *EnvelopeError.
+	PolicyStrict = runtime.PolicyStrict
+	// PolicyShedSoft drops remaining soft work and finishes the hard
+	// processes on a precomputed emergency suffix schedule.
+	PolicyShedSoft = runtime.PolicyShedSoft
+	// PolicyBestEffort keeps dispatching and records the violations.
+	PolicyBestEffort = runtime.PolicyBestEffort
+)
+
+// Envelope event kinds.
+const (
+	// WCETOverrun: an execution exceeded the process WCET.
+	WCETOverrun = runtime.WCETOverrun
+	// ExtraFault: a fault was consumed beyond the application bound k.
+	ExtraFault = runtime.ExtraFault
+	// BudgetExhausted: a process was abandoned out of recovery budget
+	// (in-model, informational — recorded on every dispatcher).
+	BudgetExhausted = runtime.BudgetExhausted
+	// TimeRegression: an execution reported a negative duration.
+	TimeRegression = runtime.TimeRegression
+)
+
+// WithEnvelope attaches the out-of-model containment layer to a
+// dispatcher: detection of WCET overruns, >k faults and time regressions,
+// plus the configured degrade policy. PolicyShedSoft precomputes the
+// emergency hard-only suffix schedules at construction time, so the shed
+// path stays allocation-free per cycle.
+func WithEnvelope(cfg EnvelopeConfig) DispatcherOption { return runtime.WithEnvelope(cfg) }
+
+// Chaos types. A chaos campaign adversarially proves the containment
+// layer by injecting out-of-model scenarios (overruns, fault bursts
+// beyond k, stuck processes, time regressions) through the real compiled
+// dispatcher and scoring the containment contract on every cycle; see
+// internal/chaos for the contract and determinism guarantees.
+type (
+	// ChaosConfig parametrises a chaos campaign (cycles, seed, policy,
+	// injection probabilities and magnitudes, victim targeting, sink).
+	ChaosConfig = chaos.Config
+	// ChaosReport aggregates a campaign: per-kind event totals and the
+	// contract scores (breaches, in-model misses, detection gaps,
+	// panics), plus every per-cycle record. Reports are bit-identical
+	// for a given seed across worker counts and reruns.
+	ChaosReport = chaos.Report
+	// ChaosCycleRecord is the deterministic record of one campaign cycle.
+	ChaosCycleRecord = chaos.CycleRecord
+	// ChaosCampaign is a compiled campaign, reusable across runs.
+	ChaosCampaign = chaos.Campaign
+)
+
+// NewChaosCampaign validates cfg and compiles tree with the envelope
+// under test; the campaign can then be run repeatedly.
+func NewChaosCampaign(tree *Tree, cfg ChaosConfig) (*ChaosCampaign, error) {
+	return chaos.New(tree, cfg)
+}
+
+// RunChaos compiles and executes a chaos campaign against tree. The
+// returned error is a validation error — containment findings (panics,
+// breaches, misses) are scored on the report, never returned as errors.
+func RunChaos(tree *Tree, cfg ChaosConfig) (*ChaosReport, error) { return chaos.Run(tree, cfg) }
+
+// RunChaosContext is RunChaos honouring cancellation.
+func RunChaosContext(ctx context.Context, tree *Tree, cfg ChaosConfig) (*ChaosReport, error) {
+	return chaos.RunContext(ctx, tree, cfg)
+}
 
 // Certification types. Certify enumerates every fault pattern up to the
 // bound, crossed with extreme execution-time corners, and executes all of

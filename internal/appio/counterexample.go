@@ -36,6 +36,38 @@ type Counterexample struct {
 	// Path is the sequence of tree node IDs the dispatcher visited
 	// (switches only, starting at the root, 0).
 	Path []int `json:"path,omitempty"`
+	// Violations carries the envelope's event record for the scenario —
+	// chaos campaigns and replays under a DegradePolicy store what the
+	// containment layer saw alongside the raw scenario.
+	Violations []ViolationRecord `json:"violations,omitempty"`
+}
+
+// ViolationRecord is the name-keyed serialisable form of one envelope
+// event (runtime.ViolationEvent): the kind in its text form and the
+// process by name, so records stay readable next to Durations/FaultsAt.
+type ViolationRecord struct {
+	Kind      string     `json:"kind"`
+	Proc      string     `json:"proc"`
+	At        model.Time `json:"at"`
+	Magnitude model.Time `json:"magnitude,omitempty"`
+}
+
+// NewViolationRecords translates an envelope event record into its
+// serialisable form, process IDs to names.
+func NewViolationRecords(app *model.Application, events []runtime.ViolationEvent) []ViolationRecord {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]ViolationRecord, len(events))
+	for i, ev := range events {
+		out[i] = ViolationRecord{
+			Kind:      ev.Kind.String(),
+			Proc:      app.Proc(ev.Proc).Name,
+			At:        ev.At,
+			Magnitude: ev.Magnitude,
+		}
+	}
+	return out
 }
 
 // EncodeCounterexample writes a counterexample as indented JSON.
@@ -131,5 +163,21 @@ func DecodeCounterexample(r io.Reader, app *model.Application) (runtime.Scenario
 		return sc, nil, &DecodeError{Path: "nFaults", Msg: fmt.Sprintf("fault counts sum to %d, nFaults says %d", total, ce.NFaults)}
 	}
 	sc.NFaults = total
+	for i, vr := range ce.Violations {
+		path := fmt.Sprintf("violations[%d]", i)
+		var kind runtime.ViolationKind
+		if err := kind.UnmarshalText([]byte(vr.Kind)); err != nil {
+			return sc, nil, &DecodeError{Path: path + ".kind", Msg: fmt.Sprintf("unknown violation kind %q", vr.Kind)}
+		}
+		if app.IDByName(vr.Proc) == model.NoProcess {
+			return sc, nil, &DecodeError{Path: path + ".proc", Msg: "unknown process"}
+		}
+		if derr := checkDecodedTime(path+".at", vr.At); derr != nil {
+			return sc, nil, derr
+		}
+		if derr := checkDecodedTime(path+".magnitude", vr.Magnitude); derr != nil {
+			return sc, nil, derr
+		}
+	}
 	return sc, &ce, nil
 }

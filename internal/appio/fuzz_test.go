@@ -3,11 +3,14 @@ package appio
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
 	"ftsched/internal/apps"
 	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/runtime"
 )
 
 // FuzzDecodeApplication: the decoder must never panic and, when it
@@ -53,6 +56,75 @@ func FuzzDecodeApplication(f *testing.F) {
 		}
 		if back.N() != app.N() || back.Period() != app.Period() || back.K() != app.K() {
 			t.Fatal("round trip changed the application")
+		}
+	})
+}
+
+// FuzzDecodeCounterexample: the counterexample decoder — the ftsim -replay
+// input path — must never panic, reject with typed position-carrying
+// errors only, and round-trip every accepted record (violation events
+// included) bit-identically. Seeds include a chaos-style record carrying
+// the full envelope event taxonomy.
+func FuzzDecodeCounterexample(f *testing.F) {
+	app := apps.Fig8()
+	sc := runtime.Scenario{
+		Durations: []model.Time{20, 40, 80, 30, 20},
+		FaultsAt:  []int{0, 2, 1, 0, 0},
+		NFaults:   3,
+	}
+	ce := NewCounterexample(app, sc, app.HardIDs()[1], 244, []int{0, 1})
+	ce.Violations = NewViolationRecords(app, []runtime.ViolationEvent{
+		{Kind: runtime.BudgetExhausted, Proc: 1, At: 45, Magnitude: 1},
+		{Kind: runtime.WCETOverrun, Proc: 2, At: 125, Magnitude: 40},
+		{Kind: runtime.ExtraFault, Proc: 2, At: 215, Magnitude: 1},
+		{Kind: runtime.TimeRegression, Proc: 3, At: 100, Magnitude: 5},
+	})
+	var buf bytes.Buffer
+	if err := EncodeCounterexample(&buf, ce); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"format":"ftsched-counterexample/v1","app":"paper-fig8","nFaults":0,"durations":{}}`)
+	f.Add(`{"format":"ftsched-counterexample/v1","app":"paper-fig8","nFaults":0,"durations":{},"violations":[{"kind":"wcet-overrun","proc":"P2","at":10,"magnitude":3}]}`)
+	f.Add(`{"format":"ftsched-counterexample/v1","app":"paper-fig8","nFaults":0,"durations":{},"violations":[{"kind":"martian","proc":"P2","at":10}]}`)
+	f.Add(`{"format":"ftsched-counterexample/v1","app":"paper-fig8","nFaults":0,"durations":{},"violations":[{"kind":"extra-fault","proc":"NOPE","at":10}]}`)
+	f.Add(`{"format":"ftsched-counterexample/v1","app":"paper-fig8","nFaults":0,"durations":{},"violations":[{"kind":"extra-fault","proc":"P2","at":-1}]}`)
+	f.Add(`{"format":"ftsched-counterexample/v1","app":"paper-fig8","nFaults":1,"durations":{"P2":999}}`)
+	f.Add(`{"format":"ftsched-counterexample/v9"}`)
+	f.Add(`{"durations":`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		sc, ce, err := DecodeCounterexample(strings.NewReader(input), app)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("rejection is %T (%v), want *DecodeError", err, err)
+			}
+			if de.Error() == "" {
+				t.Fatal("empty DecodeError message")
+			}
+			return
+		}
+		total := 0
+		for _, n := range sc.FaultsAt {
+			total += n
+		}
+		if total != sc.NFaults {
+			t.Fatalf("accepted scenario is inconsistent: faults sum to %d, NFaults %d", total, sc.NFaults)
+		}
+		var out bytes.Buffer
+		if err := EncodeCounterexample(&out, ce); err != nil {
+			t.Fatalf("accepted counterexample does not re-encode: %v", err)
+		}
+		sc2, ce2, err := DecodeCounterexample(&out, app)
+		if err != nil {
+			t.Fatalf("re-encoded counterexample does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Fatal("round trip changed the scenario")
+		}
+		if !reflect.DeepEqual(ce.Violations, ce2.Violations) {
+			t.Fatal("round trip changed the violation records")
 		}
 	})
 }

@@ -1,0 +1,31 @@
+// Package chaos adversarially proves the runtime's out-of-model
+// containment layer (runtime.WithEnvelope) by injecting assumption
+// violations the paper's fault model excludes: WCET overruns of
+// configurable magnitude and probability, fault bursts exceeding the
+// bound k (optionally correlated on one victim), stuck processes whose
+// execution consumes the whole period, and mid-cycle time regressions.
+//
+// A Campaign executes N seeded cycles through the real compiled
+// dispatcher under a chosen DegradePolicy and scores the containment
+// contract on every cycle:
+//
+//   - no panic, ever — a panic anywhere in the dispatch path is converted
+//     to a per-cycle record and counted on Report.Panics;
+//   - every injected timing excursion that reached an executing process
+//     is reported on Result.Violations — gaps are counted on
+//     Report.DetectionGaps;
+//   - under PolicyShedSoft, a hard-deadline miss in a cycle whose
+//     injections and materialised out-of-model events touched only soft
+//     processes is a contract breach (Report.Breaches) whenever the
+//     materialised overrun total does not exceed the slack recovered by
+//     shedding — in particular, when every fault is aimed at soft
+//     processes, >k bursts must never miss a hard deadline;
+//   - a miss in a cycle with no injection at all is an in-model scheduler
+//     bug (Report.InModelMisses), cross-checkable with internal/certify.
+//
+// Determinism is part of the contract: cycle i derives every random
+// choice from sim.ScenarioSeed(Seed, i), records are collected by cycle
+// index and folded sequentially, so a Report — including the exact
+// violation-event records — is bit-identical for a given seed across
+// worker counts and reruns.
+package chaos

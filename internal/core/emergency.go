@@ -1,0 +1,70 @@
+package core
+
+import (
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// EmergencyPlan holds, for every node of a tree, the precomputed hard-only
+// suffix schedules the runtime envelope falls back to when it sheds soft
+// work after an out-of-model event (a WCET overrun, a fault beyond the
+// application bound k, a time regression). Shedding must not allocate or
+// scan on the per-cycle hot path, so the plan is built once per tree — two
+// flat arenas plus per-(node, position) offsets — and a shed resolves to a
+// single slice expression.
+//
+// The hard-only subsequence of a valid f-schedule is itself a valid order:
+// precedence among hard processes is preserved (they keep their relative
+// positions) and a dropped soft predecessor is explicitly allowed by the
+// model — the successor consumes a stale value. Every hard entry carries
+// its full recovery budget (Recoveries == k, a schedule.Validate
+// invariant), so the suffix retains the paper's worst-case guarantees
+// for any faults still within the bound.
+type EmergencyPlan struct {
+	// entries is the flat arena of hard-only entries, grouped per node;
+	// node i owns entries[nodeStart[i]:nodeStart[i+1]].
+	entries   []schedule.Entry
+	nodeStart []int32
+	// offsets[offStart[i]+p] counts the hard entries among positions
+	// [0, p) of node i's schedule, for p in [0, len(schedule)]; the
+	// arena-relative start of the hard suffix from position p.
+	offsets  []int32
+	offStart []int32
+}
+
+// BuildEmergencyPlan precomputes the hard-only suffix schedules of every
+// node. The tree must have a schedule on every node (guaranteed after
+// VerifyStructure, which the runtime dispatcher runs first).
+func BuildEmergencyPlan(t *Tree) *EmergencyPlan {
+	p := &EmergencyPlan{
+		nodeStart: make([]int32, len(t.Nodes)+1),
+		offStart:  make([]int32, len(t.Nodes)+1),
+	}
+	app := t.App
+	for id := range t.Nodes {
+		p.nodeStart[id] = int32(len(p.entries))
+		p.offStart[id] = int32(len(p.offsets))
+		ents := t.Nodes[id].Schedule.Entries
+		hard := int32(0)
+		for pos := 0; pos <= len(ents); pos++ {
+			p.offsets = append(p.offsets, hard)
+			if pos < len(ents) && app.Proc(ents[pos].Proc).Kind == model.Hard {
+				p.entries = append(p.entries, ents[pos])
+				hard++
+			}
+		}
+	}
+	p.nodeStart[len(t.Nodes)] = int32(len(p.entries))
+	p.offStart[len(t.Nodes)] = int32(len(p.offsets))
+	return p
+}
+
+// Suffix returns the hard-only remainder of node id's schedule from entry
+// position from (inclusive): exactly the hard entries among
+// Schedule.Entries[from:], in order, as a subslice of the plan's arena
+// (no allocation; must not be modified). from may be len(Entries), which
+// yields an empty suffix.
+func (p *EmergencyPlan) Suffix(id NodeID, from int) []schedule.Entry {
+	off := p.nodeStart[id] + p.offsets[p.offStart[id]+int32(from)]
+	return p.entries[off:p.nodeStart[id+1]:p.nodeStart[id+1]]
+}

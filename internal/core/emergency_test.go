@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/schedule"
+)
+
+// TestEmergencyPlanMatchesNaiveFilter: for every node and every position,
+// the arena-backed suffix must equal filtering the remaining entries down
+// to the hard processes.
+func TestEmergencyPlanMatchesNaiveFilter(t *testing.T) {
+	for _, tc := range []struct {
+		app *model.Application
+		m   int
+	}{
+		{apps.Fig1(), 8},
+		{apps.Fig8(), 16},
+		{apps.CruiseController(), 20},
+	} {
+		tree, err := core.FTQS(tc.app, core.FTQSOptions{M: tc.m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := core.BuildEmergencyPlan(tree)
+		for id := range tree.Nodes {
+			ents := tree.Nodes[id].Schedule.Entries
+			for from := 0; from <= len(ents); from++ {
+				var want []schedule.Entry
+				for _, e := range ents[from:] {
+					if tc.app.Proc(e.Proc).Kind == model.Hard {
+						want = append(want, e)
+					}
+				}
+				got := plan.Suffix(core.NodeID(id), from)
+				if len(got) != len(want) {
+					t.Fatalf("%s node %d from %d: suffix has %d entries, want %d",
+						tc.app.Name(), id, from, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s node %d from %d entry %d: %+v, want %+v",
+							tc.app.Name(), id, from, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEmergencyPlanSuffixSchedulable: every non-empty emergency suffix
+// taken from position 0 must itself pass the worst-case schedulability
+// check from time zero — dropping soft work only removes load, so the
+// hard-only order inherits the node's guarantees.
+func TestEmergencyPlanSuffixSchedulable(t *testing.T) {
+	app := apps.Fig8()
+	tree, err := core.FTQS(app, core.FTQSOptions{M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := core.BuildEmergencyPlan(tree)
+	for id := range tree.Nodes {
+		suffix := plan.Suffix(core.NodeID(id), 0)
+		if len(suffix) == 0 {
+			continue
+		}
+		if err := schedule.CheckSchedulable(app, suffix, 0, tree.Nodes[id].KRem); err != nil {
+			t.Errorf("node %d: emergency suffix unschedulable: %v", id, err)
+		}
+	}
+}

@@ -69,6 +69,29 @@ const (
 	CertifyPatternsPruned
 	CertifyBisectionRuns
 
+	// EnvelopeOverruns counts executions whose sampled duration exceeded
+	// the process WCET — the dispatcher left the paper's fault model.
+	EnvelopeOverruns
+	// EnvelopeExtraFaults counts transient faults consumed beyond the
+	// application bound k (the k+1-th and later faults of a cycle).
+	EnvelopeExtraFaults
+	// EnvelopeTimeRegressions counts executions whose reported duration
+	// was negative — observed time ran backwards mid-cycle.
+	EnvelopeTimeRegressions
+	// EnvelopeSheds counts cycles in which PolicyShedSoft dropped the
+	// remaining soft work and fell back to the emergency hard-only suffix.
+	EnvelopeSheds
+	// EnvelopeBudgetExhausted counts BudgetExhausted violation events: a
+	// process abandoned after its recovery budget ran out. Unlike
+	// DispatchFaultsAbandoned it excludes soft processes a shedding
+	// envelope abandoned early (their budget was not exhausted).
+	EnvelopeBudgetExhausted
+
+	// ChaosCycles counts operation cycles executed by a chaos campaign;
+	// ChaosInjections counts cycles the injector perturbed out of model.
+	ChaosCycles
+	ChaosInjections
+
 	numCounters
 )
 
@@ -100,6 +123,13 @@ var counterNames = [numCounters]string{
 	CertifyPatterns:         "ftsched_certify_patterns_total",
 	CertifyPatternsPruned:   "ftsched_certify_patterns_pruned_total",
 	CertifyBisectionRuns:    "ftsched_certify_bisection_runs_total",
+	EnvelopeOverruns:        "ftsched_envelope_overruns_total",
+	EnvelopeExtraFaults:     "ftsched_envelope_extra_faults_total",
+	EnvelopeTimeRegressions: "ftsched_envelope_time_regressions_total",
+	EnvelopeSheds:           "ftsched_envelope_sheds_total",
+	EnvelopeBudgetExhausted: "ftsched_envelope_budget_exhausted_total",
+	ChaosCycles:             "ftsched_chaos_cycles_total",
+	ChaosInjections:         "ftsched_chaos_injections_total",
 }
 
 var counterHelp = [numCounters]string{
@@ -125,6 +155,13 @@ var counterHelp = [numCounters]string{
 	CertifyPatterns:         "Fault patterns enumerated and certified.",
 	CertifyPatternsPruned:   "Fault patterns pruned as canonically equivalent to an enumerated one.",
 	CertifyBisectionRuns:    "Probe executions spent bisecting for guard-boundary execution times.",
+	EnvelopeOverruns:        "Executions whose duration exceeded the process WCET (out-of-model).",
+	EnvelopeExtraFaults:     "Transient faults consumed beyond the application bound k.",
+	EnvelopeTimeRegressions: "Executions whose reported duration was negative (time ran backwards).",
+	EnvelopeSheds:           "Cycles in which PolicyShedSoft dropped remaining soft work for the emergency hard-only suffix.",
+	EnvelopeBudgetExhausted: "Processes abandoned after exhausting their recovery budget (BudgetExhausted violation events).",
+	ChaosCycles:             "Operation cycles executed by chaos campaigns.",
+	ChaosInjections:         "Chaos-campaign cycles perturbed out of the fault model.",
 }
 
 // Name returns the stable metric name of the counter ("" for an
@@ -156,6 +193,9 @@ const (
 	// observed per certified fault pattern; values at or below zero would
 	// be counterexamples.
 	CertifyWorstSlack
+	// EnvelopeOverrunMagnitude is the amount by which an execution
+	// exceeded its process WCET — the distribution of overrun severity.
+	EnvelopeOverrunMagnitude
 
 	numHistograms
 )
@@ -169,6 +209,8 @@ var histogramNames = [numHistograms]string{
 	DispatchSwitchNode: "ftsched_dispatch_switch_node",
 	MCUtility:          "ftsched_montecarlo_utility",
 	CertifyWorstSlack:  "ftsched_certify_worst_slack",
+
+	EnvelopeOverrunMagnitude: "ftsched_envelope_overrun_magnitude",
 }
 
 var histogramHelp = [numHistograms]string{
@@ -177,6 +219,8 @@ var histogramHelp = [numHistograms]string{
 	DispatchSwitchNode: "Target NodeID per schedule switch taken.",
 	MCUtility:          "Per-scenario total utility (rounded) observed by Monte-Carlo evaluation.",
 	CertifyWorstSlack:  "Worst hard-deadline slack observed per certified fault pattern.",
+
+	EnvelopeOverrunMagnitude: "Amount by which an execution exceeded its process WCET.",
 }
 
 // Name returns the stable metric name of the histogram ("" for an

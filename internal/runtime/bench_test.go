@@ -61,6 +61,41 @@ func benchDispatchSink(b *testing.B, s obs.Sink) {
 	}
 }
 
+// BenchmarkDispatchEnvelope measures the containment layer's cost on the
+// cycle of BenchmarkDispatch: the in-model variant prices pure detection
+// (per-entry WCET/regression checks plus the fault-bound check), the
+// out-of-model variant additionally walks the shed path — violation
+// record, emergency-suffix switch — every cycle under PolicyShedSoft.
+func BenchmarkDispatchEnvelope(b *testing.B) {
+	app := apps.CruiseController()
+	rng := rand.New(rand.NewSource(1))
+	inSc := sim.MustSample(app, rng, 2, nil)
+	outSc := sim.MustSample(app, rng, 0, nil)
+	soft := app.SoftIDs()
+	outSc.Durations[soft[0]] = app.Proc(soft[0]).WCET + 50
+	for _, tc := range []struct {
+		name   string
+		policy runtime.DegradePolicy
+		sc     runtime.Scenario
+	}{
+		{"shed-soft/in-model", runtime.PolicyShedSoft, inSc},
+		{"shed-soft/out-of-model", runtime.PolicyShedSoft, outSc},
+		{"best-effort/out-of-model", runtime.PolicyBestEffort, outSc},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tree := synthesize(b, app, 20)
+			d := runtime.MustNewDispatcher(tree, runtime.WithEnvelope(runtime.EnvelopeConfig{Policy: tc.policy}))
+			var res runtime.Result
+			d.RunInto(&res, tc.sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.RunInto(&res, tc.sc)
+			}
+		})
+	}
+}
+
 // BenchmarkMonteCarlo measures the full parallel evaluation pipeline —
 // compile, sample, dispatch, reduce — at the scale of one experiment
 // configuration (2000 scenarios, two faults each).

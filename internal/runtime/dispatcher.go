@@ -86,6 +86,16 @@ type Dispatcher struct {
 	// pays one branch per cycle.
 	sink obs.Sink
 
+	// Envelope configuration (WithEnvelope): when envelope is set, the run
+	// loop detects out-of-model events and applies envPolicy at the first
+	// one. emergency holds the precomputed hard-only suffix schedules
+	// PolicyShedSoft falls back to; k caches the application fault bound.
+	envelope  bool
+	envPolicy DegradePolicy
+	envClamp  bool
+	emergency *core.EmergencyPlan
+	k         int
+
 	bufs sync.Pool
 }
 
@@ -133,9 +143,18 @@ func NewDispatcher(tree *core.Tree, opts ...Option) (*Dispatcher, error) {
 		order:   make([]int, n),
 		preds:   make([][]int, n),
 		hardIDs: app.HardIDs(),
+		k:       app.K(),
 	}
 	for _, opt := range opts {
 		opt(d)
+	}
+	if d.envelope {
+		if d.envPolicy < PolicyStrict || d.envPolicy > PolicyBestEffort {
+			return nil, fmt.Errorf("runtime: unknown DegradePolicy %d", int(d.envPolicy))
+		}
+		if d.envPolicy == PolicyShedSoft {
+			d.emergency = core.BuildEmergencyPlan(tree)
+		}
 	}
 	for id := 0; id < n; id++ {
 		d.procs[id] = app.Proc(model.ProcessID(id))
@@ -370,7 +389,10 @@ func (d *Dispatcher) checkScenario(sc Scenario) error {
 }
 
 // Run executes one scenario and returns a freshly allocated Result. The
-// only error is a *ScenarioSizeError for mis-sized scenario slices.
+// errors are a *ScenarioSizeError for mis-sized scenario slices and, with
+// an envelope attached under PolicyStrict, an *EnvelopeError when the
+// cycle left the fault model (the Result is still populated up to the
+// abort point).
 func (d *Dispatcher) Run(sc Scenario) (Result, error) {
 	var res Result
 	err := d.RunInto(&res, sc)
@@ -380,26 +402,29 @@ func (d *Dispatcher) Run(sc Scenario) (Result, error) {
 // RunInto executes one scenario, reusing the buffers of res. It is the
 // allocation-free entry point for bulk evaluation: pass the same Result to
 // successive calls and copy out (or reduce) what you need between them.
-// The only error is a *ScenarioSizeError for mis-sized scenario slices.
+// The errors are a *ScenarioSizeError for mis-sized scenario slices and,
+// with an envelope attached under PolicyStrict, an *EnvelopeError when
+// the cycle left the fault model (res is still populated up to the abort
+// point).
 func (d *Dispatcher) RunInto(res *Result, sc Scenario) error {
 	if err := d.checkScenario(sc); err != nil {
 		return err
 	}
-	d.run(res, sc, nil)
-	return nil
+	return d.run(res, sc, nil)
 }
 
 // RunTrace is Run with full event recording, for visualisation and
 // debugging. The returned events are ordered by time (ties in execution
-// order).
+// order). On an *EnvelopeError the result and events cover the cycle up
+// to the strict abort.
 func (d *Dispatcher) RunTrace(sc Scenario) (Result, []TraceEvent, error) {
 	var res Result
 	if err := d.checkScenario(sc); err != nil {
 		return res, nil, err
 	}
 	var events []TraceEvent
-	d.run(&res, sc, &events)
-	return res, events, nil
+	err := d.run(&res, sc, &events)
+	return res, events, err
 }
 
 // resizeInt/resizeTime/resizeOutcome reuse a slice when it has capacity.
@@ -428,19 +453,27 @@ func resizeTime(s []model.Time, n int) []model.Time {
 // run is the interpreter: entries of the active schedule run in order;
 // faults trigger in-slack re-execution (or run-time dropping for soft
 // processes out of recovery budget); after every entry the compiled guard
-// table is consulted and the best matching switch is taken.
-func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
+// table is consulted and the best matching switch is taken. With an
+// envelope attached, out-of-model events (WCET overruns, faults beyond k,
+// time regressions) are detected at the completion of the affected
+// execution and the configured DegradePolicy is applied at the first one;
+// the non-nil error is a *EnvelopeError (PolicyStrict only).
+func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 	app := d.app
 	n := app.N()
 	res.Utility = 0
 	res.Outcomes = resizeOutcome(res.Outcomes, n)
 	res.CompletionTimes = resizeTime(res.CompletionTimes, n)
 	res.HardViolations = res.HardViolations[:0]
+	res.Violations = res.Violations[:0]
 	res.Makespan = 0
 	res.Switches = 0
 	res.FaultsConsumed = 0
 	res.Recoveries = 0
 	res.Fallbacks = 0
+	res.Degraded = false
+	res.ShedSlack = 0
+	res.OverrunTotal = 0
 
 	bufs := d.bufs.Get().(*cycleBufs)
 	faultsLeft := bufs.faultsLeft
@@ -453,7 +486,14 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 	if sink != nil {
 		stats = bufs
 	}
-	var abandoned int64
+	var abandoned, budgetExhausted int64
+	var overruns, extraFaults, regressions int64
+	// tripped: an out-of-model event was recorded (envelope only).
+	// shedding: PolicyShedSoft tripped — hard entries re-execute without
+	// budget, soft victims of extra faults are abandoned immediately.
+	// onEmergency: entries points at the emergency hard-only suffix, so
+	// positions no longer match the tree node and guard dispatch is off.
+	tripped, shedding, onEmergency := false, false, false
 
 	node := core.NodeID(0)
 	entries := d.tree.Nodes[node].Schedule.Entries
@@ -466,16 +506,50 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 			start = p.Release
 		}
 
+		// The sampled duration is a property of the cycle (re-executions
+		// take the same time), so envelope detection on it happens once
+		// per entry; clamping truncates every attempt alike. The excess
+		// beyond WCET still materialises once per attempt, which is what
+		// OverrunTotal accumulates below.
+		dur := sc.Durations[e.Proc]
+		var excess model.Time
+		if d.envelope {
+			if dur < 0 {
+				res.Violations = append(res.Violations, ViolationEvent{Kind: TimeRegression, Proc: e.Proc, At: start, Magnitude: -dur})
+				regressions++
+				tripped = true
+				shedding = shedding || d.envPolicy == PolicyShedSoft
+				if d.envClamp {
+					dur = 0
+				}
+			} else if dur > p.WCET {
+				res.Violations = append(res.Violations, ViolationEvent{Kind: WCETOverrun, Proc: e.Proc, At: start + dur, Magnitude: dur - p.WCET})
+				overruns++
+				if sink != nil {
+					sink.Observe(obs.EnvelopeOverrunMagnitude, int64(dur-p.WCET))
+				}
+				tripped = true
+				shedding = shedding || d.envPolicy == PolicyShedSoft
+				if d.envClamp {
+					dur = p.WCET
+				} else {
+					excess = dur - p.WCET
+				}
+			}
+		}
+
 		// Execute with in-slack re-execution.
 		outcome := core.CompletedOK
 		faulted := false
 		completed := false
+		budgetOut := false
 		t := start
 		for attempt := 0; ; attempt++ {
 			if events != nil {
 				*events = append(*events, TraceEvent{Kind: TraceStart, At: t, Proc: e.Proc, Attempt: attempt})
 			}
-			t += sc.Durations[e.Proc]
+			t += dur
+			res.OverrunTotal += excess
 			if faultsLeft[e.Proc] > 0 {
 				// This attempt is hit by a transient fault,
 				// detected at the end of the execution.
@@ -485,8 +559,24 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 				if events != nil {
 					*events = append(*events, TraceEvent{Kind: TraceFault, At: t, Proc: e.Proc, Attempt: attempt})
 				}
-				if attempt < e.Recoveries {
-					// Re-execute after the recovery overhead µ.
+				if d.envelope && res.FaultsConsumed > d.k {
+					res.Violations = append(res.Violations, ViolationEvent{Kind: ExtraFault, Proc: e.Proc, At: t, Magnitude: model.Time(res.FaultsConsumed - d.k)})
+					extraFaults++
+					tripped = true
+					if d.envPolicy == PolicyShedSoft {
+						shedding = true
+						if p.Kind == model.Soft {
+							// Abandon the soft victim without re-executing:
+							// recovery time spent on it would eat into the
+							// slack the emergency suffix is about to need.
+							break
+						}
+					}
+				}
+				if attempt < e.Recoveries || (shedding && p.Kind == model.Hard) {
+					// Re-execute after the recovery overhead µ. In shed
+					// mode hard processes re-execute without budget: the
+					// envelope's promise is to finish them if time allows.
 					if events != nil {
 						*events = append(*events, TraceEvent{Kind: TraceRecovery, At: t, Proc: e.Proc, Attempt: attempt})
 					}
@@ -495,6 +585,7 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 					continue
 				}
 				// Recovery budget exhausted: abandon.
+				budgetOut = true
 				break
 			}
 			completed = true
@@ -523,6 +614,11 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 			res.Outcomes[e.Proc] = AbandonedByFault
 			outcome = core.DroppedByFault
 			abandoned++
+			if budgetOut {
+				// Exactly Recoveries+1 attempts ran, each hit by a fault.
+				res.Violations = append(res.Violations, ViolationEvent{Kind: BudgetExhausted, Proc: e.Proc, At: now, Magnitude: model.Time(e.Recoveries + 1)})
+				budgetExhausted++
+			}
 			if events != nil {
 				*events = append(*events, TraceEvent{Kind: TraceAbandon, At: now, Proc: e.Proc})
 			}
@@ -533,6 +629,42 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 			}
 		}
 		res.Makespan = now
+
+		if shedding && !onEmergency {
+			// First out-of-model event under PolicyShedSoft: drop every
+			// remaining soft process and finish the hard ones on the
+			// precomputed emergency suffix. ShedSlack conservatively
+			// accounts only the soft WCETs recovered before the first
+			// remaining hard entry — time guaranteed returned before the
+			// next hard deadline is at stake.
+			for i := pos + 1; i < len(entries); i++ {
+				sp := &d.procs[entries[i].Proc]
+				if sp.Kind == model.Hard {
+					break
+				}
+				res.ShedSlack += sp.WCET
+			}
+			entries = d.emergency.Suffix(node, pos+1)
+			onEmergency = true
+			res.Degraded = true
+			if sink != nil {
+				sink.Add(obs.EnvelopeSheds, 1)
+			}
+			pos = -1
+			continue
+		}
+		if tripped && d.envPolicy == PolicyStrict {
+			// Strict containment: stop dispatching after accounting the
+			// violating entry. Hard processes that never ran are recorded
+			// by the final pass below.
+			break
+		}
+		if onEmergency {
+			// Guard dispatch is off: positions index the emergency
+			// suffix, not the tree node's schedule, and the guards price
+			// soft utility that was just shed.
+			continue
+		}
 
 		next := d.next(node, pos, now, outcome, stats)
 		if next != node {
@@ -587,6 +719,18 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 		sink.Add(obs.DispatchSwitches, int64(res.Switches))
 		sink.Add(obs.DispatchFaultsAbsorbed, int64(res.Recoveries))
 		sink.Add(obs.DispatchFaultsAbandoned, abandoned)
+		if overruns != 0 {
+			sink.Add(obs.EnvelopeOverruns, overruns)
+		}
+		if extraFaults != 0 {
+			sink.Add(obs.EnvelopeExtraFaults, extraFaults)
+		}
+		if regressions != 0 {
+			sink.Add(obs.EnvelopeTimeRegressions, regressions)
+		}
+		if budgetExhausted != 0 {
+			sink.Add(obs.EnvelopeBudgetExhausted, budgetExhausted)
+		}
 		// Flush (and zero — pooled scratch must come back clean) the
 		// guard-depth tally: one ObserveN per distinct depth.
 		for i, c := range bufs.depthCounts {
@@ -597,6 +741,16 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) {
 		}
 	}
 	d.bufs.Put(bufs)
+
+	if tripped && d.envPolicy == PolicyStrict {
+		// Error path: copying the event record allocates, but strict
+		// callers are aborting the cycle anyway — the 0-alloc guarantee
+		// covers in-model cycles.
+		evs := make([]ViolationEvent, len(res.Violations))
+		copy(evs, res.Violations)
+		return &EnvelopeError{Policy: PolicyStrict, Events: evs}
+	}
+	return nil
 }
 
 // totalUtility applies the stale-value model to the realised outcomes,

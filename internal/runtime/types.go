@@ -100,6 +100,27 @@ type Result struct {
 	// dispatch table was corrupted after construction; mirrored on the
 	// obs.DispatchGuardFallbacks counter.
 	Fallbacks int
+	// Violations is the cycle's envelope event record, in detection
+	// order. BudgetExhausted events (in-model soft abandonment) are
+	// recorded on every cycle; out-of-model kinds (WCETOverrun,
+	// ExtraFault, TimeRegression) require an envelope (WithEnvelope).
+	// The slice is reused across RunInto calls — copy it to keep it.
+	Violations []ViolationEvent
+	// Degraded reports that PolicyShedSoft tripped: remaining soft work
+	// was dropped and the cycle finished on the emergency hard-only
+	// suffix schedule.
+	Degraded bool
+	// ShedSlack is the conservative slack recovered by shedding: the
+	// summed WCET of the soft entries skipped between the shed point and
+	// the first remaining hard entry. Zero unless Degraded.
+	ShedSlack model.Time
+	// OverrunTotal is the materialised out-of-model execution excess: for
+	// every attempt that ran longer than its process WCET, the excess
+	// beyond WCET, summed over the cycle. A re-executed overrunning
+	// process contributes once per attempt — unlike the single
+	// WCETOverrun event, whose magnitude is the per-attempt excess.
+	// Always zero with Clamp (truncated attempts stay in-model).
+	OverrunTotal model.Time
 }
 
 // TotalUtility applies the stale-value model to realised outcomes:

@@ -82,6 +82,15 @@ type MCStats struct {
 	// HardViolations counts scenarios with at least one hard-deadline
 	// violation; it must be zero for correct schedules.
 	HardViolations int
+	// Degraded counts scenarios the dispatcher's envelope degraded —
+	// PolicyShedSoft dropped soft work for the emergency hard-only
+	// suffix. Zero unless the evaluation runs through a dispatcher with
+	// an attached envelope (MCConfig.Dispatcher + runtime.WithEnvelope).
+	Degraded int
+	// Violations counts envelope violation events across all scenarios,
+	// including the in-model BudgetExhausted records every dispatcher
+	// reports.
+	Violations int
 	// MeanSwitches is the average number of schedule switches taken.
 	MeanSwitches float64
 	// MeanRecoveries is the average number of re-executions performed.
@@ -90,10 +99,13 @@ type MCStats struct {
 	Scenarios int
 }
 
-// scenarioSeed derives the independent seed of scenario i from the
+// ScenarioSeed derives the independent seed of scenario i from the
 // configuration seed with a splitmix64-style mix, so that the scenario
 // stream does not depend on how scenarios are partitioned over workers.
-func scenarioSeed(seed int64, i int) int64 {
+// It is the seeding discipline of every scenario-indexed evaluation in
+// this module (Monte-Carlo, chaos campaigns): derive per-index seeds from
+// it and worker counts can never change results.
+func ScenarioSeed(seed int64, i int) int64 {
 	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -105,6 +117,8 @@ func scenarioSeed(seed int64, i int) int64 {
 type mcPartial struct {
 	n                    int
 	violations           int
+	degraded             int
+	events               int
 	switches, recoveries float64
 }
 
@@ -113,6 +127,10 @@ func (p *mcPartial) add(r *Result) {
 	if len(r.HardViolations) > 0 {
 		p.violations++
 	}
+	if r.Degraded {
+		p.degraded++
+	}
+	p.events += len(r.Violations)
 	p.switches += float64(r.Switches)
 	p.recoveries += float64(r.Recoveries)
 }
@@ -200,7 +218,7 @@ func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCSt
 					return
 				default:
 				}
-				rng.Seed(scenarioSeed(cfg.Seed, i))
+				rng.Seed(ScenarioSeed(cfg.Seed, i))
 				if err := SampleInto(&sc, app, rng, cfg.Faults, candidates); err != nil {
 					fail(err)
 					return
@@ -247,6 +265,8 @@ func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCSt
 		// Integer-valued accumulators and min/max are associative;
 		// merging partials is exact.
 		stats.HardViolations += p.violations
+		stats.Degraded += p.degraded
+		stats.Violations += p.events
 		stats.MeanSwitches += p.switches
 		stats.MeanRecoveries += p.recoveries
 	}

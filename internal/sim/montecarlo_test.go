@@ -67,14 +67,14 @@ func TestMonteCarloSeedSensitivity(t *testing.T) {
 func TestScenarioSeedMixing(t *testing.T) {
 	seen := map[int64]bool{}
 	for i := 0; i < 10000; i++ {
-		s := scenarioSeed(42, i)
+		s := ScenarioSeed(42, i)
 		if seen[s] {
 			t.Fatalf("seed collision at i=%d", i)
 		}
 		seen[s] = true
 	}
 	// Neighbouring base seeds stay distinct too.
-	if scenarioSeed(1, 0) == scenarioSeed(2, 0) {
+	if ScenarioSeed(1, 0) == ScenarioSeed(2, 0) {
 		t.Error("adjacent base seeds collide at i=0")
 	}
 }

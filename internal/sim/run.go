@@ -26,6 +26,50 @@ const (
 // Result is the outcome of executing one scenario.
 type Result = runtime.Result
 
+// The out-of-model containment vocabulary (see runtime.WithEnvelope):
+// simulation callers inspect Result.Violations and chaos campaigns
+// configure policies without importing internal/runtime directly.
+
+// DegradePolicy selects how an attached envelope reacts to the first
+// out-of-model event of a cycle.
+type DegradePolicy = runtime.DegradePolicy
+
+const (
+	// PolicyStrict aborts the cycle with a typed *runtime.EnvelopeError.
+	PolicyStrict = runtime.PolicyStrict
+	// PolicyShedSoft drops remaining soft work and finishes hard
+	// processes on the precomputed emergency suffix.
+	PolicyShedSoft = runtime.PolicyShedSoft
+	// PolicyBestEffort keeps dispatching and records the violations.
+	PolicyBestEffort = runtime.PolicyBestEffort
+)
+
+// ViolationKind classifies one envelope event.
+type ViolationKind = runtime.ViolationKind
+
+const (
+	// WCETOverrun: an execution exceeded the process WCET.
+	WCETOverrun = runtime.WCETOverrun
+	// ExtraFault: a fault was consumed beyond the application bound k.
+	ExtraFault = runtime.ExtraFault
+	// BudgetExhausted: a process was abandoned out of recovery budget
+	// (in-model, informational).
+	BudgetExhausted = runtime.BudgetExhausted
+	// TimeRegression: an execution reported a negative duration.
+	TimeRegression = runtime.TimeRegression
+)
+
+// ViolationEvent is one envelope event of a cycle.
+type ViolationEvent = runtime.ViolationEvent
+
+// EnvelopeConfig configures the containment layer attached with
+// runtime.WithEnvelope.
+type EnvelopeConfig = runtime.EnvelopeConfig
+
+// EnvelopeError is the typed error PolicyStrict returns when a cycle
+// leaves the fault model.
+type EnvelopeError = runtime.EnvelopeError
+
 // Run executes one scenario against a quasi-static tree: entries of the
 // active schedule run in order; faults trigger in-slack re-execution (or
 // run-time dropping for soft processes out of recovery budget); after every
