@@ -167,4 +167,19 @@ func TestSampleScenarioBounds(t *testing.T) {
 	if sc, err := ftsched.SampleScenario(app, rng, 1, nil); err != nil || sc.NFaults != 1 {
 		t.Errorf("in-bounds sample failed: %v", err)
 	}
+
+	// Invalid evaluation configurations surface as a typed *MCConfigError
+	// carrying the offending field, through the facade too.
+	s, err := ftsched.FTSS(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := ftsched.StaticTree(app, s)
+	var ce *ftsched.MCConfigError
+	if _, err := ftsched.MonteCarlo(tree, ftsched.MCConfig{Scenarios: 100, Workers: -1}); !errors.As(err, &ce) {
+		t.Fatalf("MonteCarlo(Workers: -1) = %v, want *MCConfigError", err)
+	}
+	if ce.Field != "Workers" || ce.Value != -1 {
+		t.Errorf("MCConfigError detail = %+v", ce)
+	}
 }

@@ -88,6 +88,21 @@ func TestCLIEndToEnd(t *testing.T) {
 	run(ftsim, false, "-app", filepath.Join(bin, "missing.json"))
 	run(ftgen, false, "-n", "-3")
 
+	// A negative worker count is rejected by MCConfig.Validate with the
+	// typed field diagnostic, surfaced verbatim by the CLI.
+	out = run(ftsim, false, "-fixture", "fig1", "-m", "4", "-scenarios", "100", "-workers", "-2")
+	if !strings.Contains(out, "MCConfig.Workers must be non-negative (got -2)") {
+		t.Errorf("negative -workers diagnostic missing:\n%s", out)
+	}
+
+	// The evaluation itself is worker-count invariant: the Monte-Carlo
+	// table printed with one and with four workers must be byte-identical.
+	mc1 := run(ftsim, true, "-fixture", "fig1", "-m", "6", "-scenarios", "500", "-workers", "1")
+	mc4 := run(ftsim, true, "-fixture", "fig1", "-m", "6", "-scenarios", "500", "-workers", "4")
+	if mc1 != mc4 {
+		t.Errorf("-workers changed the evaluation output:\n1 worker:\n%s\n4 workers:\n%s", mc1, mc4)
+	}
+
 	// The README's "Command-line tools" section, verbatim (argument for
 	// argument; binaries are prebuilt instead of `go run`). Run from the
 	// temp dir so the documented relative path app.json resolves there.

@@ -33,7 +33,7 @@ func main() {
 		seed        = flag.Int64("seed", 0, "random seed (0 = default)")
 		m           = flag.Int("m", 0, "FTQS tree bound for fig9/cc (0 = default)")
 		trim        = flag.Bool("trim", false, "apply simulation-based arc trimming (table1)")
-		workers     = flag.Int("workers", 0, "goroutines per FTQS synthesis (0 = all CPUs, 1 = serial; results are identical for any value)")
+		workers     = flag.Int("workers", 0, "goroutines for FTQS synthesis and Monte-Carlo evaluation (0 = all CPUs, 1 = serial; results are identical for any value)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and /debug/pprof on this address (e.g. :8080) for the lifetime of the run")
 	)
 	flag.Parse()

@@ -10,6 +10,7 @@
 // Usage:
 //
 //	ftsim -fixture cc -m 39 -scenarios 20000
+//	ftsim -fixture cc -scenarios 1000000 -workers 4
 //	ftsim -app app.json -scenarios 5000 -seed 7
 //	ftsim -fixture fig1 -tree tree.json -replay ce.json
 //	ftsim -fixture fig8 -chaos -chaos-seed 42 -policy shed-soft
@@ -89,6 +90,7 @@ func main() {
 		m           = flag.Int("m", 16, "maximum quasi-static tree size")
 		scenarios   = flag.Int("scenarios", 5000, "Monte-Carlo scenarios per configuration")
 		seed        = flag.Int64("seed", 1, "simulation seed")
+		workers     = flag.Int("workers", 0, "evaluation goroutines for Monte-Carlo and chaos (0: all CPUs; results are identical for any value)")
 		trace       = flag.Bool("trace", false, "render one sample scenario per fault count as a Gantt chart")
 		treeIn      = flag.String("tree", "", "load a stored quasi-static tree (JSON) instead of synthesising one; it is verified before use")
 		replay      = flag.String("replay", "", "replay a certification counterexample (JSON from ftsched -certify) against the tree and exit")
@@ -180,6 +182,7 @@ func main() {
 		cfg := chaos.Config{
 			Cycles:        *chaosCycles,
 			Seed:          csd,
+			Workers:       *workers,
 			Policy:        pol,
 			Clamp:         *clamp,
 			BaseFaults:    min(1, app.K()),
@@ -233,7 +236,7 @@ func main() {
 	for f := 0; f <= app.K(); f++ {
 		for i, tr := range trees {
 			st, err := sim.MonteCarlo(tr.t, sim.MCConfig{
-				Scenarios: *scenarios, Faults: f, Seed: *seed,
+				Scenarios: *scenarios, Faults: f, Seed: *seed, Workers: *workers,
 				Dispatcher: dispatchers[i], Sink: sink,
 			})
 			if err != nil {

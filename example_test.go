@@ -70,6 +70,33 @@ func ExampleFTQS_options() {
 	// 3 schedules, identical to serial: true
 }
 
+// ExampleMonteCarlo_workers runs the same Monte-Carlo evaluation
+// sequentially and over four goroutines: the batch engine derives every
+// scenario from (Seed, index) and folds statistics in fixed block order,
+// so the two runs return bit-identical MCStats.
+func ExampleMonteCarlo_workers() {
+	app := ftsched.PaperFig8()
+	tree, err := ftsched.FTQS(app, ftsched.FTQSOptions{M: 8})
+	if err != nil {
+		panic(err)
+	}
+	cfg := ftsched.MCConfig{Scenarios: 10000, Faults: 1, Seed: 7, Workers: 1}
+	serial, err := ftsched.MonteCarlo(tree, cfg)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Workers = 4
+	parallel, err := ftsched.MonteCarlo(tree, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("identical stats: %v\n", serial == parallel)
+	fmt.Printf("hard violations: %d\n", parallel.HardViolations)
+	// Output:
+	// identical stats: true
+	// hard violations: 0
+}
+
 // ExampleRun executes one deterministic scenario — a transient fault hits
 // the hard process P1, which re-executes inside its recovery slack and
 // still meets its deadline.

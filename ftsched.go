@@ -176,6 +176,10 @@ type (
 	// SampleError reports a scenario-sampling request the application
 	// cannot satisfy (fault count out of bounds, empty victim pool).
 	SampleError = sim.SampleError
+	// MCConfigError reports the MCConfig field an evaluation rejected
+	// (non-positive Scenarios, negative Faults or Workers), carrying the
+	// field name and the offending value.
+	MCConfigError = sim.ConfigError
 )
 
 // Out-of-model containment types. A dispatcher built with WithEnvelope
@@ -475,13 +479,18 @@ func CertifyContext(ctx context.Context, tree *Tree, cfg CertifyConfig) (Certify
 	return certify.CertifyContext(ctx, tree, cfg)
 }
 
-// MonteCarlo evaluates a tree over cfg.Scenarios random scenarios. It is
-// MonteCarloContext with a background context.
+// MonteCarlo evaluates a tree over cfg.Scenarios random scenarios on the
+// batch evaluation engine: scenario blocks are spread over
+// MCConfig.Workers goroutines and statistics stream into fixed
+// accumulators, so throughput scales to millions of scenarios without
+// per-scenario allocation and MCStats is bit-identical for any worker
+// count (see docs/PERFORMANCE.md). It is MonteCarloContext with a
+// background context.
 func MonteCarlo(tree *Tree, cfg MCConfig) (MCStats, error) { return sim.MonteCarlo(tree, cfg) }
 
 // MonteCarloContext is MonteCarlo honouring cancellation: every worker
-// checks ctx before each scenario, so the evaluation unwinds within one
-// scenario per worker and returns ctx.Err(); partial statistics are
+// checks ctx before each scenario block, so the evaluation unwinds within
+// one block per worker and returns ctx.Err(); partial statistics are
 // discarded.
 func MonteCarloContext(ctx context.Context, tree *Tree, cfg MCConfig) (MCStats, error) {
 	return sim.MonteCarloContext(ctx, tree, cfg)

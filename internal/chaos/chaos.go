@@ -4,9 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	goruntime "runtime"
-	"sync"
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
@@ -23,9 +21,10 @@ type Config struct {
 	// Seed makes the campaign reproducible: cycle i derives all random
 	// choices from sim.ScenarioSeed(Seed, i).
 	Seed int64
-	// Workers spreads cycles over goroutines. 0 selects runtime.NumCPU();
-	// 1 forces sequential execution. Reports are bit-identical for any
-	// worker count.
+	// Workers spreads cycle blocks over goroutines through the same
+	// sharded block driver Monte-Carlo evaluation uses (sim.RunBlocks).
+	// 0 selects runtime.NumCPU(); 1 forces sequential execution. Reports
+	// are bit-identical for any worker count.
 	Workers int
 	// Policy is the DegradePolicy under test; Clamp selects the
 	// envelope's clamped mode (see runtime.EnvelopeConfig).
@@ -230,52 +229,34 @@ func (c *Campaign) Run() (*Report, error) {
 }
 
 // RunContext executes Config.Cycles seeded cycles through the compiled
-// dispatcher, spread over Config.Workers goroutines, and folds the
-// records into a Report. The report is bit-identical for a given seed
-// across worker counts and reruns. The error is a validation or
-// cancellation error — never a containment finding: panics, strict
-// errors, misses and breaches are scored on the Report.
+// dispatcher, spread over Config.Workers goroutines by the shared batch
+// driver (sim.RunBlocks), and folds the records into a Report. Each cycle
+// reseeds a per-cycle sim.RNG from sim.ScenarioSeed and records into its
+// own slot, so the report is bit-identical for a given seed across worker
+// counts and reruns. The error is a validation or cancellation error —
+// never a containment finding: panics, strict errors, misses and breaches
+// are scored on the Report.
 func (c *Campaign) RunContext(ctx context.Context) (*Report, error) {
 	cfg := c.cfg
-	workers := cfg.Workers
-	if workers > cfg.Cycles {
-		workers = cfg.Cycles
-	}
 	records := make([]CycleRecord, cfg.Cycles)
-	done := ctx.Done()
-	var errOnce sync.Once
-	var workerErr error
-	fail := func(err error) { errOnce.Do(func() { workerErr = err }) }
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(0))
-			var sc sim.Scenario
-			var res runtime.Result
-			var inj injection
-			for i := w; i < cfg.Cycles; i += workers {
-				select {
-				case <-done:
-					return
-				default:
+	err := sim.RunBlocks(ctx, cfg.Cycles, cfg.Workers, func(int) func(block, lo, hi int) error {
+		var rng sim.RNG
+		var sc sim.Scenario
+		var res runtime.Result
+		var inj injection
+		return func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				rng.Reseed(sim.ScenarioSeed(cfg.Seed, i))
+				if err := sim.SampleRNGInto(&sc, c.app, &rng, cfg.BaseFaults, c.injPool); err != nil {
+					return err
 				}
-				rng.Seed(sim.ScenarioSeed(cfg.Seed, i))
-				if err := sim.SampleInto(&sc, c.app, rng, cfg.BaseFaults, c.injPool); err != nil {
-					fail(err)
-					return
-				}
-				c.perturb(&sc, rng, &inj)
+				c.perturb(&sc, &rng, &inj)
 				c.cycle(i, &records[i], &res, sc, &inj)
 			}
-		}(w)
-	}
-	wg.Wait()
-	if workerErr != nil {
-		return nil, workerErr
-	}
-	if err := ctx.Err(); err != nil {
+			return nil
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
 
@@ -329,7 +310,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Report, error) {
 // perturb applies the configured out-of-model injections to an in-model
 // base scenario. The draw sequence is fixed (overrun, stuck, regression,
 // burst), so a cycle's perturbation depends only on its seed.
-func (c *Campaign) perturb(sc *sim.Scenario, rng *rand.Rand, inj *injection) {
+func (c *Campaign) perturb(sc *sim.Scenario, rng *sim.RNG, inj *injection) {
 	inj.any = false
 	inj.touchedHard = false
 	inj.durVictims = inj.durVictims[:0]
@@ -463,12 +444,12 @@ func (c *Campaign) Scenario(i int) (sim.Scenario, error) {
 	if i < 0 || i >= c.cfg.Cycles {
 		return sc, fmt.Errorf("chaos: cycle %d outside [0, %d)", i, c.cfg.Cycles)
 	}
-	rng := rand.New(rand.NewSource(sim.ScenarioSeed(c.cfg.Seed, i)))
-	if err := sim.SampleInto(&sc, c.app, rng, c.cfg.BaseFaults, c.injPool); err != nil {
+	rng := sim.NewRNG(sim.ScenarioSeed(c.cfg.Seed, i))
+	if err := sim.SampleRNGInto(&sc, c.app, &rng, c.cfg.BaseFaults, c.injPool); err != nil {
 		return sc, err
 	}
 	var inj injection
-	c.perturb(&sc, rng, &inj)
+	c.perturb(&sc, &rng, &inj)
 	return sc, nil
 }
 

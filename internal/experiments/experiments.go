@@ -56,8 +56,10 @@ func synthesise(app *model.Application, m, workers int, sink obs.Sink) (ftqs, ft
 
 // meanUtility runs the Monte-Carlo evaluation and fails on any hard
 // violation — the experiments double as an end-to-end safety check.
-func meanUtility(tree *core.Tree, scenarios, faults int, seed int64, sink obs.Sink) (float64, error) {
-	st, err := sim.MonteCarlo(tree, sim.MCConfig{Scenarios: scenarios, Faults: faults, Seed: seed, Sink: sink})
+// workers spreads the evaluation over goroutines (0 = GOMAXPROCS);
+// results are identical for any value.
+func meanUtility(tree *core.Tree, scenarios, faults int, seed int64, workers int, sink obs.Sink) (float64, error) {
+	st, err := sim.MonteCarlo(tree, sim.MCConfig{Scenarios: scenarios, Faults: faults, Seed: seed, Workers: workers, Sink: sink})
 	if err != nil {
 		return 0, err
 	}
@@ -96,8 +98,10 @@ type Fig9Config struct {
 	Scenarios   int
 	M           int // FTQS tree bound
 	Seed        int64
-	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
-	// Results are identical for any value; see core.FTQSOptions.Workers.
+	// Workers bounds both the FTQS synthesis goroutines and the
+	// Monte-Carlo evaluation goroutines (0 = GOMAXPROCS). Results are
+	// identical for any value; see core.FTQSOptions.Workers and
+	// sim.MCConfig.Workers.
 	Workers int
 	// Sink receives synthesis and simulation events from every run of
 	// the experiment (nil disables instrumentation; results are
@@ -155,7 +159,7 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 				return nil, err
 			}
 			seed := rng.Int63()
-			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed, cfg.Sink)
+			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +171,7 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 					acc[key] = append(acc[key], 0)
 					return nil
 				}
-				u, err := meanUtility(tree, cfg.Scenarios, faults, seed, cfg.Sink)
+				u, err := meanUtility(tree, cfg.Scenarios, faults, seed, cfg.Workers, cfg.Sink)
 				if err != nil {
 					return err
 				}
@@ -290,7 +294,9 @@ type Table1Config struct {
 	// monotone utility-vs-tree-size shape that estimation noise can
 	// otherwise bend downwards for large M.
 	Trim bool
-	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	// Workers bounds both the FTQS synthesis goroutines and the
+	// Monte-Carlo evaluation goroutines (0 = GOMAXPROCS); results are
+	// identical for any value.
 	Workers int
 	// Sink receives synthesis and simulation events (nil disables
 	// instrumentation; results are identical either way).
@@ -350,7 +356,7 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 		}
 		seed := rng.Int63()
 		st := sim.StaticTree(app, root)
-		base, err := meanUtility(st, cfg.Scenarios, 0, seed, cfg.Sink)
+		base, err := meanUtility(st, cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +386,7 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 			row.MeanNodes += float64(tree.Size())
 			row.MemoryBytes += float64(tree.MemoryFootprint())
 			for f := 0; f <= 3 && f <= c.app.K(); f++ {
-				u, err := meanUtility(tree, cfg.Scenarios, f, c.seed, cfg.Sink)
+				u, err := meanUtility(tree, cfg.Scenarios, f, c.seed, cfg.Workers, cfg.Sink)
 				if err != nil {
 					return nil, err
 				}
@@ -424,7 +430,9 @@ type CCConfig struct {
 	Scenarios int
 	M         int
 	Seed      int64
-	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	// Workers bounds both the FTQS synthesis goroutines and the
+	// Monte-Carlo evaluation goroutines (0 = GOMAXPROCS); results are
+	// identical for any value.
 	Workers int
 	// Sink receives synthesis and simulation events (nil disables
 	// instrumentation; results are identical either way).
@@ -456,13 +464,13 @@ func CruiseController(cfg CCConfig) (*CCResult, error) {
 	}
 	res := &CCResult{Cfg: cfg, TreeNodes: ftqs.Size()}
 	for f := 0; f <= 2; f++ {
-		if res.FTQS[f], err = meanUtility(ftqs, cfg.Scenarios, f, cfg.Seed, cfg.Sink); err != nil {
+		if res.FTQS[f], err = meanUtility(ftqs, cfg.Scenarios, f, cfg.Seed, cfg.Workers, cfg.Sink); err != nil {
 			return nil, err
 		}
-		if res.FTSS[f], err = meanUtility(ftss, cfg.Scenarios, f, cfg.Seed, cfg.Sink); err != nil {
+		if res.FTSS[f], err = meanUtility(ftss, cfg.Scenarios, f, cfg.Seed, cfg.Workers, cfg.Sink); err != nil {
 			return nil, err
 		}
-		if res.FTSF[f], err = meanUtility(ftsf, cfg.Scenarios, f, cfg.Seed, cfg.Sink); err != nil {
+		if res.FTSF[f], err = meanUtility(ftsf, cfg.Scenarios, f, cfg.Seed, cfg.Workers, cfg.Sink); err != nil {
 			return nil, err
 		}
 	}

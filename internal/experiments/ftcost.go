@@ -25,7 +25,9 @@ type FTCostConfig struct {
 	M         int
 	Scenarios int
 	Seed      int64
-	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	// Workers bounds both the FTQS synthesis goroutines and the
+	// Monte-Carlo evaluation goroutines (0 = GOMAXPROCS); results are
+	// identical for any value.
 	Workers int
 	// Sink receives synthesis and simulation events (nil disables
 	// instrumentation; results are identical either way).
@@ -106,7 +108,7 @@ func FTCost(cfg FTCostConfig) (*FTCostResult, error) {
 				ok = false
 				break
 			}
-			u, err := meanUtility(tree, cfg.Scenarios, 0, seed, cfg.Sink)
+			u, err := meanUtility(tree, cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}

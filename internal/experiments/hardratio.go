@@ -23,7 +23,9 @@ type HardRatioConfig struct {
 	M         int
 	Scenarios int
 	Seed      int64
-	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	// Workers bounds both the FTQS synthesis goroutines and the
+	// Monte-Carlo evaluation goroutines (0 = GOMAXPROCS); results are
+	// identical for any value.
 	Workers int
 	// Sink receives synthesis and simulation events (nil disables
 	// instrumentation; results are identical either way).
@@ -78,14 +80,14 @@ func HardRatio(cfg HardRatioConfig) (*HardRatioResult, error) {
 				return nil, err
 			}
 			seed := rng.Int63()
-			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed, cfg.Sink)
+			base, err := meanUtility(ftqs, cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}
 			if base == 0 {
 				continue
 			}
-			us, err := meanUtility(ftss, cfg.Scenarios, 0, seed, cfg.Sink)
+			us, err := meanUtility(ftss, cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 			if err != nil {
 				return nil, err
 			}
@@ -94,7 +96,7 @@ func HardRatio(cfg HardRatioConfig) (*HardRatioResult, error) {
 				row.FTSFFailures++
 				ftsfAcc = append(ftsfAcc, 0)
 			} else {
-				ub, err := meanUtility(ftsf, cfg.Scenarios, 0, seed, cfg.Sink)
+				ub, err := meanUtility(ftsf, cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 				if err != nil {
 					return nil, err
 				}

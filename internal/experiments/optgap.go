@@ -24,7 +24,9 @@ type OptGapConfig struct {
 	Scenarios int // Monte-Carlo scenarios for the FTQS comparison
 	K         int
 	Seed      int64
-	// Workers bounds the FTQS synthesis goroutines (0 = GOMAXPROCS).
+	// Workers bounds both the FTQS synthesis goroutines and the
+	// Monte-Carlo evaluation goroutines (0 = GOMAXPROCS); results are
+	// identical for any value.
 	Workers int
 	// Sink receives synthesis and simulation events (nil disables
 	// instrumentation; results are identical either way).
@@ -83,18 +85,18 @@ func OptGap(cfg OptGapConfig) (*OptGapResult, error) {
 		sumFTSS += schedule.ExpectedUtility(app, ftss)
 
 		seed := rng.Int63()
-		base, err := meanUtility(sim.StaticTree(app, opt.Schedule), cfg.Scenarios, 0, seed, cfg.Sink)
+		base, err := meanUtility(sim.StaticTree(app, opt.Schedule), cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 		if err != nil {
 			return nil, err
 		}
 		if base == 0 {
 			continue
 		}
-		us, err := meanUtility(sim.StaticTree(app, ftss), cfg.Scenarios, 0, seed, cfg.Sink)
+		us, err := meanUtility(sim.StaticTree(app, ftss), cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 		if err != nil {
 			return nil, err
 		}
-		uq, err := meanUtility(tree, cfg.Scenarios, 0, seed, cfg.Sink)
+		uq, err := meanUtility(tree, cfg.Scenarios, 0, seed, cfg.Workers, cfg.Sink)
 		if err != nil {
 			return nil, err
 		}

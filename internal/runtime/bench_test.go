@@ -1,7 +1,9 @@
 package runtime_test
 
 import (
+	"fmt"
 	"math/rand"
+	goruntime "runtime"
 	"testing"
 
 	"ftsched/internal/apps"
@@ -108,5 +110,38 @@ func BenchmarkMonteCarlo(b *testing.B) {
 		if _, err := sim.MonteCarlo(tree, sim.MCConfig{Scenarios: 2000, Faults: 2, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMonteCarloBatch measures the batch evaluation engine in its
+// steady state — the BENCH_dispatch.json workload (cruise controller,
+// M=20, 2000 scenarios, two faults each) with a pre-compiled dispatcher —
+// sequentially and with one worker per CPU. The scenarios/sec metric is
+// the engine's headline number; the `batch` block of BENCH_dispatch.json
+// records it next to the pre-engine per-scenario baseline.
+func BenchmarkMonteCarloBatch(b *testing.B) {
+	app := apps.CruiseController()
+	tree := synthesize(b, app, 20)
+	d := runtime.MustNewDispatcher(tree)
+	const scenarios = 2000
+	workerCounts := []int{1}
+	if n := goruntime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := sim.MCConfig{Scenarios: scenarios, Faults: 2, Seed: 1, Workers: workers, Dispatcher: d}
+			if _, err := sim.MonteCarlo(tree, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.MonteCarlo(tree, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(scenarios)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
+		})
 	}
 }

@@ -22,4 +22,16 @@
 // a rejected call leaves both the RNG stream and the caller's buffers
 // exactly as they were. MustSample wraps Sample for tests and examples
 // where an error is a programming bug.
+//
+// MonteCarlo runs on the batch evaluation engine (batch.go): scenarios
+// are cut into fixed 256-scenario blocks, each block is sampled
+// structure-of-arrays and dispatched with reused scratch, and workers
+// claim whole blocks through RunBlocks. The engine's determinism
+// contract is that MCStats is bit-identical for every MCConfig.Workers
+// value: scenario i is always seeded from ScenarioSeed(Seed, i), the
+// block grid depends only on the scenario count, and floating-point
+// partials are folded sequentially in block order after the parallel
+// fill, so no schedule interleaving can reorder an addition. Chaos
+// campaigns (package chaos) shard their cycles through the same
+// RunBlocks driver under the same contract.
 package sim

@@ -3,11 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math"
-	"math/rand"
 	goruntime "runtime"
-	"sort"
-	"sync"
 
 	"ftsched/internal/core"
 	"ftsched/internal/model"
@@ -25,10 +21,10 @@ type MCConfig struct {
 	Faults int
 	// Seed makes the evaluation reproducible.
 	Seed int64
-	// Workers spreads the scenarios over goroutines. 0 selects
+	// Workers spreads the scenario blocks over goroutines. 0 selects
 	// runtime.NumCPU(); 1 forces sequential evaluation. Results are
-	// identical for any worker count: scenario i always derives from
-	// (Seed, i).
+	// bit-identical for any worker count: scenario i always derives from
+	// (Seed, i) and statistics fold in fixed block order.
 	Workers int
 	// Dispatcher optionally reuses a pre-compiled dispatcher across
 	// evaluations; nil compiles the tree internally. It must have been
@@ -44,21 +40,41 @@ type MCConfig struct {
 	Sink obs.Sink
 }
 
-// Validate normalises the configuration and rejects impossible values: a
-// non-positive scenario count, a negative fault count or a negative worker
-// count. Workers 0 is replaced by the CPU count. The fault upper bound
-// depends on the application and is checked by MonteCarlo itself. Every
-// evaluation entry point applies Validate, so CLI flags and library callers
-// get the same diagnostics.
+// ConfigError reports an MCConfig field that fails validation, carrying
+// the field name and the rejected value so CLIs and tests can react to
+// the specific field instead of parsing a message.
+type ConfigError struct {
+	// Field is the MCConfig field name ("Scenarios", "Faults", "Workers").
+	Field string
+	// Value is the rejected value.
+	Value int
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	switch e.Field {
+	case "Scenarios":
+		return fmt.Sprintf("sim: MCConfig.Scenarios must be positive (got %d)", e.Value)
+	default:
+		return fmt.Sprintf("sim: MCConfig.%s must be non-negative (got %d)", e.Field, e.Value)
+	}
+}
+
+// Validate normalises the configuration and rejects impossible values with
+// a *ConfigError: a non-positive scenario count, a negative fault count or
+// a negative worker count. Workers 0 is replaced by the CPU count. The
+// fault upper bound depends on the application and is checked by
+// MonteCarlo itself. Every evaluation entry point applies Validate, so CLI
+// flags and library callers get the same diagnostics.
 func (c MCConfig) Validate() (MCConfig, error) {
 	if c.Scenarios <= 0 {
-		return c, fmt.Errorf("sim: Scenarios must be positive (got %d)", c.Scenarios)
+		return c, &ConfigError{Field: "Scenarios", Value: c.Scenarios}
 	}
 	if c.Faults < 0 {
-		return c, fmt.Errorf("sim: Faults must be non-negative (got %d)", c.Faults)
+		return c, &ConfigError{Field: "Faults", Value: c.Faults}
 	}
 	if c.Workers < 0 {
-		return c, fmt.Errorf("sim: Workers must be non-negative (got %d)", c.Workers)
+		return c, &ConfigError{Field: "Workers", Value: c.Workers}
 	}
 	if c.Workers == 0 {
 		c.Workers = goruntime.NumCPU()
@@ -75,9 +91,13 @@ type MCStats struct {
 	StdDev float64
 	// MinUtility and MaxUtility bound the observed utilities.
 	MinUtility, MaxUtility float64
-	// P05, P50 and P95 are utility percentiles (nearest-rank) — the
-	// spread matters for soft real-time quality-of-service reporting,
-	// where the mean hides bad tails.
+	// P05, P50 and P95 are utility percentile estimates from the engine's
+	// streaming 256-bucket histogram (nearest-rank bucket, interpolated
+	// between the bucket's observed min and max). The estimate error is
+	// bounded by one bucket width — ≤ 0.4% of the application's utility
+	// range — and Min ≤ P05 ≤ P50 ≤ P95 ≤ Max always holds. The spread
+	// matters for soft real-time quality-of-service reporting, where the
+	// mean hides bad tails.
 	P05, P50, P95 float64
 	// HardViolations counts scenarios with at least one hard-deadline
 	// violation; it must be zero for correct schedules.
@@ -112,44 +132,22 @@ func ScenarioSeed(seed int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// mcPartial accumulates one worker's associative (exactly mergeable)
-// counters; utilities are reduced separately in scenario order.
-type mcPartial struct {
-	n                    int
-	violations           int
-	degraded             int
-	events               int
-	switches, recoveries float64
-}
-
-func (p *mcPartial) add(r *Result) {
-	p.n++
-	if len(r.HardViolations) > 0 {
-		p.violations++
-	}
-	if r.Degraded {
-		p.degraded++
-	}
-	p.events += len(r.Violations)
-	p.switches += float64(r.Switches)
-	p.recoveries += float64(r.Recoveries)
-}
-
 // MonteCarlo evaluates a quasi-static tree (or a StaticTree-wrapped
 // f-schedule) over cfg.Scenarios random execution scenarios with
 // cfg.Faults injected faults each, and returns the aggregate statistics.
-// Scenarios are spread over cfg.Workers goroutines (default: one per CPU);
-// the result is bit-identical for any worker count. The tree is compiled
-// once into a shared runtime.Dispatcher; each worker reuses one scenario,
-// one Result and one RNG across all its scenarios, so the steady state
-// simulates without allocation.
+// Evaluation runs on the batch engine (see batch.go): scenario blocks are
+// spread over cfg.Workers goroutines (default: one per CPU), each scenario
+// reseeds a per-scenario RNG from ScenarioSeed, and statistics stream into
+// fixed accumulators folded in block order — so the result is bit-identical
+// for any worker count and the steady state simulates without allocation
+// regardless of the scenario count.
 func MonteCarlo(tree *core.Tree, cfg MCConfig) (MCStats, error) {
 	return MonteCarloContext(context.Background(), tree, cfg)
 }
 
 // MonteCarloContext is MonteCarlo honouring cancellation: every worker
-// checks ctx before each scenario, so the evaluation unwinds within one
-// scenario's simulation time per worker and returns ctx.Err(). Partial
+// checks ctx before each scenario block, so the evaluation unwinds within
+// one block's simulation time per worker and returns ctx.Err(). Partial
 // statistics are discarded.
 func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCStats, error) {
 	cfg, err := cfg.Validate()
@@ -159,10 +157,6 @@ func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCSt
 	app := tree.App
 	if cfg.Faults > app.K() {
 		return MCStats{}, fmt.Errorf("sim: Faults %d outside [0, k=%d]", cfg.Faults, app.K())
-	}
-	workers := cfg.Workers
-	if workers > cfg.Scenarios {
-		workers = cfg.Scenarios
 	}
 	rootEntries := tree.Root().Schedule.Entries
 	candidates := make([]model.ProcessID, 0, len(rootEntries))
@@ -186,123 +180,5 @@ func MonteCarloContext(ctx context.Context, tree *core.Tree, cfg MCConfig) (MCSt
 	} else if d.Tree() != tree {
 		return MCStats{}, fmt.Errorf("sim: MCConfig.Dispatcher was compiled from a different tree")
 	}
-
-	// Per-scenario results are collected by index and reduced
-	// sequentially afterwards, so floating-point summation order — and
-	// therefore every statistic — is independent of the worker count.
-	utils := make([]float64, cfg.Scenarios)
-	partials := make([]mcPartial, workers)
-	done := ctx.Done()
-	// Sampling and dispatch bounds were validated above, so worker errors
-	// are unreachable; they are still captured (first one wins) rather
-	// than dropped, because silently skipped scenarios would skew the
-	// statistics.
-	var errOnce sync.Once
-	var workerErr error
-	fail := func(err error) { errOnce.Do(func() { workerErr = err }) }
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			p := &partials[w]
-			// Reseeding one RNG per scenario produces the same stream
-			// as a fresh rand.New(rand.NewSource(seed)) would, without
-			// the per-scenario allocation.
-			rng := rand.New(rand.NewSource(0))
-			var sc Scenario
-			var res Result
-			for i := w; i < cfg.Scenarios; i += workers {
-				select {
-				case <-done:
-					return
-				default:
-				}
-				rng.Seed(ScenarioSeed(cfg.Seed, i))
-				if err := SampleInto(&sc, app, rng, cfg.Faults, candidates); err != nil {
-					fail(err)
-					return
-				}
-				if err := d.RunInto(&res, sc); err != nil {
-					fail(err)
-					return
-				}
-				utils[i] = res.Utility
-				p.add(&res)
-				if sink != nil {
-					sink.Observe(obs.MCUtility, int64(math.Round(res.Utility)))
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if workerErr != nil {
-		return MCStats{}, workerErr
-	}
-
-	if sink != nil {
-		// Scenario throughput covers what actually ran, even when the
-		// evaluation below is abandoned for cancellation.
-		var simulated int64
-		for i := range partials {
-			simulated += int64(partials[i].n)
-		}
-		sink.Add(obs.MCScenarios, simulated)
-	}
-	if err := ctx.Err(); err != nil {
-		return MCStats{}, err
-	}
-	if sink != nil {
-		sink.Add(obs.MCRuns, 1)
-	}
-
-	stats := MCStats{Scenarios: cfg.Scenarios}
-	for i := range partials {
-		p := &partials[i]
-		if p.n == 0 {
-			continue
-		}
-		// Integer-valued accumulators and min/max are associative;
-		// merging partials is exact.
-		stats.HardViolations += p.violations
-		stats.Degraded += p.degraded
-		stats.Violations += p.events
-		stats.MeanSwitches += p.switches
-		stats.MeanRecoveries += p.recoveries
-	}
-	var sum, sumSq float64
-	for i, u := range utils {
-		sum += u
-		sumSq += u * u
-		if i == 0 || u < stats.MinUtility {
-			stats.MinUtility = u
-		}
-		if i == 0 || u > stats.MaxUtility {
-			stats.MaxUtility = u
-		}
-	}
-	n := float64(cfg.Scenarios)
-	stats.MeanUtility = sum / n
-	stats.MeanSwitches /= n
-	stats.MeanRecoveries /= n
-	if cfg.Scenarios > 1 {
-		variance := (sumSq - sum*sum/n) / (n - 1)
-		if variance > 0 {
-			stats.StdDev = math.Sqrt(variance)
-		}
-	}
-	sorted := append([]float64(nil), utils...)
-	sort.Float64s(sorted)
-	rank := func(p float64) float64 {
-		i := int(math.Ceil(p*float64(len(sorted)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i]
-	}
-	stats.P05, stats.P50, stats.P95 = rank(0.05), rank(0.50), rank(0.95)
-	return stats, nil
+	return newMCBatch(app, d, cfg, candidates, sink).run(ctx)
 }

@@ -1,0 +1,65 @@
+package sim
+
+import "math/bits"
+
+// RNG is the evaluation engine's scenario random-number generator: a
+// splitmix64 stream over a single 64-bit state word. It exists because the
+// batch engine reseeds once per scenario (the ScenarioSeed discipline that
+// makes results independent of worker partitioning), and reseeding
+// math/rand's 607-word lagged-Fibonacci source costs ~11 µs — an order of
+// magnitude more than simulating the scenario itself. Reseeding an RNG is
+// a single store.
+//
+// Determinism contract: the stream drawn from a given seed is a pure
+// function of the seed, identical across platforms (64-bit integer ops
+// only, no floating point in the core), and frozen — changing it would
+// silently change every recorded Monte-Carlo statistic and chaos report,
+// so treat the constants and the draw algorithms below as part of the
+// serialised-artefact surface, like a file format.
+//
+// Bounded draws use Lemire's multiply-shift reduction without rejection:
+// the bias is at most n/2^64 per draw (< 10^-14 for every span in this
+// model), which is far below Monte-Carlo noise at any scenario count this
+// engine can reach, and it keeps the per-draw cost at one multiplication.
+//
+// An RNG is not safe for concurrent use; the engine keeps one (or one
+// block of states) per worker.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds — in
+// particular consecutive ScenarioSeed outputs — yield decorrelated
+// streams: the first output already applies the full splitmix64 finaliser.
+func NewRNG(seed int64) RNG { return RNG{state: uint64(seed)} }
+
+// Reseed rewinds the generator to the exact state NewRNG(seed) creates.
+func (r *RNG) Reseed(seed int64) { r.state = uint64(seed) }
+
+// Uint64 advances the splitmix64 stream by one step.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63n draws a near-uniform integer in [0, n). n must be positive; the
+// engine only calls it with validated spans, so the check is a debug
+// guard, not an error path.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: RNG.Int63n with non-positive bound")
+	}
+	hi, _ := bits.Mul64(r.Uint64(), uint64(n))
+	return int64(hi)
+}
+
+// Intn draws a near-uniform integer in [0, n); n must be positive.
+func (r *RNG) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// Float64 draws a uniform float in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

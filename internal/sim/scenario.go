@@ -108,6 +108,63 @@ func SampleInto(sc *Scenario, app *model.Application, rng *rand.Rand, nFaults in
 	return nil
 }
 
+// SampleRNGInto is SampleInto over the engine's fast RNG: the same
+// bound checks, the same draw order (durations in process-ID order, then
+// fault victims), the same buffer reuse — but drawing from a splitmix64
+// stream instead of math/rand. It is the scalar reference for the batch
+// sampler: filling a block of scenarios through batch planes and sampling
+// each scenario individually with SampleRNGInto from the same per-scenario
+// seeds produce identical scenarios (asserted by
+// TestBatchSamplerMatchesScalar). The math/rand-based SampleInto remains
+// for one-off sampling against an externally owned *rand.Rand; the two
+// streams are unrelated.
+func SampleRNGInto(sc *Scenario, app *model.Application, rng *RNG, nFaults int, candidates []model.ProcessID) error {
+	if nFaults < 0 || nFaults > app.K() {
+		return &SampleError{NFaults: nFaults, Bound: app.K()}
+	}
+	if nFaults > 0 && candidates != nil && len(candidates) == 0 {
+		return &SampleError{NFaults: nFaults, EmptyPool: true}
+	}
+	n := app.N()
+	if cap(sc.Durations) < n {
+		sc.Durations = make([]model.Time, n)
+	} else {
+		sc.Durations = sc.Durations[:n]
+	}
+	if cap(sc.FaultsAt) < n {
+		sc.FaultsAt = make([]int, n)
+	} else {
+		sc.FaultsAt = sc.FaultsAt[:n]
+		for i := range sc.FaultsAt {
+			sc.FaultsAt[i] = 0
+		}
+	}
+	sc.NFaults = nFaults
+	for id := 0; id < n; id++ {
+		p := app.Proc(model.ProcessID(id))
+		span := int64(p.WCET - p.BCET)
+		d := p.BCET
+		if span > 0 {
+			d += model.Time(rng.Int63n(span + 1))
+		}
+		sc.Durations[id] = d
+	}
+	if nFaults > 0 {
+		pool := candidates
+		if pool == nil {
+			pool = make([]model.ProcessID, n)
+			for id := 0; id < n; id++ {
+				pool[id] = model.ProcessID(id)
+			}
+		}
+		for i := 0; i < nFaults; i++ {
+			victim := pool[rng.Intn(len(pool))]
+			sc.FaultsAt[victim]++
+		}
+	}
+	return nil
+}
+
 // StaticTree wraps a single f-schedule as a degenerate one-node tree so
 // that static schedules (FTSS, FTSF) run through the same online executor
 // as quasi-static trees.
