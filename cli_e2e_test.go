@@ -211,3 +211,67 @@ func TestChaosCLIEndToEnd(t *testing.T) {
 		t.Errorf("strict campaign raised no typed errors:\n%s", out)
 	}
 }
+
+// TestHeteroCLIEndToEnd runs the README's "Heterogeneous platforms"
+// walkthrough verbatim (argument for argument; binaries are prebuilt
+// instead of `go run`): generate a mapped application from a core spec,
+// synthesise and verify a v3 tree, and evaluate it from the stored file.
+// Skipped with -short.
+func TestHeteroCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	ftgen := build("ftgen")
+	ftsched := build("ftsched")
+	ftsim := build("ftsim")
+
+	run := func(binary string, args ...string) string {
+		cmd := exec.Command(binary, args...)
+		cmd.Dir = bin
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(binary), args, err, b)
+		}
+		return string(b)
+	}
+
+	run(ftgen, "-n", "12", "-seed", "5", "-core-spec", "lp:1:1:0.05,hp:2:3:0.15", "-o", "het.json")
+	out := run(ftsched, "-app", "het.json", "-algo", "ftqs", "-m", "8", "-verify",
+		"-tree-format", "compact", "-tree-out", "het-tree.json")
+	if !strings.Contains(out, "tree verified") {
+		t.Errorf("hetero synthesis output: %q", out)
+	}
+	data, err := os.ReadFile(filepath.Join(bin, "het-tree.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"format":"ftsched-tree/v3"`) ||
+		!strings.Contains(string(data), `"platform"`) {
+		t.Errorf("stored mapped tree is not v3 with a platform:\n%.200s", data)
+	}
+	out = run(ftsim, "-app", "het.json", "-tree", "het-tree.json", "-scenarios", "20000", "-workers", "4")
+	for _, want := range []string{"loaded and verified tree", "FTQS", "norm%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hetero ftsim output missing %q:\n%s", want, out)
+		}
+	}
+	// The documented shorthand: -cores 2 builds a uniform two-core platform.
+	run(ftgen, "-n", "12", "-seed", "5", "-cores", "2", "-o", "uni.json")
+	uni, err := os.ReadFile(filepath.Join(bin, "uni.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(uni), `"platform"`) {
+		t.Errorf("-cores 2 application carries no platform:\n%.200s", uni)
+	}
+}

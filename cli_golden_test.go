@@ -1,0 +1,62 @@
+package ftsched_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIGoldenByteIdentity builds the real binaries and compares their
+// single-core output byte for byte against files captured from the
+// pre-platform binaries. Any drift here means the refactor changed
+// user-visible single-core behaviour. Skipped with -short.
+func TestCLIGoldenByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+
+	cases := []struct {
+		golden string
+		bin    string
+		args   []string
+	}{
+		{
+			golden: "internal/appio/testdata/fig1_ftsched_cli.txt",
+			bin:    "ftsched",
+			args:   []string{"-fixture", "fig1", "-algo", "ftqs", "-m", "8"},
+		},
+		{
+			golden: "internal/appio/testdata/fig1_ftsim_cli.txt",
+			bin:    "ftsim",
+			args:   []string{"-fixture", "fig1", "-m", "8", "-scenarios", "2000", "-seed", "42", "-workers", "2"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bin, func(t *testing.T) {
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command(build(tc.bin), tc.args...)
+			got, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", tc.bin, tc.args, err, got)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s %v output drifted from the pre-platform golden:\n--- got ---\n%s--- want ---\n%s",
+					tc.bin, tc.args, got, want)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 //	ftexperiments -exp fig9 -apps 50 -scenarios 20000   # paper-sized
 //	ftexperiments -exp table1 -apps 50 -scenarios 20000
 //	ftexperiments -exp cc -scenarios 20000
+//	ftexperiments -exp energy                   # heterogeneous-platform study
 //	ftexperiments -exp chaos -scenarios 5000    # out-of-model containment
 //
 // See EXPERIMENTS.md for recorded outputs and their comparison to the
@@ -223,6 +224,32 @@ func main() {
 			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
 	}
 
+	runEnergy := func() {
+		cfg := experiments.DefaultEnergy()
+		if *apps > 0 {
+			cfg.Apps = *apps
+		}
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		cfg.Workers = *workers
+		cfg.Sink = sink
+		t0 := time.Now()
+		res, err := experiments.Energy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d generated apps × %d processes, %d scenarios, %s)\n\n",
+			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
+	}
+
 	runChaos := func() {
 		cfg := experiments.DefaultChaos()
 		if *scenarios > 0 {
@@ -261,6 +288,8 @@ func main() {
 		runHardRatio()
 	case "ftcost":
 		runFTCost()
+	case "energy":
+		runEnergy()
 	case "chaos":
 		runChaos()
 	case "all":
@@ -271,9 +300,10 @@ func main() {
 		runOptGap()
 		runHardRatio()
 		runFTCost()
+		runEnergy()
 		runChaos()
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want fig9, table1, cc, overhead, optgap, hardratio, ftcost, chaos or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig9, table1, cc, overhead, optgap, hardratio, ftcost, energy, chaos or all)", *exp))
 	}
 }
 

@@ -6,6 +6,8 @@
 //
 //	ftgen -n 30 -seed 7 -o app.json
 //	ftgen -n 20 -k 2 -mu 10 -hard 0.4        # to stdout
+//	ftgen -n 20 -cores 2                     # homogeneous two-core platform
+//	ftgen -n 20 -core-spec lp:1:1:0.05,hp:2:3:0.15
 package main
 
 import (
@@ -35,8 +37,28 @@ func main() {
 		shape    = flag.String("shape", "layered", "graph shape: layered, sp (series-parallel), chains")
 		slackLo  = flag.Float64("slack-min", 0.95, "minimum period slack over the worst-case load")
 		slackHi  = flag.Float64("slack-max", 1.15, "maximum period slack over the worst-case load")
+		cores    = flag.Int("cores", 0, "homogeneous platform with this many unit cores (0 keeps the canonical single-core model)")
+		coreSpec = flag.String("core-spec", "", "heterogeneous platform, name:speed:powerActive:powerIdle per core, comma-separated (overrides -cores)")
 	)
 	flag.Parse()
+
+	var plat *model.Platform
+	switch {
+	case *coreSpec != "":
+		var perr error
+		plat, perr = appio.ParseCoreSpec(*coreSpec)
+		if perr != nil {
+			fatal(perr)
+		}
+	case *cores > 0:
+		var perr error
+		plat, perr = appio.UniformPlatform(*cores)
+		if perr != nil {
+			fatal(perr)
+		}
+	case *cores < 0:
+		fatal(fmt.Errorf("-cores must be non-negative (got %d)", *cores))
+	}
 
 	cfg := gen.Default(*n)
 	cfg.K = *k
@@ -63,6 +85,15 @@ func main() {
 		app, err = gen.Generate(rng, cfg)
 		if err != nil {
 			fatal(err)
+		}
+		// The platform is attached before the schedulability probe, so
+		// -schedulable certifies the application on the platform it ships
+		// with, not on the canonical single-core model.
+		if plat != nil {
+			app, err = app.WithPlatform(plat, model.BiasedMapping(app, plat))
+			if err != nil {
+				fatal(err)
+			}
 		}
 		if !*ensure {
 			break

@@ -40,7 +40,7 @@ func main() {
 		verify  = flag.Bool("verify", false, "audit the synthesised tree (ftqs only)")
 		trim    = flag.Int("trim", 0, "trim arcs by paired simulation with this many scenarios per fault count (ftqs only)")
 		treeOut = flag.String("tree-out", "", "also write the synthesised tree as JSON (ftqs only)")
-		treeFmt = flag.String("tree-format", "json", "encoding for -tree-out: json (self-describing v1) or compact (v2)")
+		treeFmt = flag.String("tree-format", "json", "encoding for -tree-out: json (self-describing v1, single-core only) or compact (v2; v3 when the application carries a platform)")
 		stats   = flag.Bool("stats", false, "print synthesis instrumentation counters to stderr (ftqs only)")
 		doCert  = flag.Bool("certify", false, "exhaustively certify the result against <= -certify-faults faults through the compiled dispatcher")
 		certFl  = flag.Int("certify-faults", 0, "fault bound for -certify (0 = the application's k)")

@@ -85,6 +85,39 @@ type (
 	UtilityPoint = utility.Point
 )
 
+// Platform types. An application is canonically bound to a single
+// unit-speed computation node (the paper's model); WithPlatform attaches a
+// heterogeneous set of cores plus a process→core mapping, and the whole
+// pipeline — synthesis, certification, dispatch, energy accounting —
+// honours the per-core speed and power parameters.
+type (
+	// CoreID addresses a core within its platform.
+	CoreID = model.CoreID
+	// Core is one processing core: relative speed plus active/idle power.
+	Core = model.Core
+	// Platform is a validated, immutable set of cores.
+	Platform = model.Platform
+	// Mapping assigns every process a primary and a recovery core.
+	Mapping = model.Mapping
+)
+
+// NewPlatform validates and builds a platform from its cores.
+func NewPlatform(cores ...Core) (*Platform, error) { return model.NewPlatform(cores...) }
+
+// SingleCorePlatform returns the canonical single-core platform every
+// application without an explicit platform is bound to (speed 1, active
+// power 1, idle power 0) — the paper's single computation node.
+func SingleCorePlatform() *Platform { return model.SingleCore() }
+
+// BiasedMapping returns the deterministic default mapping: primaries
+// round-robin over the lowest-active-power cores, every re-execution on the
+// fastest core.
+func BiasedMapping(app *Application, p *Platform) Mapping { return model.BiasedMapping(app, p) }
+
+// ParseCoreSpec parses a "name:speed:powerActive:powerIdle,..." platform
+// description (the ftgen -core-spec flag syntax).
+func ParseCoreSpec(spec string) (*Platform, error) { return appio.ParseCoreSpec(spec) }
+
 // Schedule types.
 type (
 	// Entry is one scheduled process with its recovery budget.

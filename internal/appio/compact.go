@@ -20,6 +20,12 @@ import (
 // without intermediate per-node allocations beyond the entry slices.
 const compactTreeFormat = "ftsched-tree/v2"
 
+// compactTreeFormatV3 tags the v3 tree encoding: the v2 layout plus the
+// platform the tree was synthesised for and the process→core mapping.
+// Trees of canonically-mapped (single-core) applications keep encoding as
+// v2, byte-identical to the pre-platform format.
+const compactTreeFormatV3 = "ftsched-tree/v3"
+
 type compactTree struct {
 	Format string        `json:"format"`
 	App    string        `json:"app"`
@@ -27,6 +33,11 @@ type compactTree struct {
 	Procs  []string      `json:"procs"`
 	Nodes  []compactNode `json:"nodes"`
 	Arcs   []compactArc  `json:"arcs,omitempty"`
+	// Platform and Mapping are v3-only: the cores the tree's timing
+	// assumes, and per name-table process the [primary, recovery] core
+	// indices. Omitted (and required absent) in v2.
+	Platform []jsonCore `json:"platform,omitempty"`
+	Mapping  [][2]int   `json:"mapping,omitempty"`
 }
 
 type compactNode struct {
@@ -54,8 +65,11 @@ type compactArc struct {
 	C int        `json:"c"`
 }
 
-// EncodeTreeCompact writes a quasi-static tree in the compact v2 format.
-// DecodeTree reads both formats transparently.
+// EncodeTreeCompact writes a quasi-static tree in the compact format:
+// v2 for canonically-mapped applications (byte-identical to the
+// pre-platform encoding) and v3 — v2 plus the platform and mapping the
+// tree's timing depends on — otherwise. DecodeTree reads all formats
+// transparently.
 func EncodeTreeCompact(w io.Writer, tree *core.Tree) error {
 	app := tree.App
 	ct := compactTree{
@@ -68,6 +82,23 @@ func EncodeTreeCompact(w io.Writer, tree *core.Tree) error {
 	}
 	for i := range ct.Procs {
 		ct.Procs[i] = app.Proc(model.ProcessID(i)).Name
+	}
+	if app.HasPlatform() && !app.Platform().IsCanonical() {
+		plat := app.Platform()
+		ct.Format = compactTreeFormatV3
+		ct.Platform = make([]jsonCore, plat.NCores())
+		for c := range ct.Platform {
+			cc := plat.Core(model.CoreID(c))
+			ct.Platform[c] = jsonCore{
+				Name: cc.Name, Speed: cc.Speed,
+				PowerActive: cc.PowerActive, PowerIdle: cc.PowerIdle,
+			}
+		}
+		ct.Mapping = make([][2]int, app.N())
+		for i := range ct.Mapping {
+			pid := model.ProcessID(i)
+			ct.Mapping[i] = [2]int{int(app.CoreOf(pid)), int(app.RecoveryCoreOf(pid))}
+		}
 	}
 	for id := range tree.Nodes {
 		n := &tree.Nodes[id]
@@ -125,6 +156,9 @@ func decodeTreeCompact(data []byte, app *model.Application) (*core.Tree, error) 
 			return nil, &DecodeError{Path: fmt.Sprintf("procs[%d]", i), Msg: fmt.Sprintf("unknown process %q in name table", name)}
 		}
 		ids[i] = id
+	}
+	if err := checkTreePlatform(&ct, app, ids); err != nil {
+		return nil, err
 	}
 	b := &treeBuilder{
 		nodes: make([]core.Node, len(ct.Nodes)),
@@ -208,4 +242,54 @@ func decodeTreeCompact(data []byte, app *model.Application) (*core.Tree, error) 
 		return nil, &DecodeError{Path: "arcs", Msg: fmt.Sprintf("%d arcs in the arena are not claimed by any node", len(ct.Arcs)-arcCursor)}
 	}
 	return b.build(app), nil
+}
+
+// checkTreePlatform enforces the platform contract between a compact tree
+// and the application it is being bound to. A tree's guard bounds and
+// recovery budgets bake in the per-core scaled timing it was synthesised
+// for, so a mismatch would silently invalidate every schedulability
+// guarantee. v2 trees carry no platform and bind only to canonically-mapped
+// applications; v3 trees must carry one that matches the application's
+// platform and mapping exactly.
+func checkTreePlatform(ct *compactTree, app *model.Application, ids []model.ProcessID) error {
+	mapped := app.HasPlatform() && !app.Platform().IsCanonical()
+	if ct.Format == compactTreeFormat {
+		if len(ct.Platform) > 0 {
+			return &DecodeError{Path: "platform", Msg: "platform field is not valid in a v2 tree"}
+		}
+		if len(ct.Mapping) > 0 {
+			return &DecodeError{Path: "mapping", Msg: "mapping field is not valid in a v2 tree"}
+		}
+		if mapped {
+			return &DecodeError{Path: "format", Msg: fmt.Sprintf("tree predates the application's platform (%s); re-synthesise for the mapped application", app.Platform())}
+		}
+		return nil
+	}
+	if len(ct.Platform) == 0 {
+		return &DecodeError{Path: "platform", Msg: "v3 tree lacks a platform"}
+	}
+	plat, err := decodePlatform(ct.Platform)
+	if err != nil {
+		return err
+	}
+	if !plat.Equal(app.Platform()) {
+		return &DecodeError{Path: "platform", Msg: fmt.Sprintf("tree was synthesised for platform %s, application has %s", plat, app.Platform())}
+	}
+	if len(ct.Mapping) != len(ids) {
+		return &DecodeError{Path: "mapping", Msg: fmt.Sprintf("mapping covers %d processes, name table has %d", len(ct.Mapping), len(ids))}
+	}
+	for i, pair := range ct.Mapping {
+		path := fmt.Sprintf("mapping[%d]", i)
+		for _, c := range pair {
+			if c < 0 || c >= plat.NCores() {
+				return &DecodeError{Path: path, Msg: fmt.Sprintf("core index %d out of range", c)}
+			}
+		}
+		pid := ids[i]
+		if model.CoreID(pair[0]) != app.CoreOf(pid) || model.CoreID(pair[1]) != app.RecoveryCoreOf(pid) {
+			return &DecodeError{Path: path, Msg: fmt.Sprintf("process %q is mapped [%d %d] in the tree but [%d %d] in the application",
+				ct.Procs[i], pair[0], pair[1], int(app.CoreOf(pid)), int(app.RecoveryCoreOf(pid)))}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,69 @@
+package appio
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ftsched/internal/model"
+)
+
+// ParseCoreSpec parses a command-line platform description of the form
+//
+//	name:speed:powerActive:powerIdle[,name:speed:powerActive:powerIdle...]
+//
+// e.g. "lp:1:1:0.05,hp:2:3:0.15" for a low-power/high-performance pair.
+// Values run through the same typed validation as decoded files, so NaN,
+// infinite, negative power and non-positive speed values yield a
+// *DecodeError naming the offending core and field.
+func ParseCoreSpec(spec string) (*model.Platform, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, &DecodeError{Path: "core-spec", Msg: "empty platform specification"}
+	}
+	var cores []jsonCore
+	for i, part := range strings.Split(spec, ",") {
+		path := fmt.Sprintf("core-spec[%d]", i)
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, &DecodeError{Path: path, Msg: fmt.Sprintf("want name:speed:powerActive:powerIdle (got %q)", part)}
+		}
+		num := func(field, s string) (float64, *DecodeError) {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return 0, &DecodeError{Path: path + "." + field, Msg: fmt.Sprintf("not a number: %q", s)}
+			}
+			return v, nil
+		}
+		speed, derr := num("speed", fields[1])
+		if derr != nil {
+			return nil, derr
+		}
+		active, derr := num("powerActive", fields[2])
+		if derr != nil {
+			return nil, derr
+		}
+		idle, derr := num("powerIdle", fields[3])
+		if derr != nil {
+			return nil, derr
+		}
+		cores = append(cores, jsonCore{
+			Name: strings.TrimSpace(fields[0]), Speed: speed,
+			PowerActive: active, PowerIdle: idle,
+		})
+	}
+	return decodePlatform(cores)
+}
+
+// UniformPlatform builds a homogeneous platform of n unit cores named
+// cpu0..cpu<n-1> (speed 1, active power 1, idle power 0) — `ftgen -cores n`
+// without a -core-spec.
+func UniformPlatform(n int) (*model.Platform, error) {
+	if n <= 0 {
+		return nil, &DecodeError{Path: "cores", Msg: fmt.Sprintf("core count must be positive (got %d)", n)}
+	}
+	cores := make([]model.Core, n)
+	for i := range cores {
+		cores[i] = model.Core{Name: fmt.Sprintf("cpu%d", i), Speed: 1, PowerActive: 1, PowerIdle: 0}
+	}
+	return model.NewPlatform(cores...)
+}

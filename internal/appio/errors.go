@@ -66,3 +66,27 @@ func checkDecodedGain(path string, v float64) *DecodeError {
 	}
 	return nil
 }
+
+// checkDecodedSpeed rejects NaN, infinite, zero and negative core speed
+// factors: the analysis divides by the speed, so any of them would poison
+// every scaled duration.
+func checkDecodedSpeed(path string, v float64) *DecodeError {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return &DecodeError{Path: path, Msg: "speed is not a finite number"}
+	}
+	if v <= 0 {
+		return &DecodeError{Path: path, Msg: "speed must be positive"}
+	}
+	return nil
+}
+
+// checkDecodedPower rejects NaN, infinite and negative power parameters.
+func checkDecodedPower(path string, v float64) *DecodeError {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return &DecodeError{Path: path, Msg: "power is not a finite number"}
+	}
+	if v < 0 {
+		return &DecodeError{Path: path, Msg: "power must be non-negative"}
+	}
+	return nil
+}

@@ -36,6 +36,25 @@ func FuzzDecodeApplication(f *testing.F) {
 	f.Add(`{"name":"x","period":-1}`)
 	f.Add(`not json at all`)
 	f.Add(`{"processes":[{"kind":"soft"}]}`)
+	// Platform/mapping seeds: a valid heterogeneous pair, then the typed
+	// rejections (non-positive/non-finite speed, negative power, mapping
+	// without a platform, unknown core and process names, duplicate cores).
+	buf.Reset()
+	if err := EncodeApplication(&buf, mappedFig1(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	const hdr = `{"name":"x","period":10,"k":1,"mu":1,"processes":[{"name":"A","kind":"hard","bcet":1,"aet":1,"wcet":1,"deadline":5}],"edges":[]`
+	f.Add(hdr + `,"platform":[{"name":"lp","speed":1,"powerActive":1,"powerIdle":0.05},{"name":"hp","speed":2,"powerActive":3,"powerIdle":0.15}]}`)
+	f.Add(hdr + `,"platform":[{"name":"c","speed":0,"powerActive":1,"powerIdle":0}]}`)
+	f.Add(hdr + `,"platform":[{"name":"c","speed":-2,"powerActive":1,"powerIdle":0}]}`)
+	f.Add(hdr + `,"platform":[{"name":"c","speed":1,"powerActive":-1,"powerIdle":0}]}`)
+	f.Add(hdr + `,"platform":[{"name":"c","speed":1,"powerActive":1,"powerIdle":-0.5}]}`)
+	f.Add(hdr + `,"platform":[{"name":"","speed":1,"powerActive":1,"powerIdle":0}]}`)
+	f.Add(hdr + `,"platform":[{"name":"c","speed":1,"powerActive":1,"powerIdle":0},{"name":"c","speed":1,"powerActive":1,"powerIdle":0}]}`)
+	f.Add(hdr + `,"mapping":[{"proc":"A","core":"c","recovery":"c"}]}`)
+	f.Add(hdr + `,"platform":[{"name":"c","speed":1,"powerActive":1,"powerIdle":0}],"mapping":[{"proc":"A","core":"nope","recovery":"c"}]}`)
+	f.Add(hdr + `,"platform":[{"name":"c","speed":1,"powerActive":1,"powerIdle":0}],"mapping":[{"proc":"NOPE","core":"c","recovery":"c"}]}`)
 
 	f.Fuzz(func(t *testing.T, input string) {
 		app, err := DecodeApplication(strings.NewReader(input))
@@ -125,6 +144,40 @@ func FuzzDecodeCounterexample(f *testing.F) {
 		}
 		if !reflect.DeepEqual(ce.Violations, ce2.Violations) {
 			t.Fatal("round trip changed the violation records")
+		}
+	})
+}
+
+// FuzzParseCoreSpec: the -core-spec CLI parser must never panic and must
+// reject every malformed specification with a typed *DecodeError.
+func FuzzParseCoreSpec(f *testing.F) {
+	f.Add("lp:1:1:0.05,hp:2:3:0.15")
+	f.Add("cpu:1:1:0")
+	f.Add("")
+	f.Add("a:b:c:d")
+	f.Add("a:0:1:0")
+	f.Add("a:-1:1:0")
+	f.Add("a:1:-1:0")
+	f.Add("a:1:1:-0.5")
+	f.Add("a:1:1")
+	f.Add(":1:1:0")
+	f.Add("a:1:1:0,a:1:1:0")
+	f.Add("a:NaN:1:0")
+	f.Add("a:Inf:1:0")
+	f.Fuzz(func(t *testing.T, spec string) {
+		plat, err := ParseCoreSpec(spec)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("rejection is %T (%v), want *DecodeError", err, err)
+			}
+			if de.Error() == "" {
+				t.Fatal("empty DecodeError message")
+			}
+			return
+		}
+		if plat.NCores() == 0 {
+			t.Fatal("accepted specification produced an empty platform")
 		}
 	})
 }

@@ -12,7 +12,9 @@ import (
 	"ftsched/internal/utility"
 )
 
-// jsonApp is the on-disk application format.
+// jsonApp is the on-disk application format. Platform and Mapping are
+// omitted for the canonical single-core model, so pre-platform files
+// round-trip byte-identically.
 type jsonApp struct {
 	Name      string        `json:"name"`
 	Period    model.Time    `json:"period"`
@@ -20,6 +22,23 @@ type jsonApp struct {
 	Mu        model.Time    `json:"mu"`
 	Processes []jsonProcess `json:"processes"`
 	Edges     [][2]string   `json:"edges"`
+	Platform  []jsonCore    `json:"platform,omitempty"`
+	Mapping   []jsonMapping `json:"mapping,omitempty"`
+}
+
+// jsonCore is one core of a heterogeneous platform.
+type jsonCore struct {
+	Name        string  `json:"name"`
+	Speed       float64 `json:"speed"`
+	PowerActive float64 `json:"powerActive"`
+	PowerIdle   float64 `json:"powerIdle"`
+}
+
+// jsonMapping assigns one process its primary and recovery cores, by name.
+type jsonMapping struct {
+	Proc     string `json:"proc"`
+	Core     string `json:"core"`
+	Recovery string `json:"recovery"`
 }
 
 type jsonProcess struct {
@@ -93,9 +112,98 @@ func EncodeApplication(w io.Writer, app *model.Application) error {
 			ja.Edges = append(ja.Edges, [2]string{from, app.Proc(s).Name})
 		}
 	}
+	if app.HasPlatform() && !app.Platform().IsCanonical() {
+		plat := app.Platform()
+		for c := 0; c < plat.NCores(); c++ {
+			cc := plat.Core(model.CoreID(c))
+			ja.Platform = append(ja.Platform, jsonCore{
+				Name: cc.Name, Speed: cc.Speed,
+				PowerActive: cc.PowerActive, PowerIdle: cc.PowerIdle,
+			})
+		}
+		for id := 0; id < app.N(); id++ {
+			pid := model.ProcessID(id)
+			ja.Mapping = append(ja.Mapping, jsonMapping{
+				Proc:     app.Proc(pid).Name,
+				Core:     plat.Core(app.CoreOf(pid)).Name,
+				Recovery: plat.Core(app.RecoveryCoreOf(pid)).Name,
+			})
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(ja)
+}
+
+// decodePlatform validates and builds the platform of a decoded
+// application; malformed speed/power values yield a *DecodeError naming
+// the core and field.
+func decodePlatform(cores []jsonCore) (*model.Platform, error) {
+	built := make([]model.Core, len(cores))
+	for i, jc := range cores {
+		path := fmt.Sprintf("platform[%d]", i)
+		if jc.Name == "" {
+			return nil, &DecodeError{Path: path + ".name", Msg: "core name must be non-empty"}
+		}
+		if err := checkDecodedSpeed(path+".speed", jc.Speed); err != nil {
+			return nil, err
+		}
+		if err := checkDecodedPower(path+".powerActive", jc.PowerActive); err != nil {
+			return nil, err
+		}
+		if err := checkDecodedPower(path+".powerIdle", jc.PowerIdle); err != nil {
+			return nil, err
+		}
+		built[i] = model.Core{Name: jc.Name, Speed: jc.Speed, PowerActive: jc.PowerActive, PowerIdle: jc.PowerIdle}
+	}
+	plat, err := model.NewPlatform(built...)
+	if err != nil {
+		return nil, &DecodeError{Path: "platform", Err: err}
+	}
+	return plat, nil
+}
+
+// applyPlatform attaches a decoded platform and mapping to a validated
+// application. A missing mapping defaults to the deterministic
+// model.BiasedMapping.
+func applyPlatform(app *model.Application, cores []jsonCore, mapping []jsonMapping) (*model.Application, error) {
+	if len(cores) == 0 {
+		if len(mapping) > 0 {
+			return nil, &DecodeError{Path: "mapping", Msg: "mapping requires a platform"}
+		}
+		return app, nil
+	}
+	plat, err := decodePlatform(cores)
+	if err != nil {
+		return nil, err
+	}
+	coreIDs := make(map[string]model.CoreID, plat.NCores())
+	for c := 0; c < plat.NCores(); c++ {
+		coreIDs[plat.Core(model.CoreID(c)).Name] = model.CoreID(c)
+	}
+	m := model.BiasedMapping(app, plat)
+	for i, jm := range mapping {
+		path := fmt.Sprintf("mapping[%d]", i)
+		pid := app.IDByName(jm.Proc)
+		if pid == model.NoProcess {
+			return nil, &DecodeError{Path: path + ".proc", Msg: fmt.Sprintf("unknown process %q", jm.Proc)}
+		}
+		pc, ok := coreIDs[jm.Core]
+		if !ok {
+			return nil, &DecodeError{Path: path + ".core", Msg: fmt.Sprintf("unknown core %q", jm.Core)}
+		}
+		rc, ok := coreIDs[jm.Recovery]
+		if !ok {
+			return nil, &DecodeError{Path: path + ".recovery", Msg: fmt.Sprintf("unknown core %q", jm.Recovery)}
+		}
+		m.Primary[pid] = pc
+		m.Recovery[pid] = rc
+	}
+	mapped, err := app.WithPlatform(plat, m)
+	if err != nil {
+		return nil, &DecodeError{Path: "mapping", Err: err}
+	}
+	return mapped, nil
 }
 
 // DecodeApplication reads a JSON application and validates it.
@@ -167,5 +275,5 @@ func DecodeApplication(r io.Reader) (*model.Application, error) {
 	if err := app.Validate(); err != nil {
 		return nil, fmt.Errorf("appio: %w", err)
 	}
-	return app, nil
+	return applyPlatform(app, ja.Platform, ja.Mapping)
 }

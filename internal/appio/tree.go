@@ -17,10 +17,13 @@ import (
 // application and the caller should run core.VerifyTree afterwards for the
 // full safety audit (the ftsched CLI does).
 //
-// Two formats exist: the original self-describing JSON (EncodeTree, kept
-// byte-for-byte stable for existing files) and the compact v2 encoding in
-// compact.go, which mirrors the in-memory arena. DecodeTree detects the
-// format from the leading "format" field.
+// Three formats exist: the original self-describing JSON (EncodeTree, kept
+// byte-for-byte stable for existing files), the compact v2 encoding in
+// compact.go, which mirrors the in-memory arena, and v3 — v2 plus the
+// platform and process→core mapping for heterogeneous deployments.
+// DecodeTree detects the format from the leading "format" field; v1 and v2
+// files bind only to canonically-mapped (single-core) applications, because
+// a tree's guard bounds bake in the platform's scaled timing.
 
 type jsonTree struct {
 	App   string     `json:"app"`
@@ -69,9 +72,14 @@ func kindFromString(s string) (core.ArcKind, error) {
 }
 
 // EncodeTree writes a quasi-static tree as JSON. Process references are by
-// name, so the file pairs with the application's JSON encoding.
+// name, so the file pairs with the application's JSON encoding. The v1
+// format has no platform notion, so trees of non-canonically-mapped
+// applications must use EncodeTreeCompact (which emits v3).
 func EncodeTree(w io.Writer, tree *core.Tree) error {
 	app := tree.App
+	if app.HasPlatform() && !app.Platform().IsCanonical() {
+		return fmt.Errorf("appio: the v1 tree format cannot carry platform %s; use EncodeTreeCompact", app.Platform())
+	}
 	jt := jsonTree{App: app.Name(), K: app.K()}
 	for id := range tree.Nodes {
 		n := &tree.Nodes[id]
@@ -127,7 +135,7 @@ func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
 	switch probe.Format {
 	case "":
 		return decodeTreeV1(data, app)
-	case compactTreeFormat:
+	case compactTreeFormat, compactTreeFormatV3:
 		return decodeTreeCompact(data, app)
 	default:
 		return nil, &DecodeError{Path: "format", Msg: fmt.Sprintf("unsupported tree format %q", probe.Format)}
@@ -161,6 +169,9 @@ func (b *treeBuilder) build(app *model.Application) *core.Tree {
 }
 
 func decodeTreeV1(data []byte, app *model.Application) (*core.Tree, error) {
+	if app.HasPlatform() && !app.Platform().IsCanonical() {
+		return nil, &DecodeError{Msg: fmt.Sprintf("a v1 tree predates the application's platform (%s); re-synthesise for the mapped application", app.Platform())}
+	}
 	var jt jsonTree
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()

@@ -1,0 +1,46 @@
+package certify_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/certify"
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+)
+
+// TestCertifyMappedTree: exhaustive certification runs mapped scenarios
+// through the real dispatcher — a mapped Fig. 8 tree synthesised for the
+// lp/hp platform certifies clean at its fault bound, deterministically for
+// any worker count.
+func TestCertifyMappedTree(t *testing.T) {
+	base := apps.Fig8()
+	plat := model.MustNewPlatform(
+		model.Core{Name: "lp", Speed: 1, PowerActive: 1, PowerIdle: 0.05},
+		model.Core{Name: "hp", Speed: 2, PowerActive: 3, PowerIdle: 0.15},
+	)
+	app, err := base.WithPlatform(plat, model.BiasedMapping(base, plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.FTQS(app, core.FTQSOptions{M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first certify.Report
+	for i, workers := range []int{1, 4} {
+		rep, err := certify.Certify(tree, certify.Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: mapped tree failed certification: %v", workers, err)
+		}
+		if rep.Scenarios == 0 || rep.MaxFaults != base.K() {
+			t.Fatalf("workers=%d: vacuous certification: %+v", workers, rep)
+		}
+		if i == 0 {
+			first = rep
+		} else if !reflect.DeepEqual(rep, first) {
+			t.Fatalf("report differs across worker counts:\n  got  %+v\n  want %+v", rep, first)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package chaos_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/chaos"
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+	"ftsched/internal/runtime"
+)
+
+// TestCampaignMappedDeterministic: chaos campaigns on a mapped
+// heterogeneous tree keep the determinism contract — the same seed yields
+// a bit-identical Report for any worker count.
+func TestCampaignMappedDeterministic(t *testing.T) {
+	base := apps.Fig8()
+	plat := model.MustNewPlatform(
+		model.Core{Name: "lp", Speed: 1, PowerActive: 1, PowerIdle: 0.05},
+		model.Core{Name: "hp", Speed: 2, PowerActive: 3, PowerIdle: 0.15},
+	)
+	app, err := base.WithPlatform(plat, model.BiasedMapping(base, plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtree, err := core.FTQS(app, core.FTQSOptions{M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fullChaos(runtime.PolicyShedSoft, 200)
+
+	var reports []*chaos.Report
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		c, err := chaos.New(mtree, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatalf("mapped campaign reports differ across worker counts: %+v vs %+v",
+			summarize(reports[0]), summarize(reports[1]))
+	}
+	if reports[0].Injected == 0 {
+		t.Fatalf("vacuous mapped campaign: %+v", summarize(reports[0]))
+	}
+}

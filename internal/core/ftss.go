@@ -106,6 +106,21 @@ func newFTSSState(app *model.Application, executed, dropped []bool, start Time, 
 	return st
 }
 
+// aetOn returns the expected execution time of p on its primary core. The
+// utility projections keep a scalar expected-time clock even on mapped
+// platforms — the projection is a ranking heuristic, and the exact mapped
+// timeline is enforced separately by schedule.CheckSchedulable — but the
+// durations feeding the clock are speed-scaled so low-power-core placements
+// are priced honestly. Identity on the canonical platform.
+func (st *ftssState) aetOn(p model.ProcessID) Time {
+	return st.app.Platform().Scale(st.app.CoreOf(p), st.app.Proc(p).AET)
+}
+
+// recAETOn is aetOn for re-executions, scaled on the recovery core.
+func (st *ftssState) recAETOn(p model.ProcessID) Time {
+	return st.app.Platform().Scale(st.app.RecoveryCoreOf(p), st.app.Proc(p).AET)
+}
+
 func (st *ftssState) predsDone(p model.ProcessID) bool {
 	for _, q := range st.app.Preds(p) {
 		if !st.scheduled[q] && !st.dropped[q] {
@@ -281,10 +296,11 @@ func (st *ftssState) softProjection(excluded model.ProcessID) float64 {
 			if p.Release > s {
 				s = p.Release
 			}
-			done := s + p.AET
+			aet := st.aetOn(pid)
+			done := s + aet
 			density := alpha[pid] * app.UtilityOf(pid).Value(done)
-			if p.AET > 0 {
-				density /= float64(p.AET)
+			if aet > 0 {
+				density /= float64(aet)
 			}
 			if best == model.NoProcess || density > bestDensity ||
 				(density == bestDensity && pid < best) {
@@ -453,7 +469,7 @@ func (st *ftssState) stripOneRecovery() bool {
 		if e.Recoveries == 0 || st.app.Proc(e.Proc).Kind != model.Soft {
 			continue
 		}
-		cost := st.app.Proc(e.Proc).WCET + st.app.MuOf(e.Proc)
+		cost := st.app.Platform().Scale(st.app.RecoveryCoreOf(e.Proc), st.app.Proc(e.Proc).WCET) + st.app.MuOf(e.Proc)
 		if best < 0 || cost > bestCost || (cost == bestCost && i > best) {
 			best, bestCost = i, cost
 		}
@@ -535,7 +551,7 @@ func (st *ftssState) bestProcess(sched []model.ProcessID) model.ProcessID {
 		if proc.Release > s {
 			s = proc.Release
 		}
-		done := s + proc.AET
+		done := s + st.aetOn(p)
 		alpha := staleAlpha(st.app, st.dropped)
 		score := alpha[p]*st.app.UtilityOf(p).Value(done) +
 			st.rolloutProjection(done, p)
@@ -587,7 +603,7 @@ func (st *ftssState) place(p model.ProcessID) {
 	if proc.Release > s {
 		s = proc.Release
 	}
-	st.nowE = s + proc.AET
+	st.nowE = s + st.aetOn(p)
 
 	if proc.Kind == model.Soft {
 		st.addRecoverySlack(len(st.entries) - 1)
@@ -624,14 +640,16 @@ func (st *ftssState) addRecoverySlack(idx int) {
 // either way; the recovery additionally costs µ plus another execution).
 func (st *ftssState) recoveryBeneficial(p model.ProcessID, f int) bool {
 	app := st.app
-	proc := app.Proc(p)
 	// Time at which the f-th fault is detected: the process started at
-	// nowE - aet (it was just placed), ran f failed attempts.
-	startP := st.nowE - proc.AET
-	failed := startP + Time(f)*(proc.AET+app.MuOf(p))
+	// nowE - aet (it was just placed), ran its primary attempt plus f-1
+	// re-executions on the recovery core, each followed by the µ overhead.
+	aetP := st.aetOn(p)
+	aetR := st.recAETOn(p)
+	startP := st.nowE - aetP
+	failed := startP + aetP + app.MuOf(p) + Time(f-1)*(aetR+app.MuOf(p))
 	// Option A: re-execute; p completes at failed + aet.
 	withAlpha := staleAlpha(app, st.dropped)
-	doneAt := failed + proc.AET
+	doneAt := failed + aetR
 	utilWith := withAlpha[p]*app.UtilityOf(p).Value(doneAt) + st.tailProjection(doneAt, model.NoProcess)
 	// Option B: abandon p (drop it); the rest starts at failed - µ (no
 	// recovery overhead is paid for a process that is not recovered).

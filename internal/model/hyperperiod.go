@@ -78,6 +78,36 @@ func Merge(name string, k int, mu Time, apps ...*Application) (*Application, err
 	if err := merged.Validate(); err != nil {
 		return nil, err
 	}
+	// Carry a shared platform (and the per-instance mappings) through the
+	// merge. Mixing applications mapped to different platforms has no
+	// defined semantics.
+	var plat *Platform
+	for _, g := range apps {
+		if !g.HasPlatform() {
+			continue
+		}
+		if plat == nil {
+			plat = g.platform
+		} else if !plat.Equal(g.platform) {
+			return nil, fmt.Errorf("model: Merge requires a common platform (%q differs)", g.name)
+		}
+	}
+	if plat != nil {
+		m := Mapping{
+			Primary:  make([]CoreID, 0, merged.N()),
+			Recovery: make([]CoreID, 0, merged.N()),
+		}
+		for _, g := range apps {
+			reps := int(hyper / g.period)
+			for j := 0; j < reps; j++ {
+				for i := 0; i < g.N(); i++ {
+					m.Primary = append(m.Primary, g.CoreOf(ProcessID(i)))
+					m.Recovery = append(m.Recovery, g.RecoveryCoreOf(ProcessID(i)))
+				}
+			}
+		}
+		return merged.WithPlatform(plat, m)
+	}
 	return merged, nil
 }
 

@@ -98,10 +98,20 @@ type Application struct {
 	succ  [][]ProcessID
 	pred  [][]ProcessID
 
+	// platform and the mapping slices are nil for the canonical
+	// single-core model; see WithPlatform.
+	platform *Platform
+	primCore []CoreID
+	recCore  []CoreID
+
 	validated bool
 	topo      []ProcessID
 	rank      []int // rank[id] = position of id in topo order
 }
+
+// canonicalPlatform backs Platform() for applications without an explicit
+// platform, so callers never see nil.
+var canonicalPlatform = SingleCore()
 
 // NewApplication creates an empty application.
 //
@@ -442,6 +452,7 @@ func (a *Application) StaleCoefficients(status []utility.StaleStatus) ([]float64
 // WithFaults returns a copy of the (validated) application with a different
 // fault bound k and default recovery overhead µ. Baseline schedulers use it
 // to synthesise non-fault-tolerant schedules (k = 0) for the same workload.
+// The platform and mapping, if any, carry over unchanged.
 func (a *Application) WithFaults(k int, mu Time) (*Application, error) {
 	a.mustBeValidated()
 	cp := NewApplication(a.name, a.period, k, mu)
@@ -458,6 +469,91 @@ func (a *Application) WithFaults(k int, mu Time) (*Application, error) {
 	if err := cp.Validate(); err != nil {
 		return nil, err
 	}
+	cp.platform = a.platform
+	cp.primCore = a.primCore
+	cp.recCore = a.recCore
+	return cp, nil
+}
+
+// Platform returns the platform the application is mapped to. Applications
+// built without WithPlatform report the canonical single-core platform.
+func (a *Application) Platform() *Platform {
+	if a.platform == nil {
+		return canonicalPlatform
+	}
+	return a.platform
+}
+
+// HasPlatform reports whether an explicit platform was attached via
+// WithPlatform. Serialisation uses it to keep canonical single-core
+// applications byte-identical to the pre-platform format.
+func (a *Application) HasPlatform() bool { return a.platform != nil }
+
+// CoreOf returns the primary core of a process: the core its first
+// execution attempt runs on. Core 0 without an explicit mapping.
+func (a *Application) CoreOf(id ProcessID) CoreID {
+	if a.primCore == nil {
+		return 0
+	}
+	if err := a.checkID(id); err != nil {
+		panic(err)
+	}
+	return a.primCore[id]
+}
+
+// RecoveryCoreOf returns the core re-executions of a process run on after
+// a fault. Core 0 without an explicit mapping.
+func (a *Application) RecoveryCoreOf(id ProcessID) CoreID {
+	if a.recCore == nil {
+		return 0
+	}
+	if err := a.checkID(id); err != nil {
+		panic(err)
+	}
+	return a.recCore[id]
+}
+
+// ProcMapping returns a copy of the process→core mapping (for
+// serialisation). Without an explicit mapping every assignment is core 0.
+func (a *Application) ProcMapping() Mapping {
+	n := len(a.procs)
+	m := Mapping{Primary: make([]CoreID, n), Recovery: make([]CoreID, n)}
+	copy(m.Primary, a.primCore)
+	copy(m.Recovery, a.recCore)
+	return m
+}
+
+// WithPlatform returns a copy of the (validated) application mapped onto
+// the given platform. The mapping must assign every process a primary and
+// a recovery core within the platform's core range; BiasedMapping builds
+// the canonical one.
+func (a *Application) WithPlatform(p *Platform, m Mapping) (*Application, error) {
+	a.mustBeValidated()
+	if p == nil {
+		return nil, errors.New("model: WithPlatform needs a platform")
+	}
+	n := len(a.procs)
+	if len(m.Primary) != n || len(m.Recovery) != n {
+		return nil, fmt.Errorf("model: mapping covers %d/%d primaries and %d/%d recoveries",
+			len(m.Primary), n, len(m.Recovery), n)
+	}
+	for id := 0; id < n; id++ {
+		if c := m.Primary[id]; c < 0 || int(c) >= p.NCores() {
+			return nil, fmt.Errorf("model: %s: primary core %d out of range [0,%d)",
+				a.procs[id].Name, c, p.NCores())
+		}
+		if c := m.Recovery[id]; c < 0 || int(c) >= p.NCores() {
+			return nil, fmt.Errorf("model: %s: recovery core %d out of range [0,%d)",
+				a.procs[id].Name, c, p.NCores())
+		}
+	}
+	cp, err := a.WithFaults(a.k, a.mu)
+	if err != nil {
+		return nil, err
+	}
+	cp.platform = p
+	cp.primCore = append([]CoreID(nil), m.Primary...)
+	cp.recCore = append([]CoreID(nil), m.Recovery...)
 	return cp, nil
 }
 

@@ -92,6 +92,10 @@ const (
 	ChaosCycles
 	ChaosInjections
 
+	// DispatchEnergy accumulates the total platform energy (active + idle,
+	// rounded to integer energy units) consumed across dispatched cycles.
+	DispatchEnergy
+
 	numCounters
 )
 
@@ -130,6 +134,7 @@ var counterNames = [numCounters]string{
 	EnvelopeBudgetExhausted: "ftsched_envelope_budget_exhausted_total",
 	ChaosCycles:             "ftsched_chaos_cycles_total",
 	ChaosInjections:         "ftsched_chaos_injections_total",
+	DispatchEnergy:          "ftsched_dispatch_energy_total",
 }
 
 var counterHelp = [numCounters]string{
@@ -162,6 +167,7 @@ var counterHelp = [numCounters]string{
 	EnvelopeBudgetExhausted: "Processes abandoned after exhausting their recovery budget (BudgetExhausted violation events).",
 	ChaosCycles:             "Operation cycles executed by chaos campaigns.",
 	ChaosInjections:         "Chaos-campaign cycles perturbed out of the fault model.",
+	DispatchEnergy:          "Total platform energy (active + idle, rounded) consumed across dispatched cycles.",
 }
 
 // Name returns the stable metric name of the counter ("" for an
@@ -196,6 +202,9 @@ const (
 	// EnvelopeOverrunMagnitude is the amount by which an execution
 	// exceeded its process WCET — the distribution of overrun severity.
 	EnvelopeOverrunMagnitude
+	// DispatchCycleEnergy is the total platform energy (active + idle,
+	// rounded to integer energy units) of one dispatched cycle.
+	DispatchCycleEnergy
 
 	numHistograms
 )
@@ -211,6 +220,7 @@ var histogramNames = [numHistograms]string{
 	CertifyWorstSlack:  "ftsched_certify_worst_slack",
 
 	EnvelopeOverrunMagnitude: "ftsched_envelope_overrun_magnitude",
+	DispatchCycleEnergy:      "ftsched_dispatch_cycle_energy",
 }
 
 var histogramHelp = [numHistograms]string{
@@ -221,6 +231,7 @@ var histogramHelp = [numHistograms]string{
 	CertifyWorstSlack:  "Worst hard-deadline slack observed per certified fault pattern.",
 
 	EnvelopeOverrunMagnitude: "Amount by which an execution exceeded its process WCET.",
+	DispatchCycleEnergy:      "Total platform energy (active + idle, rounded) per dispatched cycle.",
 }
 
 // Name returns the stable metric name of the histogram ("" for an

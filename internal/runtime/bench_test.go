@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ftsched/internal/apps"
+	"ftsched/internal/model"
 	"ftsched/internal/obs"
 	"ftsched/internal/runtime"
 	"ftsched/internal/sim"
@@ -121,6 +122,68 @@ func BenchmarkMonteCarlo(b *testing.B) {
 // records it next to the pre-engine per-scenario baseline.
 func BenchmarkMonteCarloBatch(b *testing.B) {
 	app := apps.CruiseController()
+	tree := synthesize(b, app, 20)
+	d := runtime.MustNewDispatcher(tree)
+	const scenarios = 2000
+	workerCounts := []int{1}
+	if n := goruntime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := sim.MCConfig{Scenarios: scenarios, Faults: 2, Seed: 1, Workers: workers, Dispatcher: d}
+			if _, err := sim.MonteCarlo(tree, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.MonteCarlo(tree, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(scenarios)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
+		})
+	}
+}
+
+// BenchmarkDispatchMapped is BenchmarkDispatch on the same cruise
+// controller tree synthesised for the heterogeneous lp/hp platform with
+// the biased mapping: per-core ready times, cross-core precedence and the
+// per-core energy fold are all on the hot path. The delta against
+// BenchmarkDispatch is the whole cost of the platform generalisation;
+// the `dispatch_mapped` block of BENCH_dispatch.json records it.
+func BenchmarkDispatchMapped(b *testing.B) {
+	base := apps.CruiseController()
+	plat := lpHP(b)
+	app, err := base.WithPlatform(plat, model.BiasedMapping(base, plat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := synthesize(b, app, 20)
+	d := runtime.MustNewDispatcher(tree)
+	rng := rand.New(rand.NewSource(1))
+	sc := sim.MustSample(app, rng, 2, nil)
+	var res runtime.Result
+	d.RunInto(&res, sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.RunInto(&res, sc)
+	}
+}
+
+// BenchmarkMonteCarloHetero is BenchmarkMonteCarloBatch on the mapped
+// heterogeneous tree — the end-to-end cost of a Monte-Carlo evaluation
+// when every scenario runs the two-core timeline and the energy
+// accounting.
+func BenchmarkMonteCarloHetero(b *testing.B) {
+	base := apps.CruiseController()
+	plat := lpHP(b)
+	app, err := base.WithPlatform(plat, model.BiasedMapping(base, plat))
+	if err != nil {
+		b.Fatal(err)
+	}
 	tree := synthesize(b, app, 20)
 	d := runtime.MustNewDispatcher(tree)
 	const scenarios = 2000

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"ftsched/internal/core"
@@ -44,6 +45,10 @@ type cycleBufs struct {
 	faultsLeft []int
 	status     []utility.StaleStatus
 	alpha      []float64
+	// ready[c] is core c's next free time; busy[c] accumulates its active
+	// time (attempts plus recovery overheads). Sized to the platform's
+	// core count; the single-core fast path uses busy[0] only.
+	ready, busy []model.Time
 	// depthCounts[d] counts guard lookups that binary-searched d steps
 	// this cycle; batched here and flushed with ObserveN once per cycle so
 	// instrumentation costs O(distinct depths), not O(lookups), in atomic
@@ -96,7 +101,31 @@ type Dispatcher struct {
 	emergency *core.EmergencyPlan
 	k         int
 
+	// Platform caches. multi is false on a single-core speed-1 platform,
+	// and the hot loop then never touches the per-core state: the scalar
+	// clock of the paper's model is the fast path. primCore/recCore map
+	// each process to the core of its first attempt / its re-executions;
+	// speed, powerA and powerI mirror the platform's core parameters.
+	multi    bool
+	ncores   int
+	primCore []int32
+	recCore  []int32
+	speed    []float64
+	powerA   []float64
+	powerI   []float64
+	period   model.Time
+
 	bufs sync.Pool
+}
+
+// scaleOn converts a nominal duration to wall-clock time on one core,
+// matching model.Platform.Scale exactly (identity at speed 1).
+func (d *Dispatcher) scaleOn(c int32, t model.Time) model.Time {
+	s := d.speed[c]
+	if s == 1 || t <= 0 {
+		return t
+	}
+	return model.Time(math.Ceil(float64(t) / s))
 }
 
 // Option configures a Dispatcher at construction.
@@ -170,11 +199,33 @@ func NewDispatcher(tree *core.Tree, opts ...Option) (*Dispatcher, error) {
 		}
 		d.preds[id] = row
 	}
+	plat := app.Platform()
+	d.ncores = plat.NCores()
+	d.multi = !plat.IsDefault()
+	d.period = app.Period()
+	d.primCore = make([]int32, n)
+	d.recCore = make([]int32, n)
+	for id := 0; id < n; id++ {
+		d.primCore[id] = int32(app.CoreOf(model.ProcessID(id)))
+		d.recCore[id] = int32(app.RecoveryCoreOf(model.ProcessID(id)))
+	}
+	d.speed = make([]float64, d.ncores)
+	d.powerA = make([]float64, d.ncores)
+	d.powerI = make([]float64, d.ncores)
+	for c := 0; c < d.ncores; c++ {
+		cc := plat.Core(model.CoreID(c))
+		d.speed[c] = cc.Speed
+		d.powerA[c] = cc.PowerActive
+		d.powerI[c] = cc.PowerIdle
+	}
+	ncores := d.ncores
 	d.bufs.New = func() any {
 		return &cycleBufs{
 			faultsLeft: make([]int, n),
 			status:     make([]utility.StaleStatus, n),
 			alpha:      make([]float64, n),
+			ready:      make([]model.Time, ncores),
+			busy:       make([]model.Time, ncores),
 		}
 	}
 	d.compile()
@@ -450,6 +501,17 @@ func resizeTime(s []model.Time, n int) []model.Time {
 	return s
 }
 
+func resizeFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // run is the interpreter: entries of the active schedule run in order;
 // faults trigger in-slack re-execution (or run-time dropping for soft
 // processes out of recovery budget); after every entry the compiled guard
@@ -479,6 +541,22 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 	faultsLeft := bufs.faultsLeft
 	copy(faultsLeft, sc.FaultsAt)
 
+	// Per-core timelines. On the canonical single-core platform only
+	// busy[0] is touched (energy accounting); the scalar clock below is
+	// the paper's sequential model, byte-identical to the pre-platform
+	// dispatcher.
+	multi := d.multi
+	ready := bufs.ready
+	busy := bufs.busy
+	if multi {
+		for c := range ready {
+			ready[c] = 0
+			busy[c] = 0
+		}
+	} else {
+		busy[0] = 0
+	}
+
 	// One branch decides the whole cycle's instrumentation: with no sink,
 	// stats stays nil and the hot path below never touches it.
 	sink := d.sink
@@ -501,9 +579,28 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 	for pos := 0; pos < len(entries); pos++ {
 		e := entries[pos]
 		p := &d.procs[e.Proc]
-		start := now
-		if p.Release > start {
-			start = p.Release
+		var start model.Time
+		var pc int32
+		if multi {
+			// Mapped start: the primary core's ready time, the release,
+			// and cross-core precedence — completed predecessors may have
+			// finished later on another core. Abandoned or dropped
+			// predecessors impose nothing (stale value).
+			pc = d.primCore[e.Proc]
+			start = ready[pc]
+			if p.Release > start {
+				start = p.Release
+			}
+			for _, q := range d.preds[e.Proc] {
+				if res.Outcomes[q] == Completed && res.CompletionTimes[q] > start {
+					start = res.CompletionTimes[q]
+				}
+			}
+		} else {
+			start = now
+			if p.Release > start {
+				start = p.Release
+			}
 		}
 
 		// The sampled duration is a property of the cycle (re-executions
@@ -544,11 +641,20 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 		completed := false
 		budgetOut := false
 		t := start
+		ac := pc // core of the current attempt (multi only)
 		for attempt := 0; ; attempt++ {
 			if events != nil {
 				*events = append(*events, TraceEvent{Kind: TraceStart, At: t, Proc: e.Proc, Attempt: attempt})
 			}
-			t += dur
+			if multi {
+				sd := d.scaleOn(ac, dur)
+				t += sd
+				busy[ac] += sd
+				ready[ac] = t
+			} else {
+				t += dur
+				busy[0] += dur
+			}
 			res.OverrunTotal += excess
 			if faultsLeft[e.Proc] > 0 {
 				// This attempt is hit by a transient fault,
@@ -582,6 +688,19 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 					}
 					t += app.MuOf(e.Proc)
 					res.Recoveries++
+					if multi {
+						// The restart overhead runs on the recovery core;
+						// the re-execution additionally waits for that
+						// core to come free.
+						rc := d.recCore[e.Proc]
+						busy[rc] += app.MuOf(e.Proc)
+						if ready[rc] > t {
+							t = ready[rc]
+						}
+						ac = rc
+					} else {
+						busy[0] += app.MuOf(e.Proc)
+					}
 					continue
 				}
 				// Recovery budget exhausted: abandon.
@@ -628,7 +747,12 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 				res.HardViolations = append(res.HardViolations, e.Proc)
 			}
 		}
-		res.Makespan = now
+		if now > res.Makespan {
+			// Running maximum: on a single core now is monotone so this
+			// equals the plain assignment; on a mapped platform a later
+			// entry can finish earlier on another core.
+			res.Makespan = now
+		}
 
 		if shedding && !onEmergency {
 			// First out-of-model event under PolicyShedSoft: drop every
@@ -664,6 +788,24 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 			// suffix, not the tree node's schedule, and the guards price
 			// soft utility that was just shed.
 			continue
+		}
+		if multi {
+			// A guard switch is taken only when every core has caught up
+			// to the decision time: switch points are synchronisation
+			// points, so the child schedule's verified start state (all
+			// cores free at the guard time) soundly over-approximates the
+			// actual state. Staying on the current node is always
+			// deadline-safe. Trivially true on a single core.
+			synced := true
+			for c := 0; c < d.ncores; c++ {
+				if ready[c] > now {
+					synced = false
+					break
+				}
+			}
+			if !synced {
+				continue
+			}
 		}
 
 		next := d.next(node, pos, now, outcome, stats)
@@ -714,8 +856,35 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 
 	res.Utility = d.totalUtility(res.Outcomes, res.CompletionTimes, bufs)
 
+	// Energy accounting: active energy is per-core busy time × active
+	// power; idle energy is the remainder of the operation cycle × idle
+	// power (clamped at zero for out-of-model cycles that overran the
+	// period). On the canonical platform (power 1/0) Energy equals the
+	// core's busy time.
+	res.CoreBusy = resizeTime(res.CoreBusy, d.ncores)
+	res.CoreEnergy = resizeFloat(res.CoreEnergy, d.ncores)
+	var eact, eidl float64
+	for c := 0; c < d.ncores; c++ {
+		b := busy[c]
+		idle := d.period - b
+		if idle < 0 {
+			idle = 0
+		}
+		ea := float64(b) * d.powerA[c]
+		ei := float64(idle) * d.powerI[c]
+		res.CoreBusy[c] = b
+		res.CoreEnergy[c] = ea + ei
+		eact += ea
+		eidl += ei
+	}
+	res.EnergyActive = eact
+	res.EnergyIdle = eidl
+	res.Energy = eact + eidl
+
 	if sink != nil {
 		sink.Add(obs.DispatchCycles, 1)
+		sink.Add(obs.DispatchEnergy, int64(res.Energy))
+		sink.Observe(obs.DispatchCycleEnergy, int64(res.Energy))
 		sink.Add(obs.DispatchSwitches, int64(res.Switches))
 		sink.Add(obs.DispatchFaultsAbsorbed, int64(res.Recoveries))
 		sink.Add(obs.DispatchFaultsAbandoned, abandoned)

@@ -121,6 +121,19 @@ type Result struct {
 	// WCETOverrun event, whose magnitude is the per-attempt excess.
 	// Always zero with Clamp (truncated attempts stay in-model).
 	OverrunTotal model.Time
+	// Energy is the platform energy consumed by the cycle: active energy
+	// (per-core busy time × active power) plus idle energy (per-core idle
+	// time within the period × idle power). On the canonical single-core
+	// platform (speed 1, active power 1, idle power 0) Energy equals the
+	// core's busy time. EnergyActive and EnergyIdle are the two summands.
+	Energy, EnergyActive, EnergyIdle float64
+	// CoreBusy[c] is the wall-clock time core c spent executing (attempts
+	// plus recovery overheads) during the cycle. The slice is reused
+	// across RunInto calls — copy it to keep it.
+	CoreBusy []model.Time
+	// CoreEnergy[c] is the per-core energy (active + idle) of the cycle.
+	// The slice is reused across RunInto calls — copy it to keep it.
+	CoreEnergy []float64
 }
 
 // TotalUtility applies the stale-value model to realised outcomes:

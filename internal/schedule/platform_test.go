@@ -1,0 +1,146 @@
+package schedule
+
+import (
+	"testing"
+
+	"ftsched/internal/model"
+)
+
+// twoCoreApp builds a three-process application on the lp/hp platform with
+// an explicit mapping: A and C on the unit-speed low-power core, B on the
+// 2x high-performance core, all re-executions on the HP core.
+//
+//	A: WCET 40   B: WCET 60 (→ 30 on hp)   C: WCET 50
+//
+// withEdge additionally adds the cross-core precedence A → B.
+func twoCoreApp(t *testing.T, withEdge bool) (*model.Application, [3]model.ProcessID) {
+	t.Helper()
+	a := model.NewApplication("twocore", 1000, 1, 10)
+	pa := a.AddProcess(model.Process{Name: "A", Kind: model.Hard, BCET: 40, AET: 40, WCET: 40, Deadline: 900})
+	pb := a.AddProcess(model.Process{Name: "B", Kind: model.Hard, BCET: 60, AET: 60, WCET: 60, Deadline: 900})
+	pc := a.AddProcess(model.Process{Name: "C", Kind: model.Hard, BCET: 50, AET: 50, WCET: 50, Deadline: 900})
+	if withEdge {
+		a.MustAddEdge(pa, pb)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plat := model.MustNewPlatform(
+		model.Core{Name: "lp", Speed: 1, PowerActive: 1, PowerIdle: 0.05},
+		model.Core{Name: "hp", Speed: 2, PowerActive: 3, PowerIdle: 0.15},
+	)
+	mapped, err := a.WithPlatform(plat, model.Mapping{
+		Primary:  []model.CoreID{0, 1, 0},
+		Recovery: []model.CoreID{1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mapped, [3]model.ProcessID{pa, pb, pc}
+}
+
+// TestTwoCoreTimeline: hand-computed no-fault timeline with A and B in
+// parallel on different cores. B's finish (30) precedes A's (40), so the
+// single-core monotone-finish assumption does not hold — the analysis must
+// anchor on the prefix makespan.
+func TestTwoCoreTimeline(t *testing.T) {
+	app, p := twoCoreApp(t, false)
+	entries := []Entry{{Proc: p[0], Recoveries: 1}, {Proc: p[1], Recoveries: 1}, {Proc: p[2], Recoveries: 1}}
+	c := WorstCaseCompletions(app, entries, 0, 1)
+
+	// A on lp: [0, 40]. B on hp: [0, 30] (60 scaled by speed 2).
+	// C on lp behind A: [40, 90].
+	wantStart := []Time{0, 0, 40}
+	wantFinish := []Time{40, 30, 90}
+	for i := range entries {
+		if c.Start[i] != wantStart[i] || c.Finish[i] != wantFinish[i] {
+			t.Errorf("entry %d: start/finish = %d/%d, want %d/%d",
+				i, c.Start[i], c.Finish[i], wantStart[i], wantFinish[i])
+		}
+	}
+
+	// Recovery items (all on hp): A = 40/2 + µ = 30, B = 60/2 + µ = 40,
+	// C = 50/2 + µ = 35. One fault, anchored on the prefix makespan:
+	//   wc[0] = 40 + 30            = 70
+	//   wc[1] = max(40,30) + max(30,40)     = 80
+	//   wc[2] = 90 + max(30,40,35) = 130
+	wantWC := []Time{70, 80, 130}
+	for i := range entries {
+		if c.WorstCase[i] != wantWC[i] {
+			t.Errorf("entry %d: worst case = %d, want %d", i, c.WorstCase[i], wantWC[i])
+		}
+	}
+}
+
+// TestTwoCoreCrossCorePrecedence: with A → B the HP core waits for A's
+// cross-core finish, and the worst case rides the recovery on the HP core.
+func TestTwoCoreCrossCorePrecedence(t *testing.T) {
+	app, p := twoCoreApp(t, true)
+	entries := []Entry{{Proc: p[0], Recoveries: 1}, {Proc: p[1], Recoveries: 1}, {Proc: p[2], Recoveries: 1}}
+	c := WorstCaseCompletions(app, entries, 0, 1)
+
+	// A on lp: [0, 40]. B on hp waits for A: [40, 70]. C on lp: [40, 90].
+	wantStart := []Time{0, 40, 40}
+	wantFinish := []Time{40, 70, 90}
+	for i := range entries {
+		if c.Start[i] != wantStart[i] || c.Finish[i] != wantFinish[i] {
+			t.Errorf("entry %d: start/finish = %d/%d, want %d/%d",
+				i, c.Start[i], c.Finish[i], wantStart[i], wantFinish[i])
+		}
+	}
+	// wc[0] = 40 + 30; wc[1] = 70 + max(30,40); wc[2] = 90 + max(30,40,35).
+	wantWC := []Time{70, 110, 130}
+	for i := range entries {
+		if c.WorstCase[i] != wantWC[i] {
+			t.Errorf("entry %d: worst case = %d, want %d", i, c.WorstCase[i], wantWC[i])
+		}
+	}
+	if err := CheckSchedulable(app, entries, 0, 1); err != nil {
+		t.Errorf("hand-verified schedule rejected: %v", err)
+	}
+}
+
+// TestTwoCoreRelease: a release beyond the core-ready time defers the
+// mapped start exactly as on the single core.
+func TestTwoCoreRelease(t *testing.T) {
+	a := model.NewApplication("rel2", 1000, 0, 10)
+	pa := a.AddProcess(model.Process{Name: "A", Kind: model.Hard, BCET: 40, AET: 40, WCET: 40, Deadline: 900})
+	pc := a.AddProcess(model.Process{Name: "C", Kind: model.Hard, BCET: 50, AET: 50, WCET: 50, Deadline: 900, Release: 100})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plat := model.MustNewPlatform(
+		model.Core{Name: "lp", Speed: 1, PowerActive: 1, PowerIdle: 0},
+		model.Core{Name: "hp", Speed: 2, PowerActive: 3, PowerIdle: 0},
+	)
+	app, err := a.WithPlatform(plat, model.Mapping{
+		Primary:  []model.CoreID{0, 0},
+		Recovery: []model.CoreID{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []Entry{{Proc: pa}, {Proc: pc}}
+	c := WorstCaseCompletions(app, entries, 0, 0)
+	if c.Start[1] != 100 || c.Finish[1] != 150 {
+		t.Errorf("released entry start/finish = %d/%d, want 100/150", c.Start[1], c.Finish[1])
+	}
+}
+
+// TestMappedMatchesSingleCoreOnDefaultPlatform: the unified prefix-makespan
+// analysis must reduce exactly to the pre-platform formula when the
+// application has no explicit platform — cross-checked on the paper's
+// Fig. 1 schedule.
+func TestMappedMatchesSingleCoreOnDefaultPlatform(t *testing.T) {
+	app, p := fig1(t)
+	entries := []Entry{{Proc: p[0], Recoveries: 1}, {Proc: p[2]}, {Proc: p[1], Recoveries: 1}}
+	c := WorstCaseCompletions(app, entries, 0, 1)
+	// P1: [0,70]; P3: [70,150]; P2: [150,220]. Recovery items P1 = 80,
+	// P2 = 80; one fault: wc = finish + 80 everywhere.
+	wantWC := []Time{150, 230, 300}
+	for i := range entries {
+		if c.WorstCase[i] != wantWC[i] {
+			t.Errorf("entry %d: worst case = %d, want %d", i, c.WorstCase[i], wantWC[i])
+		}
+	}
+}

@@ -201,19 +201,57 @@ type Completions struct {
 
 type timeOf func(model.Process) Time
 
+// sequential simulates the no-fault timeline of a list schedule. On the
+// canonical single-core platform it is the paper's sequential model; on a
+// mapped platform each entry starts at the max of its primary core's ready
+// time, its release, and the finishes of its already-scheduled
+// predecessors (cross-core precedence), and runs for its speed-scaled
+// duration.
 func sequential(app *model.Application, entries []Entry, start Time, f timeOf) ([]Time, []Time) {
 	starts := make([]Time, len(entries))
 	finishes := make([]Time, len(entries))
-	now := start
+	plat := app.Platform()
+	if plat.IsDefault() {
+		// Exact pre-platform fast path: one core at speed 1. Precedence
+		// needs no explicit check — predecessors appear earlier in the
+		// list and finishes are monotone.
+		now := start
+		for i, e := range entries {
+			p := app.Proc(e.Proc)
+			s := now
+			if p.Release > s {
+				s = p.Release
+			}
+			starts[i] = s
+			now = s + f(p)
+			finishes[i] = now
+		}
+		return starts, finishes
+	}
+	ready := make([]Time, plat.NCores())
+	for c := range ready {
+		ready[c] = start
+	}
+	done := make([]Time, app.N())
+	seen := make([]bool, app.N())
 	for i, e := range entries {
 		p := app.Proc(e.Proc)
-		s := now
+		pc := app.CoreOf(e.Proc)
+		s := ready[pc]
 		if p.Release > s {
 			s = p.Release
 		}
+		for _, q := range app.Preds(e.Proc) {
+			if seen[q] && done[q] > s {
+				s = done[q]
+			}
+		}
 		starts[i] = s
-		now = s + f(p)
-		finishes[i] = now
+		fin := s + plat.Scale(pc, f(p))
+		ready[pc] = fin
+		done[e.Proc] = fin
+		seen[e.Proc] = true
+		finishes[i] = fin
 	}
 	return starts, finishes
 }
@@ -226,19 +264,36 @@ func sequential(app *model.Application, entries []Entry, start Time, f timeOf) (
 // When releases introduce idle gaps, a recovery can partly overlap a gap;
 // this analysis charges the full recovery cost anyway, which is safe
 // (pessimistic) for deadline guarantees.
+//
+// On a mapped platform the anchor for entry i is the no-fault makespan of
+// the prefix 0..i (the running maximum of finishes), not entry i's own
+// finish: a recovery consumed by an earlier entry can execute on another
+// core and push work there past entry i's finish. Every timeline point of
+// the prefix under at most k faults is bounded by that makespan plus the
+// total consumed recovery cost (each recovery adds at most µ plus its
+// re-execution time, scaled on its recovery core, to one core's timeline,
+// and all waiting serialises behind it). On a single core finishes are
+// monotone, so the running maximum IS finishes[i] and the formula reduces
+// exactly to the paper's shared-slack bound.
 func WorstCaseCompletions(app *model.Application, entries []Entry, start Time, k int) Completions {
 	starts, finishes := sequential(app, entries, start, func(p model.Process) Time { return p.WCET })
+	plat := app.Platform()
 	wc := make([]Time, len(entries))
 	items := make([]recoveryItem, 0, len(entries))
+	var makespan Time
 	for i, e := range entries {
 		p := app.Proc(e.Proc)
 		if e.Recoveries > 0 {
-			items = append(items, recoveryItem{cost: p.WCET + app.MuOf(e.Proc), max: e.Recoveries})
+			rc := plat.Scale(app.RecoveryCoreOf(e.Proc), p.WCET) + app.MuOf(e.Proc)
+			items = append(items, recoveryItem{cost: rc, max: e.Recoveries})
+		}
+		if finishes[i] > makespan {
+			makespan = finishes[i]
 		}
 		// worstRecoveryCost sorts in place; pass a copy of the prefix.
 		pref := make([]recoveryItem, len(items))
 		copy(pref, items)
-		wc[i] = finishes[i] + worstRecoveryCost(pref, k)
+		wc[i] = makespan + worstRecoveryCost(pref, k)
 	}
 	return Completions{Start: starts, Finish: finishes, WorstCase: wc}
 }

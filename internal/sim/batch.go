@@ -123,6 +123,11 @@ type blockStats struct {
 	events         int
 	switches       int64
 	recoveries     int64
+	// energy sums (total / active / idle), folded in block order like the
+	// utility sums so the means are bit-identical for any worker count.
+	energy       float64
+	energyActive float64
+	energyIdle   float64
 }
 
 // mcBuckets is the resolution of the streaming utility histogram behind
@@ -374,6 +379,9 @@ func (e *mcBatch) runner(worker int) func(block, lo, hi int) error {
 			bs.events += len(res.Violations)
 			bs.switches += int64(res.Switches)
 			bs.recoveries += int64(res.Recoveries)
+			bs.energy += res.Energy
+			bs.energyActive += res.EnergyActive
+			bs.energyIdle += res.EnergyIdle
 			hist.add(u)
 			if e.sink != nil {
 				e.sink.Observe(obs.MCUtility, int64(math.Round(u)))
@@ -414,6 +422,7 @@ func (e *mcBatch) run(ctx context.Context) (MCStats, error) {
 
 	stats := MCStats{Scenarios: e.cfg.Scenarios}
 	var sum, sumSq float64
+	var energy, energyActive, energyIdle float64
 	var switches, recoveries int64
 	first := true
 	for i := range e.partials {
@@ -423,6 +432,9 @@ func (e *mcBatch) run(ctx context.Context) (MCStats, error) {
 		}
 		sum += p.sum
 		sumSq += p.sumSq
+		energy += p.energy
+		energyActive += p.energyActive
+		energyIdle += p.energyIdle
 		if first || p.min < stats.MinUtility {
 			stats.MinUtility = p.min
 		}
@@ -440,6 +452,9 @@ func (e *mcBatch) run(ctx context.Context) (MCStats, error) {
 	stats.MeanUtility = sum / n
 	stats.MeanSwitches = float64(switches) / n
 	stats.MeanRecoveries = float64(recoveries) / n
+	stats.MeanEnergy = energy / n
+	stats.MeanEnergyActive = energyActive / n
+	stats.MeanEnergyIdle = energyIdle / n
 	if e.cfg.Scenarios > 1 {
 		variance := (sumSq - sum*sum/n) / (n - 1)
 		if variance > 0 {

@@ -115,6 +115,13 @@ type MCStats struct {
 	MeanSwitches float64
 	// MeanRecoveries is the average number of re-executions performed.
 	MeanRecoveries float64
+	// MeanEnergy is the average platform energy consumed per cycle
+	// (active + idle over all cores); MeanEnergyActive and MeanEnergyIdle
+	// are the two summands. On the canonical single-core platform
+	// MeanEnergy equals the mean busy time of the core. Kept as scalars so
+	// MCStats stays comparable; per-core breakdowns come from
+	// runtime.Result.CoreEnergy.
+	MeanEnergy, MeanEnergyActive, MeanEnergyIdle float64
 	// Scenarios echoes the number of scenarios simulated.
 	Scenarios int
 }
