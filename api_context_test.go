@@ -1,0 +1,126 @@
+package ftsched_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// contextPairs are the facade entry points whose canonical form is the
+// context-accepting variant: the plain name must be a thin wrapper that
+// delegates to its Context sibling with context.Background(). The AST
+// check below keeps the pairs in lockstep — a behaviour change that lands
+// in only one of the two forms cannot compile into this shape.
+var contextPairs = map[string]string{
+	"FTQS":       "FTQSContext",
+	"MonteCarlo": "MonteCarloContext",
+	"TrimTree":   "TrimTreeContext",
+	"Certify":    "CertifyContext",
+	"RunChaos":   "RunChaosContext",
+}
+
+// TestContextFacadeLockstep parses ftsched.go and asserts, for every pair,
+// that the plain function's body is exactly
+//
+//	return <Name>Context(context.Background(), <params...>)
+//
+// forwarding its parameters in declaration order, and that the Context
+// sibling's first parameter is context.Context. Logic can then only live
+// in the context-first form.
+func TestContextFacadeLockstep(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ftsched.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := map[string]*ast.FuncDecl{}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+			decls[fd.Name.Name] = fd
+		}
+	}
+
+	for plain, ctxName := range contextPairs {
+		pd, cd := decls[plain], decls[ctxName]
+		if pd == nil || cd == nil {
+			t.Errorf("%s/%s: pair not found in ftsched.go", plain, ctxName)
+			continue
+		}
+
+		// The sibling is context-first.
+		cparams := flattenParams(cd.Type.Params)
+		if len(cparams) == 0 || !isContextContext(cd.Type.Params.List[0].Type) {
+			t.Errorf("%s: first parameter is not context.Context", ctxName)
+		}
+
+		// The plain form is exactly one forwarding return.
+		if len(pd.Body.List) != 1 {
+			t.Errorf("%s: body has %d statements, want a single return of %s",
+				plain, len(pd.Body.List), ctxName)
+			continue
+		}
+		ret, ok := pd.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			t.Errorf("%s: body is not a single-expression return", plain)
+			continue
+		}
+		call, ok := ret.Results[0].(*ast.CallExpr)
+		if !ok {
+			t.Errorf("%s: return value is not a call", plain)
+			continue
+		}
+		if callee, ok := call.Fun.(*ast.Ident); !ok || callee.Name != ctxName {
+			t.Errorf("%s: does not delegate to %s", plain, ctxName)
+			continue
+		}
+		params := flattenParams(pd.Type.Params)
+		if len(call.Args) != len(params)+1 {
+			t.Errorf("%s: forwards %d args to %s, want %d (context + every parameter)",
+				plain, len(call.Args), ctxName, len(params)+1)
+			continue
+		}
+		if !isBackgroundCall(call.Args[0]) {
+			t.Errorf("%s: first argument to %s is not context.Background()", plain, ctxName)
+		}
+		for i, name := range params {
+			arg, ok := call.Args[i+1].(*ast.Ident)
+			if !ok || arg.Name != name {
+				t.Errorf("%s: argument %d to %s is not parameter %q", plain, i+1, ctxName, name)
+			}
+		}
+	}
+}
+
+// flattenParams lists a field list's parameter names in declaration order.
+func flattenParams(fl *ast.FieldList) []string {
+	var names []string
+	for _, field := range fl.List {
+		for _, n := range field.Names {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+func isContextContext(expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context"
+}
+
+func isBackgroundCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Background" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context"
+}

@@ -1,10 +1,14 @@
 package ftsched_test
 
 import (
+	"bufio"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -273,5 +277,124 @@ func TestHeteroCLIEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(uni), `"platform"`) {
 		t.Errorf("-cores 2 application carries no platform:\n%.200s", uni)
+	}
+}
+
+// TestServeCLIEndToEnd runs the README's "Scheduling as a service"
+// walkthrough verbatim (argument for argument; binaries are prebuilt
+// instead of `go run`, and the listen address is an ephemeral port read
+// back from ftserved's startup line instead of the documented 8433, so
+// parallel test runs cannot collide). It asserts the documented
+// contract: the remote FTQS table rows are byte-identical to a local
+// run, ftload records the latency histogram to BENCH_serve.json, and a
+// SIGTERM drain ends with "drained, bye" and exit 0. Skipped with
+// -short.
+func TestServeCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	ftserved := build("ftserved")
+	ftsim := build("ftsim")
+	ftload := build("ftload")
+
+	// go run ./cmd/ftserved -addr 127.0.0.1:8433
+	served := exec.Command(ftserved, "-addr", "127.0.0.1:0")
+	stderr, err := served.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := served.Start(); err != nil {
+		t.Fatalf("starting ftserved: %v", err)
+	}
+	defer served.Process.Kill()
+	rd := bufio.NewReader(stderr)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading ftserved startup line: %v", err)
+	}
+	m := regexp.MustCompile(`on (http://[^/]+)/v1/`).FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("ftserved startup line: %q", line)
+	}
+	base := m[1]
+	drained := make(chan string, 1)
+	go func() {
+		rest, _ := io.ReadAll(rd)
+		drained <- string(rest)
+	}()
+
+	run := func(binary string, args ...string) string {
+		cmd := exec.Command(binary, args...)
+		cmd.Dir = bin
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(binary), args, err, b)
+		}
+		return string(b)
+	}
+
+	// go run ./cmd/ftsim -fixture fig1 -scenarios 2000 -remote <base>
+	remote := run(ftsim, "-fixture", "fig1", "-scenarios", "2000", "-remote", base)
+	for _, want := range []string{"FTQS tree:", "(remote " + base, "baselines (FTSS, FTSF) are local-only", "norm%"} {
+		if !strings.Contains(remote, want) {
+			t.Errorf("remote ftsim output missing %q:\n%s", want, remote)
+		}
+	}
+	// The README promises the remote FTQS rows are byte-identical to a
+	// local run's (default -m matches).
+	local := run(ftsim, "-fixture", "fig1", "-scenarios", "2000")
+	rows := 0
+	tableRow := regexp.MustCompile(`^FTQS\s+\d+\s`)
+	for _, l := range strings.Split(remote, "\n") {
+		if tableRow.MatchString(l) {
+			rows++
+			if !strings.Contains(local, l+"\n") {
+				t.Errorf("remote row not in local output:\n%q\nlocal:\n%s", l, local)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Errorf("no FTQS rows in remote output:\n%s", remote)
+	}
+
+	// go run ./cmd/ftload -addr <base> -devices 200 -requests 10 -batch 32 -out BENCH_serve.json
+	out := run(ftload, "-addr", base, "-devices", "200", "-requests", "10", "-batch", "32", "-out", "BENCH_serve.json")
+	for _, want := range []string{" ok, ", "0 errors", "scenarios/sec", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ftload output missing %q:\n%s", want, out)
+		}
+	}
+	bench, err := os.ReadFile(filepath.Join(bin, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"devices": 200`, `"scenarios_per_sec"`, `"p99"`, `"errors": 0`} {
+		if !strings.Contains(string(bench), want) {
+			t.Errorf("BENCH_serve.json missing %q:\n%s", want, bench)
+		}
+	}
+
+	// SIGTERM drains and exits 0.
+	if err := served.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	tail := <-drained
+	if err := served.Wait(); err != nil {
+		t.Fatalf("ftserved drain exit: %v\nstderr tail:\n%s", err, tail)
+	}
+	for _, want := range []string{"draining", "drained, bye"} {
+		if !strings.Contains(tail, want) {
+			t.Errorf("ftserved drain log missing %q:\n%s", want, tail)
+		}
 	}
 }

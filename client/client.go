@@ -1,0 +1,172 @@
+// Package client is the Go client of the ftserved scheduling service:
+// typed wrappers over the ftsched-api/v1 wire contract (internal/serveapi)
+// used by the command-line tools' remote modes (ftsim -remote, ftload) and
+// available to embedders that talk to a shared ftserved process instead of
+// linking the engines.
+//
+// Every non-2xx response decodes into the typed *serveapi.Error the server
+// guarantees, so callers branch on Kind (rate_limited, overloaded,
+// draining, unknown_tree, ...) exactly like the admission contract
+// documents — transport failures are the only other error class.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ftsched/internal/serveapi"
+)
+
+// Client talks to one ftserved base URL. The zero value is not usable;
+// construct with New. A Client is safe for concurrent use.
+type Client struct {
+	base   string
+	tenant string
+	httpc  *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTenant sets the tenant header sent with every request; unset means
+// the server's default tenant.
+func WithTenant(name string) Option { return func(c *Client) { c.tenant = name } }
+
+// WithHTTPClient replaces the underlying http.Client (timeouts, proxies,
+// connection pools). The default is http.DefaultClient.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// New builds a client for an ftserved base URL such as
+// "http://127.0.0.1:8433".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: base, httpc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// post issues one API call: marshal, send, decode — non-2xx bodies decode
+// into the typed wire error.
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: encoding %s request: %w", path, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.tenant != "" {
+		hreq.Header.Set(serveapi.TenantHeader, c.tenant)
+	}
+	hresp, err := c.httpc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if hresp.StatusCode/100 != 2 {
+		var er serveapi.ErrorResponse
+		if err := json.Unmarshal(data, &er); err != nil || er.Err.Kind == "" {
+			// The typed-error contract says this cannot happen against a
+			// real ftserved; surface whatever intermediary produced it.
+			return fmt.Errorf("client: %s: http %d: %.200s", path, hresp.StatusCode, data)
+		}
+		werr := er.Err
+		return &werr
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Synthesize compiles (or fetches from the server cache) the quasi-static
+// tree for an application.
+func (c *Client) Synthesize(ctx context.Context, req serveapi.SynthesizeRequest) (*serveapi.SynthesizeResponse, error) {
+	req.Format = serveapi.FormatV1
+	var resp serveapi.SynthesizeResponse
+	if err := c.post(ctx, "/v1/synthesize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Eval runs a Monte-Carlo evaluation against a compiled tree.
+func (c *Client) Eval(ctx context.Context, req serveapi.EvalRequest) (*serveapi.EvalResponse, error) {
+	req.Format = serveapi.FormatV1
+	var resp serveapi.EvalResponse
+	if err := c.post(ctx, "/v1/eval", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Certify certifies a compiled tree; a failed certification is a 200 with
+// Certified false and the replayable counterexample, not an error.
+func (c *Client) Certify(ctx context.Context, req serveapi.CertifyRequest) (*serveapi.CertifyResponse, error) {
+	req.Format = serveapi.FormatV1
+	var resp serveapi.CertifyResponse
+	if err := c.post(ctx, "/v1/certify", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Chaos runs a chaos campaign against a compiled tree.
+func (c *Client) Chaos(ctx context.Context, req serveapi.ChaosRequest) (*serveapi.ChaosResponse, error) {
+	req.Format = serveapi.FormatV1
+	var resp serveapi.ChaosResponse
+	if err := c.post(ctx, "/v1/chaos", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Dispatch executes a batch of operation cycles through the compiled
+// dispatcher and returns the positional per-cycle outcomes.
+func (c *Client) Dispatch(ctx context.Context, req serveapi.DispatchRequest) (*serveapi.DispatchResponse, error) {
+	req.Format = serveapi.FormatV1
+	var resp serveapi.DispatchResponse
+	if err := c.post(ctx, "/v1/dispatch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Reload hot-recompiles the tree behind a key and swaps it in atomically.
+func (c *Client) Reload(ctx context.Context, req serveapi.ReloadRequest) (*serveapi.ReloadResponse, error) {
+	req.Format = serveapi.FormatV1
+	var resp serveapi.ReloadResponse
+	if err := c.post(ctx, "/v1/reload", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches the server health summary.
+func (c *Client) Health(ctx context.Context) (*serveapi.HealthResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: healthz: %w", err)
+	}
+	hresp, err := c.httpc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: healthz: %w", err)
+	}
+	defer hresp.Body.Close()
+	var resp serveapi.HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("client: decoding healthz: %w", err)
+	}
+	return &resp, nil
+}

@@ -22,9 +22,22 @@ import (
 	"os"
 	"time"
 
+	"ftsched/internal/cli"
 	"ftsched/internal/experiments"
-	"ftsched/internal/obs"
 )
+
+// shutdownMetrics stops the -metrics-addr server; every exit path goes
+// through exit() so in-flight scrapes are flushed before the process dies.
+var shutdownMetrics func() error
+
+func exit(code int) {
+	if shutdownMetrics != nil {
+		if err := shutdownMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "ftexperiments: metrics shutdown:", err)
+		}
+	}
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -39,15 +52,21 @@ func main() {
 	)
 	flag.Parse()
 
-	var sink obs.Sink
-	if *metricsAddr != "" {
-		collector := obs.NewMetrics()
-		addr, _, err := obs.Serve(*metricsAddr, collector)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", addr)
-		sink = collector
+	metrics, err := cli.ServeMetrics("ftexperiments", *metricsAddr)
+	if err != nil {
+		fatal(err)
+	}
+	shutdownMetrics = metrics.Shutdown
+	sink := metrics.Sink()
+	if metrics != nil {
+		// A signal mid-run flushes the metrics endpoint before exiting, so
+		// the final scrape still observes the completed experiments'
+		// counters instead of racing a torn-down listener.
+		go func() {
+			s := <-cli.NotifySignals()
+			fmt.Fprintf(os.Stderr, "ftexperiments: %v: flushing metrics and exiting\n", s)
+			fatal(fmt.Errorf("interrupted by %v", s))
+		}()
 	}
 
 	runFig9 := func() {
@@ -305,9 +324,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q (want fig9, table1, cc, overhead, optgap, hardratio, ftcost, energy, chaos or all)", *exp))
 	}
+	exit(0)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ftexperiments:", err)
-	os.Exit(1)
+	exit(1)
 }

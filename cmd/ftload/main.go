@@ -1,0 +1,249 @@
+// Command ftload soaks an ftserved process with a fleet of simulated
+// embedded devices and records the latency distribution of the batch
+// dispatch path — the service-layer benchmark behind BENCH_serve.json.
+//
+// Each device is one goroutine with its own deterministic in-model cycle
+// stream (seeded per device, sampled through the same scenario engine the
+// evaluator uses). Devices synthesise the shared tree once, then issue
+// batch dispatch requests back to back; every request's wall-clock
+// latency lands in the histogram, and admission rejections (HTTP 429/503
+// with typed bodies) are counted separately from transport or server
+// errors, so a run against a rate-limited server still reports honest
+// numbers.
+//
+// Usage:
+//
+//	ftload -devices 100 -requests 50 -batch 64 -fixture fig1
+//	ftload -addr http://127.0.0.1:8433 -devices 10000 -requests 10
+//	ftload -devices 1000 -out BENCH_serve.json
+//
+// Without -addr, ftload boots an in-process ftserved on a loopback port
+// and soaks that — the self-contained mode CI uses.
+//
+// Exit status: 0 when every request completed or was rejected with a
+// typed admission error and at least one request succeeded; 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ftsched/client"
+	"ftsched/internal/appio"
+	"ftsched/internal/cli"
+	"ftsched/internal/model"
+	"ftsched/internal/serve"
+	"ftsched/internal/serveapi"
+	"ftsched/internal/sim"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftload:", err)
+	os.Exit(1)
+}
+
+// Result is the BENCH_serve.json schema.
+type Result struct {
+	Fixture   string  `json:"fixture"`
+	Devices   int     `json:"devices"`
+	Requests  int     `json:"requests_per_device"`
+	Batch     int     `json:"cycles_per_batch"`
+	Elapsed   float64 `json:"elapsed_sec"`
+	OK        int64   `json:"ok"`
+	Rejected  int64   `json:"rejected_admission"`
+	Errors    int64   `json:"errors"`
+	Scenarios int64   `json:"scenarios_dispatched"`
+	// ScenariosPerSec is dispatched cycles per wall-clock second across
+	// the whole fleet.
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	// Latency quantiles of successful batch dispatch requests.
+	LatencyMS LatencyMS `json:"latency_ms"`
+}
+
+// LatencyMS is the latency summary, in milliseconds.
+type LatencyMS struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "base URL of a running ftserved (empty: boot one in-process)")
+		fixture  = flag.String("fixture", "fig1", "built-in application the fleet dispatches against: fig1, fig4c, fig8, cc")
+		devices  = flag.Int("devices", 64, "simulated devices (one goroutine each)")
+		requests = flag.Int("requests", 20, "batch dispatch requests per device")
+		batch    = flag.Int("batch", 64, "cycles per batch request")
+		m        = flag.Int("m", 8, "quasi-static tree size for the shared application")
+		seed     = flag.Int64("seed", 1, "base seed; device d draws its cycles from seed+d")
+		workers  = flag.Int("workers", 1, "server-side worker hint per batch (the soak measures concurrency across devices, not within one batch)")
+		out      = flag.String("out", "", "write the JSON benchmark record here (default: stdout summary only)")
+	)
+	flag.Parse()
+
+	app, err := cli.LoadApp(*fixture, "")
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *addr
+	if base == "" {
+		srv := serve.New(serve.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "ftload: booted in-process ftserved on %s\n", base)
+	}
+
+	// One shared transport sized for the fleet: the soak measures the
+	// server, not a starved client connection pool.
+	transport := &http.Transport{
+		MaxIdleConns:        *devices,
+		MaxIdleConnsPerHost: *devices,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	httpc := &http.Client{Transport: transport, Timeout: 120 * time.Second}
+	c := client.New(base, client.WithHTTPClient(httpc))
+
+	var appBuf bytes.Buffer
+	if err := appio.EncodeApplication(&appBuf, app); err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	syn, err := c.Synthesize(ctx, serveapi.SynthesizeRequest{
+		App: appBuf.Bytes(), Options: serveapi.FTQSOptionsJSON{M: *m},
+	})
+	if err != nil {
+		fatal(fmt.Errorf("synthesize: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "ftload: tree %s (%d nodes), %d devices x %d requests x %d cycles\n",
+		syn.TreeKey[:12], syn.Nodes, *devices, *requests, *batch)
+
+	type deviceStats struct {
+		lat      []time.Duration
+		ok       int64
+		rejected int64
+		errs     int64
+	}
+	stats := make([]deviceStats, *devices)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for d := 0; d < *devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			st := &stats[d]
+			st.lat = make([]time.Duration, 0, *requests)
+			cycles := sampleCycles(app, *seed+int64(d), *batch)
+			req := serveapi.DispatchRequest{
+				TreeRef: serveapi.TreeRef{TreeKey: syn.TreeKey},
+				Cycles:  cycles,
+				Workers: *workers,
+			}
+			for r := 0; r < *requests; r++ {
+				t0 := time.Now()
+				_, err := c.Dispatch(ctx, req)
+				elapsed := time.Since(t0)
+				switch werr, ok := err.(*serveapi.Error); {
+				case err == nil:
+					st.ok++
+					st.lat = append(st.lat, elapsed)
+				case ok && (werr.Kind == serveapi.KindRateLimited || werr.Kind == serveapi.KindOverloaded || werr.Kind == serveapi.KindDraining):
+					st.rejected++
+				default:
+					st.errs++
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Fixture: *fixture, Devices: *devices, Requests: *requests, Batch: *batch,
+		Elapsed: elapsed.Seconds(),
+	}
+	var all []time.Duration
+	for i := range stats {
+		res.OK += stats[i].ok
+		res.Rejected += stats[i].rejected
+		res.Errors += stats[i].errs
+		all = append(all, stats[i].lat...)
+	}
+	res.Scenarios = res.OK * int64(*batch)
+	res.ScenariosPerSec = float64(res.Scenarios) / elapsed.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.LatencyMS = LatencyMS{
+		P50: quantileMS(all, 0.50),
+		P95: quantileMS(all, 0.95),
+		P99: quantileMS(all, 0.99),
+	}
+	if len(all) > 0 {
+		res.LatencyMS.Max = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+
+	fmt.Printf("requests: %d ok, %d rejected (admission), %d errors in %.2fs\n",
+		res.OK, res.Rejected, res.Errors, res.Elapsed)
+	fmt.Printf("dispatch: %d cycles, %.0f scenarios/sec\n", res.Scenarios, res.ScenariosPerSec)
+	fmt.Printf("latency:  p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		res.LatencyMS.P50, res.LatencyMS.P95, res.LatencyMS.P99, res.LatencyMS.Max)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ftload: wrote %s\n", *out)
+	}
+	if res.Errors > 0 || res.OK == 0 {
+		os.Exit(1)
+	}
+}
+
+// quantileMS reads the q-quantile (nearest-rank) from a sorted latency
+// slice, in milliseconds; an empty slice yields 0.
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// sampleCycles draws one device's in-model batch deterministically: the
+// same seed always yields the same cycles, so soak runs are reproducible.
+func sampleCycles(app *model.Application, seed int64, n int) []serveapi.CycleJSON {
+	var rng sim.RNG
+	var sc sim.Scenario
+	cycles := make([]serveapi.CycleJSON, n)
+	for i := 0; i < n; i++ {
+		rng.Reseed(sim.ScenarioSeed(seed, i))
+		if err := sim.SampleRNGInto(&sc, app, &rng, i%(app.K()+1), nil); err != nil {
+			fatal(err)
+		}
+		cycles[i] = serveapi.CycleJSONOf(sim.Scenario{
+			Durations: append([]model.Time(nil), sc.Durations...),
+			FaultsAt:  append([]int(nil), sc.FaultsAt...),
+			NFaults:   sc.NFaults,
+		})
+	}
+	return cycles
+}

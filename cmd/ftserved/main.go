@@ -1,0 +1,122 @@
+// Command ftserved is the long-running scheduling service: one process
+// owning a bounded cache of compiled quasi-static trees, serving
+// synthesis, Monte-Carlo evaluation, certification, chaos campaigns,
+// hot reloads and per-cycle dispatch decisions to many tenants over the
+// versioned ftsched-api/v1 HTTP/JSON contract (see internal/serveapi).
+//
+// Usage:
+//
+//	ftserved -addr :8433
+//	ftserved -addr :8433 -metrics-addr :8080
+//	ftserved -addr :8433 -rate 100 -burst 200 -max-inflight 32
+//	ftserved -addr :8433 -cache 128 -max-workers 4
+//
+// Endpoints (all POST bodies carry {"format":"ftsched-api/v1",...}):
+//
+//	POST /v1/synthesize   compile (or fetch) a tree; returns its tree_key
+//	POST /v1/eval         Monte-Carlo evaluation of a tree
+//	POST /v1/certify      exhaustive certification (counterexample on failure)
+//	POST /v1/chaos        seeded out-of-model chaos campaign
+//	POST /v1/dispatch     batch per-cycle dispatch decisions
+//	POST /v1/reload       re-synthesise + atomically swap a cached tree
+//	GET  /v1/healthz      drain state, cache size, tenants, in-flight
+//	GET  /v1/tenants/{t}/metrics   per-tenant Prometheus exposition
+//
+// Admission control is per tenant (the X-FTSched-Tenant header): an empty
+// token bucket rejects with HTTP 429 and a retry-after hint, a full
+// in-flight cap with HTTP 503 — always as typed JSON error bodies, never
+// dropped connections. On SIGTERM/SIGINT the server drains: new requests
+// get a typed 503 "draining", accepted requests run to completion, and
+// the -metrics-addr endpoint flushes in-flight scrapes before the process
+// exits.
+//
+// Exit status: 0 after a clean drain, 1 on serve or drain errors,
+// 2 on flag parse errors (from package flag).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"ftsched/internal/cli"
+	"ftsched/internal/obs"
+	"ftsched/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftserved:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8433", "listen address for the scheduling API")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and /debug/pprof on this address (e.g. :8080)")
+		cacheSize   = flag.Int("cache", serve.DefaultCacheSize, "maximum compiled trees held in the cache (LRU beyond it)")
+		rate        = flag.Float64("rate", 0, "per-tenant admission rate (requests/second; 0 = unlimited)")
+		burst       = flag.Float64("burst", 0, "per-tenant burst (token bucket size; 0 = max(rate, 1))")
+		maxInflight = flag.Int("max-inflight", 0, "per-tenant concurrent request cap (0 = unlimited)")
+		maxWorkers  = flag.Int("max-workers", 0, "clamp per-request worker hints to this many goroutines (0 = no clamp; results are identical for any value)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for accepted requests before giving up")
+	)
+	flag.Parse()
+
+	metrics, err := cli.ServeMetrics("ftserved", *metricsAddr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var collector *obs.Metrics
+	if metrics != nil {
+		collector = metrics.Collector
+	}
+	srv := serve.New(serve.Config{
+		CacheSize: *cacheSize,
+		Limits: serve.Limits{
+			RatePerSec:  *rate,
+			Burst:       *burst,
+			MaxInFlight: *maxInflight,
+		},
+		Metrics:    collector,
+		MaxWorkers: *maxWorkers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "ftserved: serving ftsched-api/v1 on http://%s/v1/\n", ln.Addr())
+
+	sig := cli.NotifySignals()
+	select {
+	case err := <-serveErr:
+		_ = metrics.Shutdown()
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "ftserved: %v: draining (timeout %s)\n", s, *drainWait)
+	}
+
+	// Drain order is the graceful-shutdown contract: stop admitting (typed
+	// 503s, not dropped connections), wait out accepted requests, close the
+	// API listener, and flush the metrics endpoint last so a final scrape
+	// can still observe the fully drained counters.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	shutdownErr := httpSrv.Shutdown(ctx)
+	metricsErr := metrics.Shutdown()
+	for _, err := range []error{drainErr, shutdownErr, metricsErr} {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "ftserved: drained, bye")
+}

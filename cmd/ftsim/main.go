@@ -15,6 +15,12 @@
 //	ftsim -fixture fig1 -tree tree.json -replay ce.json
 //	ftsim -fixture fig8 -chaos -chaos-seed 42 -policy shed-soft
 //	ftsim -fixture fig8 -chaos -chaos-faults 3 -ce-out bad-cycle.json
+//	ftsim -fixture cc -remote http://127.0.0.1:8433 -scenarios 20000
+//	ftsim -fixture fig8 -chaos -remote http://127.0.0.1:8433
+//
+// With -remote the FTQS table rows (or the chaos campaign) run through an
+// ftserved process over the ftsched-api/v1 wire; results are bit-identical
+// to the in-process path. The FTSS/FTSF baseline rows are local-only.
 //
 // Exit status — this table is the canonical reference; scripts and CI
 // gate on these codes:
@@ -36,6 +42,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,14 +51,15 @@ import (
 
 	"math/rand"
 
+	"ftsched/client"
 	"ftsched/internal/appio"
 	"ftsched/internal/baseline"
 	"ftsched/internal/chaos"
 	"ftsched/internal/cli"
 	"ftsched/internal/core"
 	"ftsched/internal/model"
-	"ftsched/internal/obs"
 	"ftsched/internal/runtime"
+	"ftsched/internal/serveapi"
 	"ftsched/internal/sim"
 	"ftsched/internal/stats"
 )
@@ -96,6 +105,8 @@ func main() {
 		replay      = flag.String("replay", "", "replay a certification counterexample (JSON from ftsched -certify) against the tree and exit")
 		force       = flag.Bool("force", false, "with -replay: replay even when the tree fails verification")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and /debug/pprof on this address (e.g. :8080) for the lifetime of the run")
+		remote      = flag.String("remote", "", "base URL of an ftserved (e.g. http://127.0.0.1:8433): run the FTQS table (or -chaos) through the service instead of in-process")
+		tenant      = flag.String("tenant", "", "with -remote: tenant to account the requests against (X-FTSched-Tenant)")
 
 		chaosMode   = flag.Bool("chaos", false, "run a seeded chaos campaign (out-of-model injection) instead of the Monte-Carlo table")
 		chaosCycles = flag.Int("chaos-cycles", 1000, "chaos: cycles per campaign")
@@ -111,16 +122,21 @@ func main() {
 	)
 	flag.Parse()
 
-	var sink obs.Sink
-	if *metricsAddr != "" {
-		collector := obs.NewMetrics()
-		addr, shutdown, err := obs.Serve(*metricsAddr, collector)
-		if err != nil {
-			fatal(err)
-		}
-		shutdownMetrics = shutdown
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", addr)
-		sink = collector
+	metrics, err := cli.ServeMetrics("ftsim", *metricsAddr)
+	if err != nil {
+		fatal(err)
+	}
+	shutdownMetrics = metrics.Shutdown
+	sink := metrics.Sink()
+	if metrics != nil {
+		// A signal mid-run exits through exit(), which flushes the metrics
+		// endpoint gracefully — the final scrape still observes everything
+		// the run recorded before the interrupt.
+		go func() {
+			s := <-cli.NotifySignals()
+			fmt.Fprintf(os.Stderr, "ftsim: %v: flushing metrics and exiting\n", s)
+			exit(exitErr)
+		}()
 	}
 
 	app, err := cli.LoadApp(*fixture, *appPath)
@@ -128,6 +144,47 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(app)
+
+	// The chaos configuration is shared by the local and -remote paths;
+	// build it once so both campaigns score the same injection mix.
+	var chaosCfg chaos.Config
+	if *chaosMode {
+		if *chaosTarget != "soft" && *chaosTarget != "any" {
+			fatal(fmt.Errorf("-chaos-target must be soft or any, got %q", *chaosTarget))
+		}
+		csd := *chaosSeed
+		if csd == 0 {
+			csd = *seed
+		}
+		pol := runtime.PolicyShedSoft
+		if *policyName != "" {
+			if err := pol.UnmarshalText([]byte(*policyName)); err != nil {
+				fatal(err)
+			}
+		}
+		chaosCfg = chaos.Config{
+			Cycles:        *chaosCycles,
+			Seed:          csd,
+			Workers:       *workers,
+			Policy:        pol,
+			Clamp:         *clamp,
+			BaseFaults:    min(1, app.K()),
+			OverrunProb:   *chaosOver,
+			OverrunFactor: *chaosFactor,
+			BurstProb:     *chaosBurst,
+			ExtraFaults:   *chaosFaults,
+			SoftOnly:      *chaosTarget == "soft",
+			Sink:          sink,
+		}
+	}
+
+	if *remote != "" {
+		if *treeIn != "" || *replay != "" || *trace || *ceOut != "" {
+			fatal(fmt.Errorf("-remote supports the Monte-Carlo table and -chaos only (not -tree, -replay, -trace or -ce-out)"))
+		}
+		runRemote(app, *remote, *tenant, *m, *scenarios, *seed, *workers, *chaosMode, chaosCfg)
+		return
+	}
 
 	ftss, err := core.FTSS(app)
 	if err != nil {
@@ -169,34 +226,7 @@ func main() {
 	}
 
 	if *chaosMode {
-		csd := *chaosSeed
-		if csd == 0 {
-			csd = *seed
-		}
-		pol := runtime.PolicyShedSoft
-		if *policyName != "" {
-			if err := pol.UnmarshalText([]byte(*policyName)); err != nil {
-				fatal(err)
-			}
-		}
-		cfg := chaos.Config{
-			Cycles:        *chaosCycles,
-			Seed:          csd,
-			Workers:       *workers,
-			Policy:        pol,
-			Clamp:         *clamp,
-			BaseFaults:    min(1, app.K()),
-			OverrunProb:   *chaosOver,
-			OverrunFactor: *chaosFactor,
-			BurstProb:     *chaosBurst,
-			ExtraFaults:   *chaosFaults,
-			SoftOnly:      *chaosTarget == "soft",
-			Sink:          sink,
-		}
-		if *chaosTarget != "soft" && *chaosTarget != "any" {
-			fatal(fmt.Errorf("-chaos-target must be soft or any, got %q", *chaosTarget))
-		}
-		runChaosCampaign(app, tree, cfg, *ceOut)
+		runChaosCampaign(app, tree, chaosCfg, *ceOut)
 		return
 	}
 
@@ -231,8 +261,7 @@ func main() {
 	}
 
 	var base float64
-	fmt.Printf("%-6s %-7s %10s %8s %9s %9s %9s %9s %6s\n",
-		"algo", "faults", "utility", "norm%", "p5", "p95", "switches", "recov", "viol")
+	printTableHeader()
 	for f := 0; f <= app.K(); f++ {
 		for i, tr := range trees {
 			st, err := sim.MonteCarlo(tr.t, sim.MCConfig{
@@ -245,9 +274,7 @@ func main() {
 			if tr.name == "FTQS" && f == 0 {
 				base = st.MeanUtility
 			}
-			fmt.Printf("%-6s %-7d %10.2f %8.1f %9.1f %9.1f %9.2f %9.2f %6d\n",
-				tr.name, f, st.MeanUtility, stats.Ratio(st.MeanUtility, base),
-				st.P05, st.P95, st.MeanSwitches, st.MeanRecoveries, st.HardViolations)
+			printTableRow(tr.name, f, st, base)
 		}
 	}
 
@@ -362,6 +389,19 @@ func runChaosCampaign(app *model.Application, tree *core.Tree, cfg chaos.Config,
 	if err != nil {
 		fatal(err)
 	}
+	reportChaos(rep, cfg)
+
+	if cePath != "" {
+		if err := exportChaosCounterexample(app, tree, c, rep, cfg, cePath); err != nil {
+			fatal(err)
+		}
+	}
+	chaosExit(rep)
+}
+
+// reportChaos prints the campaign summary — identical for a local run and
+// a -remote one (the report travels the wire losslessly).
+func reportChaos(rep *chaos.Report, cfg chaos.Config) {
 	clampNote := ""
 	if cfg.Clamp {
 		clampNote = ", clamp"
@@ -375,12 +415,10 @@ func runChaosCampaign(app *model.Application, tree *core.Tree, cfg chaos.Config,
 	fmt.Printf("misses:    hard %d (in-model %d)\n", rep.HardMisses, rep.InModelMisses)
 	fmt.Printf("contract:  breaches %d, detection gaps %d, panics %d\n",
 		rep.Breaches, rep.DetectionGaps, rep.Panics)
+}
 
-	if cePath != "" {
-		if err := exportChaosCounterexample(app, tree, c, rep, cfg, cePath); err != nil {
-			fatal(err)
-		}
-	}
+// chaosExit maps a campaign report to the canonical exit table.
+func chaosExit(rep *chaos.Report) {
 	switch {
 	case rep.Panics+rep.Breaches+rep.DetectionGaps+rep.InModelMisses > 0:
 		fmt.Println("chaos: CONTRACT VIOLATED")
@@ -392,6 +430,82 @@ func runChaosCampaign(app *model.Application, tree *core.Tree, cfg chaos.Config,
 		fmt.Println("chaos: clean")
 		exit(0)
 	}
+}
+
+func printTableHeader() {
+	fmt.Printf("%-6s %-7s %10s %8s %9s %9s %9s %9s %6s\n",
+		"algo", "faults", "utility", "norm%", "p5", "p95", "switches", "recov", "viol")
+}
+
+func printTableRow(name string, f int, st sim.MCStats, base float64) {
+	fmt.Printf("%-6s %-7d %10.2f %8.1f %9.1f %9.1f %9.2f %9.2f %6d\n",
+		name, f, st.MeanUtility, stats.Ratio(st.MeanUtility, base),
+		st.P05, st.P95, st.MeanSwitches, st.MeanRecoveries, st.HardViolations)
+}
+
+// runRemote drives the run through an ftserved process instead of the
+// in-process engines: synthesise (or fetch from the server cache) the FTQS
+// tree once, then evaluate per fault count — or run the chaos campaign —
+// over the ftsched-api/v1 wire. Results are bit-identical to the local
+// path (the wire determinism contract), so the printed table matches a
+// local FTQS run row for row. The FTSS/FTSF baselines are local-only
+// constructions the service does not expose; rerun without -remote for
+// the full comparison table.
+func runRemote(app *model.Application, baseURL, tenant string, m, scenarios int, seed int64, workers int, chaosMode bool, chaosCfg chaos.Config) {
+	var opts []client.Option
+	if tenant != "" {
+		opts = append(opts, client.WithTenant(tenant))
+	}
+	cl := client.New(baseURL, opts...)
+
+	var buf bytes.Buffer
+	if err := appio.EncodeApplication(&buf, app); err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	syn, err := cl.Synthesize(ctx, serveapi.SynthesizeRequest{
+		App:     buf.Bytes(),
+		Options: serveapi.FTQSOptionsJSON{M: m, Workers: workers},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	how := "server cache hit"
+	if !syn.CacheHit {
+		how = fmt.Sprintf("compiled in %.0fms", syn.CompileMillis)
+	}
+	fmt.Printf("FTQS tree: %d schedules (remote %s, %s)\n", syn.Nodes, baseURL, how)
+	fmt.Printf("baselines (FTSS, FTSF) are local-only; rerun without -remote for the full table\n\n")
+
+	if chaosMode {
+		resp, err := cl.Chaos(ctx, serveapi.ChaosRequest{
+			TreeRef: serveapi.TreeRef{TreeKey: syn.TreeKey},
+			Config:  serveapi.ChaosConfigJSONOf(chaosCfg),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		reportChaos(resp.Report, chaosCfg)
+		chaosExit(resp.Report)
+	}
+
+	var base float64
+	printTableHeader()
+	for f := 0; f <= app.K(); f++ {
+		resp, err := cl.Eval(ctx, serveapi.EvalRequest{
+			TreeRef: serveapi.TreeRef{TreeKey: syn.TreeKey},
+			Config:  serveapi.MCConfigJSON{Scenarios: scenarios, Faults: f, Seed: seed, Workers: workers},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		st := resp.Stats.Stats()
+		if f == 0 {
+			base = st.MeanUtility
+		}
+		printTableRow("FTQS", f, st, base)
+	}
+	exit(0)
 }
 
 // exportChaosCounterexample writes the first offending cycle — a contract

@@ -1,0 +1,147 @@
+package ftsched
+
+// Validated config constructors. The literal-struct forms (MCConfig{...},
+// CertifyConfig{...}, ChaosConfig{...}) remain fully supported — every
+// engine entry point applies the same Validate — but these constructors
+// surface invalid values at construction time with the typed
+// *MCConfigError / *CertifyConfigError / *ChaosConfigError the engines
+// return, so misconfigurations fail where they are written rather than
+// where they are run. ftserved request decoding applies the identical
+// Validate methods to wire payloads, so a config rejected here is rejected
+// with the same field diagnostics over the API.
+
+// MCOption configures NewMCConfig.
+type MCOption func(*MCConfig)
+
+// MCFaults fixes the injected fault count per scenario (default 0).
+func MCFaults(n int) MCOption { return func(c *MCConfig) { c.Faults = n } }
+
+// MCSeed fixes the scenario-sampling seed (default 0; statistics are
+// bit-identical for a given seed across worker counts).
+func MCSeed(seed int64) MCOption { return func(c *MCConfig) { c.Seed = seed } }
+
+// MCWorkers sets the evaluation goroutines (default: one per CPU).
+func MCWorkers(n int) MCOption { return func(c *MCConfig) { c.Workers = n } }
+
+// MCSink routes evaluation instrumentation to s.
+func MCSink(s Sink) MCOption { return func(c *MCConfig) { c.Sink = s } }
+
+// MCDispatcher evaluates through a pre-compiled dispatcher instead of
+// compiling one per call; it must have been compiled from the same tree
+// the evaluation runs against.
+func MCDispatcher(d *Dispatcher) MCOption { return func(c *MCConfig) { c.Dispatcher = d } }
+
+// NewMCConfig builds a validated Monte-Carlo configuration: scenarios per
+// evaluation plus options. Invalid values return the typed *MCConfigError
+// naming the offending field; the returned config is normalised (Workers 0
+// resolved to the CPU count).
+func NewMCConfig(scenarios int, opts ...MCOption) (MCConfig, error) {
+	cfg := MCConfig{Scenarios: scenarios}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.Validate()
+}
+
+// CertifyOption configures NewCertifyConfig.
+type CertifyOption func(*CertifyConfig)
+
+// CertifyMaxFaults bounds the certified fault count (default: the
+// application bound k).
+func CertifyMaxFaults(n int) CertifyOption { return func(c *CertifyConfig) { c.MaxFaults = n } }
+
+// CertifyWorkers sets the certification goroutines (default: one per CPU;
+// the verdict and report are identical for any value).
+func CertifyWorkers(n int) CertifyOption { return func(c *CertifyConfig) { c.Workers = n } }
+
+// CertifyBudget caps the exhaustive scenario budget before certification
+// falls back to corner sampling.
+func CertifyBudget(n int64) CertifyOption { return func(c *CertifyConfig) { c.Budget = n } }
+
+// CertifyMaxBoundaries bounds the bisection-located behaviour boundaries
+// explored per process.
+func CertifyMaxBoundaries(n int) CertifyOption {
+	return func(c *CertifyConfig) { c.MaxBoundaries = n }
+}
+
+// CertifySink routes certification instrumentation to s.
+func CertifySink(s Sink) CertifyOption { return func(c *CertifyConfig) { c.Sink = s } }
+
+// NewCertifyConfig builds a validated certification configuration. Invalid
+// values return the typed *CertifyConfigError naming the offending field;
+// the returned config is normalised (zero Workers, Budget and
+// MaxBoundaries resolved to their defaults).
+func NewCertifyConfig(opts ...CertifyOption) (CertifyConfig, error) {
+	var cfg CertifyConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.Validate()
+}
+
+// ChaosOption configures NewChaosConfig.
+type ChaosOption func(*ChaosConfig)
+
+// ChaosSeed fixes the campaign seed (reports are bit-identical for a given
+// seed across worker counts).
+func ChaosSeed(seed int64) ChaosOption { return func(c *ChaosConfig) { c.Seed = seed } }
+
+// ChaosWorkers sets the campaign goroutines (default: one per CPU).
+func ChaosWorkers(n int) ChaosOption { return func(c *ChaosConfig) { c.Workers = n } }
+
+// ChaosPolicy selects the degrade policy under test (default
+// PolicyStrict, the zero value; campaigns usually want PolicyShedSoft).
+func ChaosPolicy(p DegradePolicy) ChaosOption { return func(c *ChaosConfig) { c.Policy = p } }
+
+// ChaosClamp truncates injected out-of-model durations at WCET (watchdog
+// semantics).
+func ChaosClamp() ChaosOption { return func(c *ChaosConfig) { c.Clamp = true } }
+
+// ChaosBaseFaults sets the in-model faults injected every cycle before any
+// out-of-model burst.
+func ChaosBaseFaults(n int) ChaosOption { return func(c *ChaosConfig) { c.BaseFaults = n } }
+
+// ChaosOverruns injects WCET overruns: per-cycle probability and the
+// overrun duration as a multiple of WCET (> 1).
+func ChaosOverruns(prob, factor float64) ChaosOption {
+	return func(c *ChaosConfig) { c.OverrunProb, c.OverrunFactor = prob, factor }
+}
+
+// ChaosBursts injects fault bursts beyond the bound k: per-cycle
+// probability and the extra faults per burst (> 0).
+func ChaosBursts(prob float64, extra int) ChaosOption {
+	return func(c *ChaosConfig) { c.BurstProb, c.ExtraFaults = prob, extra }
+}
+
+// ChaosStuck injects stuck processes — the victim's execution consumes
+// the whole period, an extreme overrun — with the given per-cycle
+// probability.
+func ChaosStuck(prob float64) ChaosOption { return func(c *ChaosConfig) { c.StuckProb = prob } }
+
+// ChaosRegressions injects negative-duration time regressions with the
+// given per-cycle probability.
+func ChaosRegressions(prob float64) ChaosOption {
+	return func(c *ChaosConfig) { c.RegressionProb = prob }
+}
+
+// ChaosCorrelated aims a whole fault burst at one victim instead of
+// spreading it.
+func ChaosCorrelated() ChaosOption { return func(c *ChaosConfig) { c.Correlated = true } }
+
+// ChaosSoftTargetsOnly restricts injection victims to soft processes.
+func ChaosSoftTargetsOnly() ChaosOption { return func(c *ChaosConfig) { c.SoftOnly = true } }
+
+// ChaosSink routes campaign instrumentation to s.
+func ChaosSink(s Sink) ChaosOption { return func(c *ChaosConfig) { c.Sink = s } }
+
+// NewChaosConfig builds a validated chaos-campaign configuration: cycles
+// per campaign plus options. Invalid values return the typed
+// *ChaosConfigError naming the offending field; the returned config is
+// normalised (Workers 0 resolved to the CPU count).
+func NewChaosConfig(cycles int, opts ...ChaosOption) (ChaosConfig, error) {
+	cfg := ChaosConfig{Cycles: cycles}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.Validate()
+}

@@ -285,6 +285,9 @@ type (
 	ChaosCycleRecord = chaos.CycleRecord
 	// ChaosCampaign is a compiled campaign, reusable across runs.
 	ChaosCampaign = chaos.Campaign
+	// ChaosConfigError reports the ChaosConfig field a campaign rejected,
+	// carrying the field name and the offending value.
+	ChaosConfigError = chaos.ConfigError
 )
 
 // NewChaosCampaign validates cfg and compiles tree with the envelope
@@ -296,7 +299,10 @@ func NewChaosCampaign(tree *Tree, cfg ChaosConfig) (*ChaosCampaign, error) {
 // RunChaos compiles and executes a chaos campaign against tree. The
 // returned error is a validation error — containment findings (panics,
 // breaches, misses) are scored on the report, never returned as errors.
-func RunChaos(tree *Tree, cfg ChaosConfig) (*ChaosReport, error) { return chaos.Run(tree, cfg) }
+// It is RunChaosContext with a background context.
+func RunChaos(tree *Tree, cfg ChaosConfig) (*ChaosReport, error) {
+	return RunChaosContext(context.Background(), tree, cfg)
+}
 
 // RunChaosContext is RunChaos honouring cancellation.
 func RunChaosContext(ctx context.Context, tree *Tree, cfg ChaosConfig) (*ChaosReport, error) {
@@ -322,6 +328,9 @@ type (
 	// CounterexampleError wraps a Counterexample as the error Certify
 	// returns when certification fails.
 	CounterexampleError = certify.CounterexampleError
+	// CertifyConfigError reports the CertifyConfig field a certification
+	// rejected, carrying the field name and the offending value.
+	CertifyConfigError = certify.ConfigError
 )
 
 // Observability types. A Sink receives counter increments and histogram
@@ -413,7 +422,9 @@ func FTSS(app *Application) (*FSchedule, error) { return core.FTSS(app) }
 // opts.Workers goroutines (default: one per CPU) and memoises identical
 // suffix syntheses across the tree; the resulting tree is identical for
 // every worker count. It is FTQSContext with a background context.
-func FTQS(app *Application, opts FTQSOptions) (*Tree, error) { return core.FTQS(app, opts) }
+func FTQS(app *Application, opts FTQSOptions) (*Tree, error) {
+	return FTQSContext(context.Background(), app, opts)
+}
 
 // FTQSContext is FTQS honouring cancellation: the coordinator checks ctx
 // before each node expansion, so synthesis aborts within one expansion and
@@ -503,7 +514,7 @@ func MustNewDispatcher(tree *Tree, opts ...DispatcherOption) *Dispatcher {
 // ftsim -replay. Results are identical for any worker count. It is
 // CertifyContext with a background context.
 func Certify(tree *Tree, cfg CertifyConfig) (CertifyReport, error) {
-	return certify.Certify(tree, cfg)
+	return CertifyContext(context.Background(), tree, cfg)
 }
 
 // CertifyContext is Certify honouring cancellation, checked before every
@@ -519,7 +530,9 @@ func CertifyContext(ctx context.Context, tree *Tree, cfg CertifyConfig) (Certify
 // per-scenario allocation and MCStats is bit-identical for any worker
 // count (see docs/PERFORMANCE.md). It is MonteCarloContext with a
 // background context.
-func MonteCarlo(tree *Tree, cfg MCConfig) (MCStats, error) { return sim.MonteCarlo(tree, cfg) }
+func MonteCarlo(tree *Tree, cfg MCConfig) (MCStats, error) {
+	return MonteCarloContext(context.Background(), tree, cfg)
+}
 
 // MonteCarloContext is MonteCarlo honouring cancellation: every worker
 // checks ctx before each scenario block, so the evaluation unwinds within
@@ -538,7 +551,9 @@ type TrimConfig = sim.TrimConfig
 // arcs with an estimate, and trimming removes the marginal arcs that the
 // estimate got wrong. Safety is unaffected. Returns the number of arcs
 // removed. It is TrimTreeContext with a background context.
-func TrimTree(tree *Tree, cfg TrimConfig) (int, error) { return sim.Trim(tree, cfg) }
+func TrimTree(tree *Tree, cfg TrimConfig) (int, error) {
+	return TrimTreeContext(context.Background(), tree, cfg)
+}
 
 // TrimTreeContext is TrimTree honouring cancellation, checked before every
 // scenario replay. On cancellation every already-disabled arc is restored —

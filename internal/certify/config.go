@@ -1,0 +1,52 @@
+package certify
+
+import (
+	"fmt"
+	goruntime "runtime"
+)
+
+// ConfigError reports a Config field that fails validation, carrying the
+// field name and the rejected value so CLIs, the library facade and the
+// ftserved wire decoder can react to the specific field instead of parsing
+// a message — the same discipline as sim.ConfigError.
+type ConfigError struct {
+	// Field is the Config field name ("MaxFaults", "Workers", "Budget").
+	Field string
+	// Value is the rejected value.
+	Value int64
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("certify: Config.%s must be non-negative (got %d)", e.Field, e.Value)
+}
+
+// Validate normalises the configuration and rejects impossible values with
+// a *ConfigError: negative MaxFaults, Workers or Budget. Zero values keep
+// their documented defaults (MaxFaults 0 = the application bound k,
+// resolved by the engine; Workers 0 = GOMAXPROCS; Budget 0 = ~2M
+// scenarios; MaxBoundaries 0 = 4, negative = bisection disabled). The
+// fault upper bound depends on the application and is checked by Certify
+// itself. Every certification entry point applies Validate — library,
+// CLI and ftserved request decoding reject bad input identically.
+func (c Config) Validate() (Config, error) {
+	if c.MaxFaults < 0 {
+		return c, &ConfigError{Field: "MaxFaults", Value: int64(c.MaxFaults)}
+	}
+	if c.Workers < 0 {
+		return c, &ConfigError{Field: "Workers", Value: int64(c.Workers)}
+	}
+	if c.Workers == 0 {
+		c.Workers = goruntime.GOMAXPROCS(0)
+	}
+	if c.Budget < 0 {
+		return c, &ConfigError{Field: "Budget", Value: c.Budget}
+	}
+	if c.Budget == 0 {
+		c.Budget = defaultBudget
+	}
+	if c.MaxBoundaries == 0 {
+		c.MaxBoundaries = defaultMaxBoundaries
+	}
+	return c, nil
+}

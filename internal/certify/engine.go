@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	goruntime "runtime"
 	"sync"
 
 	"ftsched/internal/core"
@@ -98,6 +97,10 @@ func Certify(tree *core.Tree, cfg Config) (Report, error) {
 // CertifyContext is Certify with cancellation: the context is checked
 // before every scenario and the context error is returned on cancellation.
 func CertifyContext(ctx context.Context, tree *core.Tree, cfg Config) (Report, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return Report{}, err
+	}
 	d, err := runtime.NewDispatcher(tree, runtime.WithSink(cfg.Sink))
 	if err != nil {
 		return Report{}, err
@@ -109,21 +112,12 @@ func CertifyContext(ctx context.Context, tree *core.Tree, cfg Config) (Report, e
 	if maxFaults == 0 {
 		maxFaults = app.K()
 	}
-	if maxFaults < 0 || maxFaults > app.K() {
+	if maxFaults > app.K() {
 		return Report{}, fmt.Errorf("certify: MaxFaults %d outside [0, k=%d]", cfg.MaxFaults, app.K())
 	}
 	workers := cfg.Workers
-	if workers <= 0 {
-		workers = goruntime.GOMAXPROCS(0)
-	}
 	budget := cfg.Budget
-	if budget <= 0 {
-		budget = defaultBudget
-	}
 	maxBoundaries := cfg.MaxBoundaries
-	if maxBoundaries == 0 {
-		maxBoundaries = defaultMaxBoundaries
-	}
 	var sink obs.Sink
 	if obs.Live(cfg.Sink) {
 		sink = cfg.Sink

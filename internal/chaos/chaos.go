@@ -63,19 +63,43 @@ type Config struct {
 	Sink obs.Sink
 }
 
-// Validate normalises the configuration and rejects impossible values.
+// ConfigError reports a Config field that fails validation, carrying the
+// field name, the rejected value and the violated constraint so CLIs, the
+// library facade and the ftserved wire decoder can react to the specific
+// field instead of parsing a message — the same discipline as
+// sim.ConfigError.
+type ConfigError struct {
+	// Field is the Config field name ("Cycles", "OverrunFactor", ...).
+	Field string
+	// Value is the rejected value.
+	Value float64
+	// Constraint is the violated bound in human-readable form, e.g.
+	// "must be positive" or "outside [0,1]".
+	Constraint string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("chaos: Config.%s %v %s", e.Field, e.Value, e.Constraint)
+}
+
+// Validate normalises the configuration and rejects impossible values with
+// a *ConfigError. The BaseFaults upper bound depends on the application
+// and is checked by New itself. Every campaign entry point applies
+// Validate — library, CLI and ftserved request decoding reject bad input
+// identically.
 func (c Config) Validate() (Config, error) {
 	if c.Cycles <= 0 {
-		return c, fmt.Errorf("chaos: Cycles must be positive (got %d)", c.Cycles)
+		return c, &ConfigError{Field: "Cycles", Value: float64(c.Cycles), Constraint: "must be positive"}
 	}
 	if c.Workers < 0 {
-		return c, fmt.Errorf("chaos: Workers must be non-negative (got %d)", c.Workers)
+		return c, &ConfigError{Field: "Workers", Value: float64(c.Workers), Constraint: "must be non-negative"}
 	}
 	if c.Workers == 0 {
 		c.Workers = goruntime.NumCPU()
 	}
 	if c.BaseFaults < 0 {
-		return c, fmt.Errorf("chaos: BaseFaults must be non-negative (got %d)", c.BaseFaults)
+		return c, &ConfigError{Field: "BaseFaults", Value: float64(c.BaseFaults), Constraint: "must be non-negative"}
 	}
 	for _, p := range []struct {
 		name string
@@ -87,14 +111,14 @@ func (c Config) Validate() (Config, error) {
 		{"BurstProb", c.BurstProb},
 	} {
 		if p.v < 0 || p.v > 1 {
-			return c, fmt.Errorf("chaos: %s %v outside [0,1]", p.name, p.v)
+			return c, &ConfigError{Field: p.name, Value: p.v, Constraint: "outside [0,1]"}
 		}
 	}
 	if c.OverrunProb > 0 && c.OverrunFactor <= 1 {
-		return c, fmt.Errorf("chaos: OverrunFactor must exceed 1 (got %v)", c.OverrunFactor)
+		return c, &ConfigError{Field: "OverrunFactor", Value: c.OverrunFactor, Constraint: "must exceed 1 when OverrunProb is positive"}
 	}
 	if c.BurstProb > 0 && c.ExtraFaults <= 0 {
-		return c, fmt.Errorf("chaos: ExtraFaults must be positive with BurstProb %v", c.BurstProb)
+		return c, &ConfigError{Field: "ExtraFaults", Value: float64(c.ExtraFaults), Constraint: "must be positive when BurstProb is positive"}
 	}
 	return c, nil
 }

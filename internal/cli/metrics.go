@@ -1,0 +1,71 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ftsched/internal/obs"
+)
+
+// MetricsServer is one tool's -metrics-addr observability server. The nil
+// MetricsServer (no -metrics-addr flag) is fully usable: Sink returns nil
+// and Shutdown is a no-op, so tools thread it unconditionally.
+type MetricsServer struct {
+	// Collector is the live metrics sink the tool instruments into.
+	Collector *obs.Metrics
+	// Addr is the bound address (host:port).
+	Addr     string
+	shutdown func() error
+}
+
+// ServeMetrics starts the observability endpoint shared by all the tools
+// (Prometheus /metrics, expvar /debug/vars, pprof /debug/pprof/) and
+// prints the canonical one-line pointer to stderr. An empty addr returns
+// (nil, nil): the flag was not set.
+//
+// The returned server's Shutdown drains gracefully (obs.Serve's
+// contract): in-flight scrapes complete before it returns. Tools must
+// call it on every exit path — including signals, see NotifySignals — so
+// the final counter values are never lost to a torn-down listener.
+func ServeMetrics(tool, addr string) (*MetricsServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	collector := obs.NewMetrics()
+	bound, shutdown, err := obs.Serve(addr, collector)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: metrics: http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", tool, bound)
+	return &MetricsServer{Collector: collector, Addr: bound, shutdown: shutdown}, nil
+}
+
+// Sink returns the collector as an obs.Sink; nil-safe (a nil server
+// yields a nil sink, which every instrumented subsystem treats as
+// disabled).
+func (m *MetricsServer) Sink() obs.Sink {
+	if m == nil {
+		return nil
+	}
+	return m.Collector
+}
+
+// Shutdown flushes and stops the metrics server; nil-safe and idempotent.
+func (m *MetricsServer) Shutdown() error {
+	if m == nil || m.shutdown == nil {
+		return nil
+	}
+	return m.shutdown()
+}
+
+// NotifySignals relays SIGINT and SIGTERM to the returned channel — the
+// shared signal plumbing for tools that must flush metrics (and, for
+// ftserved, drain accepted requests) before exiting instead of dying
+// mid-scrape.
+func NotifySignals() chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // WritePrometheus renders the collector in the Prometheus text exposition
@@ -110,6 +112,12 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 // port) and returns the bound address plus a shutdown function. The server
 // runs until the shutdown function is called or the process exits; serving
 // errors after shutdown are discarded.
+//
+// Shutdown is graceful: the listener stops accepting, in-flight scrapes
+// run to completion (bounded by serveShutdownTimeout, after which
+// connections are torn down), and only then does the function return —
+// so a process draining on SIGTERM never truncates a scrape mid-body.
+// The function is idempotent and safe to call from several goroutines.
 func Serve(addr string, m *Metrics) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -117,5 +125,24 @@ func Serve(addr string, m *Metrics) (string, func() error, error) {
 	}
 	srv := &http.Server{Handler: Handler(m)}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	var once sync.Once
+	var shutdownErr error
+	shutdown := func() error {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), serveShutdownTimeout)
+			defer cancel()
+			shutdownErr = srv.Shutdown(ctx)
+			if shutdownErr != nil {
+				// The deadline passed with a scrape still running; tear
+				// the connections down rather than hang the exit path.
+				shutdownErr = srv.Close()
+			}
+		})
+		return shutdownErr
+	}
+	return ln.Addr().String(), shutdown, nil
 }
+
+// serveShutdownTimeout bounds how long Serve's shutdown waits for
+// in-flight scrapes before tearing connections down.
+const serveShutdownTimeout = 5 * time.Second

@@ -3,9 +3,11 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestWritePrometheus(t *testing.T) {
@@ -125,5 +127,54 @@ func TestHandlerFollowsLatestCollector(t *testing.T) {
 	_ = Handler(b)
 	if got := published.Load(); got != b {
 		t.Error("expvar publication does not follow the latest Handler call")
+	}
+}
+
+// TestServeShutdownFlushesInFlightScrape pins the graceful-shutdown
+// contract: a scrape whose request the server has already started reading
+// when shutdown is called still receives its complete body — the drain
+// path never truncates a scrape mid-flight. Shutdown is also idempotent.
+func TestServeShutdownFlushesInFlightScrape(t *testing.T) {
+	m := NewMetrics()
+	m.Add(DispatchCycles, 41)
+	addr, shutdown, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Write a partial request so the connection is active (not idle) when
+	// shutdown begins; Shutdown must then wait it out, not kill it.
+	if _, err := io.WriteString(conn, "GET /metrics HTTP/1.1\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- shutdown() }()
+	time.Sleep(50 * time.Millisecond)
+
+	if _, err := io.WriteString(conn, "Host: t\r\nConnection: close\r\n\r\n"); err != nil {
+		t.Fatalf("finishing in-flight request: %v", err)
+	}
+	body, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("reading in-flight scrape: %v", err)
+	}
+	if !strings.Contains(string(body), "ftsched_dispatch_cycles_total 41") {
+		t.Fatalf("scrape during shutdown truncated:\n%.400s", body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("second shutdown not idempotent: %v", err)
+	}
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Fatal("listener still accepting after shutdown")
 	}
 }

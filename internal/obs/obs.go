@@ -96,6 +96,23 @@ const (
 	// rounded to integer energy units) consumed across dispatched cycles.
 	DispatchEnergy
 
+	// ServeRequests counts API requests admitted by ftserved (all
+	// endpoints, after admission control); ServeRejectedRate counts
+	// requests rejected by a tenant's token bucket (HTTP 429) and
+	// ServeRejectedLoad requests rejected by an in-flight cap or because
+	// the server was draining (HTTP 503). Admitted + rejected = offered
+	// load.
+	ServeRequests
+	ServeRejectedRate
+	ServeRejectedLoad
+	// ServeCacheHits and ServeCacheMisses count compiled-tree cache
+	// lookups by outcome; a miss implies a synthesis + dispatcher
+	// compilation on the request path. ServeReloads counts hot
+	// recompilations swapped in behind the atomic tree pointer.
+	ServeCacheHits
+	ServeCacheMisses
+	ServeReloads
+
 	numCounters
 )
 
@@ -135,6 +152,12 @@ var counterNames = [numCounters]string{
 	ChaosCycles:             "ftsched_chaos_cycles_total",
 	ChaosInjections:         "ftsched_chaos_injections_total",
 	DispatchEnergy:          "ftsched_dispatch_energy_total",
+	ServeRequests:           "ftsched_serve_requests_total",
+	ServeRejectedRate:       "ftsched_serve_rejected_rate_total",
+	ServeRejectedLoad:       "ftsched_serve_rejected_load_total",
+	ServeCacheHits:          "ftsched_serve_cache_hits_total",
+	ServeCacheMisses:        "ftsched_serve_cache_misses_total",
+	ServeReloads:            "ftsched_serve_reloads_total",
 }
 
 var counterHelp = [numCounters]string{
@@ -168,6 +191,12 @@ var counterHelp = [numCounters]string{
 	ChaosCycles:             "Operation cycles executed by chaos campaigns.",
 	ChaosInjections:         "Chaos-campaign cycles perturbed out of the fault model.",
 	DispatchEnergy:          "Total platform energy (active + idle, rounded) consumed across dispatched cycles.",
+	ServeRequests:           "API requests admitted past admission control.",
+	ServeRejectedRate:       "API requests rejected by a tenant token bucket (HTTP 429).",
+	ServeRejectedLoad:       "API requests rejected by an in-flight cap or while draining (HTTP 503).",
+	ServeCacheHits:          "Compiled-tree cache lookups served from an existing entry.",
+	ServeCacheMisses:        "Compiled-tree cache lookups that synthesised and compiled a new entry.",
+	ServeReloads:            "Hot tree recompilations atomically swapped into the cache.",
 }
 
 // Name returns the stable metric name of the counter ("" for an
@@ -206,6 +235,14 @@ const (
 	// rounded to integer energy units) of one dispatched cycle.
 	DispatchCycleEnergy
 
+	// ServeRequestNanos is the wall-clock handler latency of one admitted
+	// API request, in nanoseconds (decode, cache lookup or compile,
+	// evaluation, encode).
+	ServeRequestNanos
+	// ServeBatchCycles is the number of cycles carried by one batch
+	// dispatch request — the wire amortisation factor.
+	ServeBatchCycles
+
 	numHistograms
 )
 
@@ -221,6 +258,8 @@ var histogramNames = [numHistograms]string{
 
 	EnvelopeOverrunMagnitude: "ftsched_envelope_overrun_magnitude",
 	DispatchCycleEnergy:      "ftsched_dispatch_cycle_energy",
+	ServeRequestNanos:        "ftsched_serve_request_nanoseconds",
+	ServeBatchCycles:         "ftsched_serve_batch_cycles",
 }
 
 var histogramHelp = [numHistograms]string{
@@ -232,6 +271,8 @@ var histogramHelp = [numHistograms]string{
 
 	EnvelopeOverrunMagnitude: "Amount by which an execution exceeded its process WCET.",
 	DispatchCycleEnergy:      "Total platform energy (active + idle, rounded) per dispatched cycle.",
+	ServeRequestNanos:        "Handler latency per admitted API request, nanoseconds.",
+	ServeBatchCycles:         "Cycles carried per batch dispatch request.",
 }
 
 // Name returns the stable metric name of the histogram ("" for an

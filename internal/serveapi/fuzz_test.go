@@ -1,0 +1,81 @@
+package serveapi
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeAPIRequest drives every request decoder with arbitrary bytes.
+// The invariants: no decoder panics, every rejection is a typed *Error
+// with a 4xx code and a known kind, and every accepted body re-encodes.
+func FuzzDecodeAPIRequest(f *testing.F) {
+	f.Add([]byte(`{"format":"ftsched-api/v1","app":{"k":1},"options":{"m":4}}`))
+	f.Add([]byte(`{"format":"ftsched-api/v1","tree_key":"abc","config":{"scenarios":100,"faults":1}}`))
+	f.Add([]byte(`{"format":"ftsched-api/v1","tree_key":"abc","config":{"max_faults":2,"budget":1000}}`))
+	f.Add([]byte(`{"format":"ftsched-api/v1","tree_key":"abc","config":{"cycles":8,"policy":"shed-soft","overrun_prob":0.5,"overrun_factor":2}}`))
+	f.Add([]byte(`{"format":"ftsched-api/v1","tree_key":"abc","cycles":[{"durations":[3,5],"faults_at":[1,0]}]}`))
+	f.Add([]byte(`{"format":"ftsched-api/v1","tree_key":"abc","trim":{"scenarios":256,"seed":7}}`))
+	f.Add([]byte(`{"format":"ftsched-tree/v3"}`))
+	f.Add([]byte(`{"format":null}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"format":"ftsched-api/v1","config":{"scenarios":-1}}`))
+	f.Add([]byte(`{"format":"ftsched-api/v1","tree_key":"abc","config":{"cycles":1,"policy":"nope"}}`))
+
+	known := map[string]bool{
+		KindBadRequest: true, KindUnknownFormat: true, KindInvalidConfig: true,
+		KindInvalidApp: true, KindUnknownTree: true,
+	}
+	check := func(t *testing.T, werr *Error) {
+		if werr == nil {
+			return
+		}
+		if werr.Code < 400 || werr.Code > 499 {
+			t.Fatalf("decode rejection carries non-4xx code %d: %+v", werr.Code, werr)
+		}
+		if !known[werr.Kind] {
+			t.Fatalf("decode rejection carries unknown kind %q: %+v", werr.Kind, werr)
+		}
+		if werr.Message == "" {
+			t.Fatalf("decode rejection carries no message: %+v", werr)
+		}
+	}
+	reencode := func(t *testing.T, v any) {
+		if _, err := json.Marshal(v); err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, werr := DecodeSynthesizeRequest(data); werr != nil {
+			check(t, werr)
+		} else {
+			reencode(t, req)
+		}
+		if req, _, werr := DecodeEvalRequest(data); werr != nil {
+			check(t, werr)
+		} else {
+			reencode(t, req)
+		}
+		if req, _, werr := DecodeCertifyRequest(data); werr != nil {
+			check(t, werr)
+		} else {
+			reencode(t, req)
+		}
+		if req, _, werr := DecodeChaosRequest(data); werr != nil {
+			check(t, werr)
+		} else {
+			reencode(t, req)
+		}
+		if req, werr := DecodeDispatchRequest(data); werr != nil {
+			check(t, werr)
+		} else {
+			reencode(t, req)
+		}
+		if req, werr := DecodeReloadRequest(data); werr != nil {
+			check(t, werr)
+		} else {
+			reencode(t, req)
+		}
+	})
+}
