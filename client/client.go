@@ -7,7 +7,16 @@
 // Every non-2xx response decodes into the typed *serveapi.Error the server
 // guarantees, so callers branch on Kind (rate_limited, overloaded,
 // draining, unknown_tree, ...) exactly like the admission contract
-// documents — transport failures are the only other error class.
+// documents. Failures below the contract — connection resets, truncated
+// or corrupted bodies, per-attempt timeouts — surface as *TransportError.
+//
+// With a RetryPolicy (see WithRetryPolicy / DefaultRetryPolicy) the
+// client heals transient failures itself: capped exponential backoff
+// with full jitter over retryable wire errors (rate_limited, overloaded,
+// draining — honoring their RetryAfterMillis) and all transport errors,
+// plus a per-endpoint circuit breaker with half-open probing. Calls that
+// stay retryable to the end return a *RetryExhaustedError carrying the
+// per-attempt trace; non-retryable errors return bare on first sight.
 package client
 
 import (
@@ -17,9 +26,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
+	"time"
 
+	"ftsched/internal/obs"
 	"ftsched/internal/serveapi"
 )
+
+// DefaultRequestTimeout bounds a single HTTP attempt when the caller
+// does not supply an http.Client of their own. A hung server then
+// surfaces as a retryable *TransportError instead of blocking forever.
+const DefaultRequestTimeout = 30 * time.Second
 
 // Client talks to one ftserved base URL. The zero value is not usable;
 // construct with New. A Client is safe for concurrent use.
@@ -27,6 +45,16 @@ type Client struct {
 	base   string
 	tenant string
 	httpc  *http.Client
+	retry  RetryPolicy
+	sink   obs.Sink
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+
+	// Injection points for deterministic tests.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+	rand  func() float64
 }
 
 // Option configures a Client.
@@ -37,26 +65,54 @@ type Option func(*Client)
 func WithTenant(name string) Option { return func(c *Client) { c.tenant = name } }
 
 // WithHTTPClient replaces the underlying http.Client (timeouts, proxies,
-// connection pools). The default is http.DefaultClient.
+// connection pools). The default is a client with DefaultRequestTimeout.
 func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetryPolicy enables self-healing under the given policy (unset
+// backoff knobs are defaulted). Without this option the client makes
+// exactly one attempt per call.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithMetrics routes the Client* obs counters and histograms to a sink
+// (e.g. *obs.Metrics). The default discards them.
+func WithMetrics(sink obs.Sink) Option { return func(c *Client) { c.sink = sink } }
 
 // New builds a client for an ftserved base URL such as
 // "http://127.0.0.1:8433".
 func New(base string, opts ...Option) *Client {
-	c := &Client{base: base, httpc: http.DefaultClient}
+	c := &Client{
+		base:     base,
+		httpc:    &http.Client{Timeout: DefaultRequestTimeout},
+		sink:     obs.NopSink{},
+		breakers: make(map[string]*breaker),
+		now:      time.Now,
+		sleep:    sleepCtx,
+		rand:     jitter,
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
 
-// post issues one API call: marshal, send, decode — non-2xx bodies decode
-// into the typed wire error.
+// post issues one API call under the retry policy: marshal once, then
+// attempt (send, decode) as often as the policy allows — non-2xx bodies
+// decode into the typed wire error, everything below the contract
+// becomes a *TransportError.
 func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("client: encoding %s request: %w", path, err)
 	}
+	return c.doRetry(ctx, path, func() error {
+		return c.attempt(ctx, path, body, resp)
+	})
+}
+
+// attempt performs one try of an API call against a fresh body reader.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, resp any) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
@@ -65,27 +121,49 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	if c.tenant != "" {
 		hreq.Header.Set(serveapi.TenantHeader, c.tenant)
 	}
+	if deadline, ok := ctx.Deadline(); ok {
+		// Ship the caller's remaining budget so the server can cancel
+		// engine work it cannot answer in time (see serveapi.DeadlineHeader).
+		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+			hreq.Header.Set(serveapi.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
 	hresp, err := c.httpc.Do(hreq)
 	if err != nil {
-		return fmt.Errorf("client: %s: %w", path, err)
+		if ctx.Err() != nil {
+			// The caller's own context expired or was canceled: not a
+			// server fault, never retried.
+			return fmt.Errorf("client: %s: %w", path, ctx.Err())
+		}
+		// Connection refused/reset or the per-attempt http.Client
+		// timeout: below the wire contract, safe to retry.
+		return &TransportError{Path: path, Err: err}
 	}
 	defer hresp.Body.Close()
 	data, err := io.ReadAll(hresp.Body)
 	if err != nil {
-		return fmt.Errorf("client: reading %s response: %w", path, err)
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: reading %s response: %w", path, ctx.Err())
+		}
+		// Connection reset mid-body.
+		return &TransportError{Path: path, Err: fmt.Errorf("reading response: %w", err)}
 	}
 	if hresp.StatusCode/100 != 2 {
 		var er serveapi.ErrorResponse
 		if err := json.Unmarshal(data, &er); err != nil || er.Err.Kind == "" {
-			// The typed-error contract says this cannot happen against a
-			// real ftserved; surface whatever intermediary produced it.
-			return fmt.Errorf("client: %s: http %d: %.200s", path, hresp.StatusCode, data)
+			// The typed-error contract says a real ftserved cannot
+			// produce this, so treat it as wire damage (or an
+			// intermediary) and let the policy retry it.
+			return &TransportError{Path: path,
+				Err: fmt.Errorf("http %d with untyped body: %.200s", hresp.StatusCode, data)}
 		}
 		werr := er.Err
 		return &werr
 	}
 	if err := json.Unmarshal(data, resp); err != nil {
-		return fmt.Errorf("client: decoding %s response: %w", path, err)
+		// Truncated or corrupted 2xx body: the response is lost but the
+		// SHA-256 tree cache makes the re-ask idempotent.
+		return &TransportError{Path: path, Err: fmt.Errorf("decoding response: %w", err)}
 	}
 	return nil
 }

@@ -1,0 +1,375 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"ftsched/internal/obs"
+	"ftsched/internal/serveapi"
+)
+
+// RetryPolicy shapes the client's self-healing behavior: capped
+// exponential backoff with full jitter around retryable failures, plus a
+// per-endpoint circuit breaker that fails fast while a backend is known
+// to be sick and probes it half-open after a cooldown.
+//
+// The zero value means "no retries, no breaker" (one attempt, exactly
+// the pre-resilience client). DefaultRetryPolicy is the recommended
+// starting point; withDefaults fills unset knobs of a partially
+// specified policy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (<=1 means no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: the backoff budget for
+	// attempt n (0-based retry count) is BaseDelay·Multiplier^n, capped
+	// at MaxDelay, and the actual sleep is uniform in [0, budget) —
+	// "full jitter". A typed error's RetryAfterMillis floors the sleep.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor (defaults to 2).
+	Multiplier float64
+	// BreakerThreshold opens an endpoint's breaker after this many
+	// consecutive transport-level failures (0 disables the breaker).
+	// Typed wire errors never trip the breaker: a server answering 429s
+	// is sick but alive, and its RetryAfterMillis is the better signal.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// letting a single half-open probe through.
+	BreakerCooldown time.Duration
+}
+
+// DefaultRetryPolicy is the policy CLIs use unless told otherwise:
+// 5 attempts, 25ms–2s full-jitter backoff, breaker at 5 consecutive
+// transport failures with a 500ms cooldown.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:      5,
+		BaseDelay:        25 * time.Millisecond,
+		MaxDelay:         2 * time.Second,
+		Multiplier:       2,
+		BreakerThreshold: 5,
+		BreakerCooldown:  500 * time.Millisecond,
+	}
+}
+
+// withDefaults fills unset backoff knobs so a partially specified policy
+// (say, only MaxAttempts) behaves sanely.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = d.BreakerCooldown
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry n (0-based), flooring
+// at the server's RetryAfterMillis hint when one was given.
+func (p RetryPolicy) backoff(n int, retryAfter time.Duration, rnd func() float64) time.Duration {
+	budget := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(n))
+	if max := float64(p.MaxDelay); budget > max {
+		budget = max
+	}
+	wait := time.Duration(rnd() * budget)
+	if wait < retryAfter {
+		wait = retryAfter
+	}
+	return wait
+}
+
+// RetryableKind reports whether a typed wire-error kind is safe to retry:
+// the request was refused without side effects (admission control,
+// drain) — never validation or semantic failures, which would fail the
+// same way forever. In particular invalid_config is never retried.
+func RetryableKind(kind string) bool {
+	switch kind {
+	case serveapi.KindRateLimited, serveapi.KindOverloaded, serveapi.KindDraining:
+		return true
+	}
+	return false
+}
+
+// retryable classifies an attempt error: typed wire errors by kind,
+// transport-level failures (resets, truncations, per-attempt timeouts)
+// always — the wire gives no evidence the request was processed, and
+// every API call is idempotent under the SHA-256 tree cache.
+func retryable(err error) (retryAfter time.Duration, ok bool) {
+	switch e := err.(type) {
+	case *serveapi.Error:
+		return time.Duration(e.RetryAfterMillis) * time.Millisecond, RetryableKind(e.Kind)
+	case *TransportError:
+		return 0, true
+	case *breakerOpenError:
+		return e.remaining, true
+	}
+	return 0, false
+}
+
+// TransportError wraps a failure below the wire contract: connection
+// errors, resets mid-body, truncated or corrupted response JSON, and
+// per-attempt timeouts. It unwraps to the underlying error.
+type TransportError struct {
+	// Path is the API path the attempt targeted.
+	Path string
+	// Err is the underlying transport or decode error.
+	Err error
+}
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("client: %s: transport: %v", e.Path, e.Err)
+}
+
+// Unwrap supports errors.Is/As on the underlying cause.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// breakerOpenError is the attempt "failure" recorded when the endpoint's
+// breaker fails a call fast without touching the network.
+type breakerOpenError struct {
+	path      string
+	remaining time.Duration
+}
+
+func (e *breakerOpenError) Error() string {
+	return fmt.Sprintf("client: %s: circuit breaker open (retry in %v)", e.path, e.remaining)
+}
+
+// AttemptTrace records one attempt of a retried call, in order.
+type AttemptTrace struct {
+	// Err is what the attempt failed with.
+	Err error
+	// Wait is how long the client backed off after this attempt
+	// (0 for the final one).
+	Wait time.Duration
+}
+
+// RetryExhaustedError reports a call that stayed retryable to the end:
+// attempts ran out or the context expired mid-backoff. It unwraps to the
+// last attempt's error, so errors.As against *serveapi.Error and
+// *TransportError keeps working. Non-retryable failures are returned
+// bare, never wrapped.
+type RetryExhaustedError struct {
+	// Path is the API path of the call.
+	Path string
+	// Attempts holds the per-attempt traces in order.
+	Attempts []AttemptTrace
+	// Err is the last attempt's error.
+	Err error
+}
+
+// Error implements error, summarizing the attempt trail.
+func (e *RetryExhaustedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "client: %s: retries exhausted after %d attempts: %v", e.Path, len(e.Attempts), e.Err)
+	if n := len(e.Attempts); n > 1 {
+		b.WriteString(" (trace:")
+		for i, a := range e.Attempts {
+			fmt.Fprintf(&b, " #%d %v", i+1, a.Err)
+			if a.Wait > 0 {
+				fmt.Fprintf(&b, " +%v", a.Wait.Round(time.Millisecond))
+			}
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Unwrap supports errors.Is/As on the final attempt's error.
+func (e *RetryExhaustedError) Unwrap() error { return e.Err }
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-endpoint circuit breaker. Only transport-level
+// failures count against it; typed wire errors are proof of a live
+// server and reset the streak.
+type breaker struct {
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// allow reports whether a call may proceed. In half-open state exactly
+// one probe is admitted at a time; everyone else fails fast until the
+// probe reports back.
+func (b *breaker) allow(now time.Time, cooldown time.Duration, sink obs.Sink) (remaining time.Duration, probe, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return 0, false, true
+	case breakerOpen:
+		if since := now.Sub(b.openedAt); since < cooldown {
+			return cooldown - since, false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		sink.Add(obs.ClientBreakerProbes, 1)
+		return 0, true, true
+	default: // half-open
+		if b.probing {
+			return cooldown, false, false
+		}
+		b.probing = true
+		sink.Add(obs.ClientBreakerProbes, 1)
+		return 0, true, true
+	}
+}
+
+// onSuccess closes the breaker (a typed wire error counts as success
+// here: the server is alive).
+func (b *breaker) onSuccess(sink obs.Sink) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		sink.Add(obs.ClientBreakerClosed, 1)
+	}
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// onTransportFailure records a transport-level failure, opening the
+// breaker at the threshold or re-opening it when a probe fails.
+func (b *breaker) onTransportFailure(now time.Time, threshold int, sink obs.Sink) {
+	if threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		sink.Add(obs.ClientBreakerOpened, 1)
+	case breakerClosed:
+		if b.fails >= threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			sink.Add(obs.ClientBreakerOpened, 1)
+		}
+	}
+}
+
+// breakerFor returns the endpoint's breaker, creating it lazily.
+func (c *Client) breakerFor(path string) *breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[path]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[path] = b
+	}
+	return b
+}
+
+// doRetry runs one API call under the retry policy and breaker.
+// attempt performs a single try and returns its error; it must be safe
+// to call repeatedly (post re-creates the body reader each time).
+func (c *Client) doRetry(ctx context.Context, path string, attempt func() error) error {
+	c.sink.Add(obs.ClientRequests, 1)
+	p := c.retry
+	max := p.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	br := c.breakerFor(path)
+	var trace []AttemptTrace
+	for n := 0; ; n++ {
+		var err error
+		if p.BreakerThreshold > 0 {
+			if remaining, _, ok := br.allow(c.now(), p.BreakerCooldown, c.sink); !ok {
+				c.sink.Add(obs.ClientBreakerFastFails, 1)
+				err = &breakerOpenError{path: path, remaining: remaining}
+			}
+		}
+		if err == nil {
+			c.sink.Add(obs.ClientAttempts, 1)
+			err = attempt()
+			switch err.(type) {
+			case nil, *serveapi.Error:
+				// The wire contract answered: the server is alive.
+				if p.BreakerThreshold > 0 {
+					br.onSuccess(c.sink)
+				}
+			case *TransportError:
+				br.onTransportFailure(c.now(), p.BreakerThreshold, c.sink)
+			default:
+				// Caller-side failure (context canceled, encode error):
+				// no verdict on the server, breaker untouched.
+			}
+		}
+		if err == nil {
+			c.sink.Observe(obs.ClientAttemptsPerRequest, int64(n)+1)
+			return nil
+		}
+		trace = append(trace, AttemptTrace{Err: err})
+		fail := func(final error) error {
+			c.sink.Observe(obs.ClientAttemptsPerRequest, int64(len(trace)))
+			return final
+		}
+		retryAfter, ok := retryable(err)
+		if !ok {
+			// Non-retryable errors surface bare so callers keep
+			// type-asserting *serveapi.Error directly.
+			return fail(err)
+		}
+		if n+1 >= max {
+			c.sink.Add(obs.ClientRetriesExhausted, 1)
+			return fail(&RetryExhaustedError{Path: path, Attempts: trace, Err: err})
+		}
+		wait := p.backoff(n, retryAfter, c.rand)
+		if deadline, has := ctx.Deadline(); has && c.now().Add(wait).After(deadline) {
+			// The backoff would outlive the caller's deadline: honoring
+			// it cannot succeed, so report exhaustion now.
+			c.sink.Add(obs.ClientRetriesExhausted, 1)
+			return fail(&RetryExhaustedError{Path: path, Attempts: trace, Err: err})
+		}
+		trace[len(trace)-1].Wait = wait
+		c.sink.Add(obs.ClientRetries, 1)
+		c.sink.Observe(obs.ClientRetryWaitMillis, wait.Milliseconds())
+		if serr := c.sleep(ctx, wait); serr != nil {
+			c.sink.Add(obs.ClientRetriesExhausted, 1)
+			return fail(&RetryExhaustedError{Path: path, Attempts: trace, Err: err})
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until the context is done, returning the
+// context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// jitter is the default full-jitter source.
+func jitter() float64 { return rand.Float64() }

@@ -10,6 +10,8 @@
 //	ftserved -addr :8433 -metrics-addr :8080
 //	ftserved -addr :8433 -rate 100 -burst 200 -max-inflight 32
 //	ftserved -addr :8433 -cache 128 -max-workers 4
+//	ftserved -addr :8433 -shed-after 50 -shed-window 10s
+//	ftserved -addr :8433 -fault-spec 'reset:p=0.05;corrupt:p=0.03' -fault-seed 7
 //
 // Endpoints (all POST bodies carry {"format":"ftsched-api/v1",...}):
 //
@@ -25,7 +27,15 @@
 // Admission control is per tenant (the X-FTSched-Tenant header): an empty
 // token bucket rejects with HTTP 429 and a retry-after hint, a full
 // in-flight cap with HTTP 503 — always as typed JSON error bodies, never
-// dropped connections. On SIGTERM/SIGINT the server drains: new requests
+// dropped connections. With -shed-after, sustained admission pressure
+// degrades the server gracefully: expensive endpoints (certify, chaos,
+// then synthesize/reload) are shed with retryable typed 503s while
+// dispatch and eval stay up, and /v1/healthz walks ok → degraded →
+// draining. With -fault-spec, a deterministic seeded fault injector
+// (internal/faultwire) wraps the API — latency, typed errors, connection
+// resets, truncated and corrupted bodies — for resilience testing of
+// clients; health and metrics endpoints stay clean.
+// On SIGTERM/SIGINT the server drains: new requests
 // get a typed 503 "draining", accepted requests run to completion, and
 // the -metrics-addr endpoint flushes in-flight scrapes before the process
 // exits.
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	"ftsched/internal/cli"
+	"ftsched/internal/faultwire"
 	"ftsched/internal/obs"
 	"ftsched/internal/serve"
 )
@@ -63,6 +74,10 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "per-tenant concurrent request cap (0 = unlimited)")
 		maxWorkers  = flag.Int("max-workers", 0, "clamp per-request worker hints to this many goroutines (0 = no clamp; results are identical for any value)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for accepted requests before giving up")
+		shedAfter   = flag.Int("shed-after", 0, "admission rejections within -shed-window that degrade the server and shed expensive endpoints (0 = never shed)")
+		shedWindow  = flag.Duration("shed-window", 10*time.Second, "sliding window for -shed-after")
+		faultSpec   = flag.String("fault-spec", "", "inject deterministic wire faults on API requests (e.g. 'latency:p=0.1,ms=20;reset:p=0.05'; see internal/faultwire)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed of the -fault-spec injection schedule")
 	)
 	flag.Parse()
 
@@ -84,13 +99,27 @@ func main() {
 		},
 		Metrics:    collector,
 		MaxWorkers: *maxWorkers,
+		Overload: serve.OverloadConfig{
+			Window:       *shedWindow,
+			DegradeAfter: *shedAfter,
+		},
 	})
+
+	handler := srv.Handler()
+	if *faultSpec != "" {
+		spec, err := faultwire.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		handler = faultwire.New(spec, *faultSeed, srv.Metrics()).Middleware(handler)
+		fmt.Fprintf(os.Stderr, "ftserved: injecting wire faults (spec %q, seed %d)\n", *faultSpec, *faultSeed)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "ftserved: serving ftsched-api/v1 on http://%s/v1/\n", ln.Addr())

@@ -48,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"math/rand"
 
@@ -107,6 +108,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and /debug/pprof on this address (e.g. :8080) for the lifetime of the run")
 		remote      = flag.String("remote", "", "base URL of an ftserved (e.g. http://127.0.0.1:8433): run the FTQS table (or -chaos) through the service instead of in-process")
 		tenant      = flag.String("tenant", "", "with -remote: tenant to account the requests against (X-FTSched-Tenant)")
+		retries     = flag.Int("retries", 5, "with -remote: total attempts per request through the self-healing client (1 = no retries); retryable rejections and wire faults are retried with capped full-jitter backoff")
+		retryBase   = flag.Duration("retry-base", 25*time.Millisecond, "with -remote: base backoff delay between retries")
 
 		chaosMode   = flag.Bool("chaos", false, "run a seeded chaos campaign (out-of-model injection) instead of the Monte-Carlo table")
 		chaosCycles = flag.Int("chaos-cycles", 1000, "chaos: cycles per campaign")
@@ -182,7 +185,7 @@ func main() {
 		if *treeIn != "" || *replay != "" || *trace || *ceOut != "" {
 			fatal(fmt.Errorf("-remote supports the Monte-Carlo table and -chaos only (not -tree, -replay, -trace or -ce-out)"))
 		}
-		runRemote(app, *remote, *tenant, *m, *scenarios, *seed, *workers, *chaosMode, chaosCfg)
+		runRemote(app, *remote, *tenant, *m, *scenarios, *seed, *workers, *retries, *retryBase, *chaosMode, chaosCfg)
 		return
 	}
 
@@ -451,10 +454,20 @@ func printTableRow(name string, f int, st sim.MCStats, base float64) {
 // local FTQS run row for row. The FTSS/FTSF baselines are local-only
 // constructions the service does not expose; rerun without -remote for
 // the full comparison table.
-func runRemote(app *model.Application, baseURL, tenant string, m, scenarios int, seed int64, workers int, chaosMode bool, chaosCfg chaos.Config) {
+func runRemote(app *model.Application, baseURL, tenant string, m, scenarios int, seed int64, workers, retries int, retryBase time.Duration, chaosMode bool, chaosCfg chaos.Config) {
 	var opts []client.Option
 	if tenant != "" {
 		opts = append(opts, client.WithTenant(tenant))
+	}
+	if retries > 1 {
+		// The self-healing client rides out admission rejections, wire
+		// faults and server restarts; results are byte-identical to a
+		// fault-free run because retries are idempotent under the
+		// server's SHA-256 tree cache.
+		policy := client.DefaultRetryPolicy()
+		policy.MaxAttempts = retries
+		policy.BaseDelay = retryBase
+		opts = append(opts, client.WithRetryPolicy(policy))
 	}
 	cl := client.New(baseURL, opts...)
 

@@ -112,6 +112,39 @@ const (
 	ServeCacheHits
 	ServeCacheMisses
 	ServeReloads
+	// ServeShed counts requests to expensive endpoints (certify, chaos)
+	// rejected because the server was degraded by sustained overload;
+	// ServeDegraded counts transitions of the health state machine into
+	// the degraded state.
+	ServeShed
+	ServeDegraded
+
+	// FaultwireInjections counts wire faults injected by the faultwire
+	// middleware (all kinds); the per-kind counters below sum to it.
+	FaultwireInjections
+	FaultwireLatency
+	FaultwireErrors
+	FaultwireResets
+	FaultwireTruncates
+	FaultwireCorrupts
+
+	// ClientRequests counts logical API calls issued by the retrying
+	// client; ClientAttempts counts HTTP attempts (>= requests);
+	// ClientRetries counts re-attempts after a retryable failure;
+	// ClientRetriesExhausted counts calls that failed with a
+	// RetryExhaustedError after the attempt budget ran out.
+	ClientRequests
+	ClientAttempts
+	ClientRetries
+	ClientRetriesExhausted
+	// ClientBreakerOpened / ClientBreakerClosed count circuit-breaker
+	// state transitions; ClientBreakerProbes counts half-open probe
+	// attempts; ClientBreakerFastFails counts attempts short-circuited
+	// while the breaker was open.
+	ClientBreakerOpened
+	ClientBreakerClosed
+	ClientBreakerProbes
+	ClientBreakerFastFails
 
 	numCounters
 )
@@ -158,6 +191,22 @@ var counterNames = [numCounters]string{
 	ServeCacheHits:          "ftsched_serve_cache_hits_total",
 	ServeCacheMisses:        "ftsched_serve_cache_misses_total",
 	ServeReloads:            "ftsched_serve_reloads_total",
+	ServeShed:               "ftsched_serve_shed_total",
+	ServeDegraded:           "ftsched_serve_degraded_transitions_total",
+	FaultwireInjections:     "ftsched_faultwire_injections_total",
+	FaultwireLatency:        "ftsched_faultwire_latency_injections_total",
+	FaultwireErrors:         "ftsched_faultwire_error_injections_total",
+	FaultwireResets:         "ftsched_faultwire_reset_injections_total",
+	FaultwireTruncates:      "ftsched_faultwire_truncate_injections_total",
+	FaultwireCorrupts:       "ftsched_faultwire_corrupt_injections_total",
+	ClientRequests:          "ftsched_client_requests_total",
+	ClientAttempts:          "ftsched_client_attempts_total",
+	ClientRetries:           "ftsched_client_retries_total",
+	ClientRetriesExhausted:  "ftsched_client_retries_exhausted_total",
+	ClientBreakerOpened:     "ftsched_client_breaker_opened_total",
+	ClientBreakerClosed:     "ftsched_client_breaker_closed_total",
+	ClientBreakerProbes:     "ftsched_client_breaker_probes_total",
+	ClientBreakerFastFails:  "ftsched_client_breaker_fast_fails_total",
 }
 
 var counterHelp = [numCounters]string{
@@ -197,6 +246,22 @@ var counterHelp = [numCounters]string{
 	ServeCacheHits:          "Compiled-tree cache lookups served from an existing entry.",
 	ServeCacheMisses:        "Compiled-tree cache lookups that synthesised and compiled a new entry.",
 	ServeReloads:            "Hot tree recompilations atomically swapped into the cache.",
+	ServeShed:               "Expensive-endpoint requests (certify, chaos) shed while the server was degraded.",
+	ServeDegraded:           "Health state machine transitions into the degraded state.",
+	FaultwireInjections:     "Wire faults injected by the faultwire middleware (all kinds).",
+	FaultwireLatency:        "Injected request latency faults.",
+	FaultwireErrors:         "Injected typed wire-error responses.",
+	FaultwireResets:         "Injected mid-body connection resets.",
+	FaultwireTruncates:      "Injected truncated response bodies.",
+	FaultwireCorrupts:       "Injected corrupted response bodies.",
+	ClientRequests:          "Logical API calls issued by the retrying client.",
+	ClientAttempts:          "HTTP attempts issued by the retrying client (>= requests).",
+	ClientRetries:           "Client re-attempts after a retryable failure.",
+	ClientRetriesExhausted:  "Client calls abandoned after the attempt budget ran out.",
+	ClientBreakerOpened:     "Circuit-breaker transitions to the open state.",
+	ClientBreakerClosed:     "Circuit-breaker transitions back to the closed state.",
+	ClientBreakerProbes:     "Half-open circuit-breaker probe attempts.",
+	ClientBreakerFastFails:  "Client attempts short-circuited by an open circuit breaker.",
 }
 
 // Name returns the stable metric name of the counter ("" for an
@@ -243,6 +308,12 @@ const (
 	// dispatch request — the wire amortisation factor.
 	ServeBatchCycles
 
+	// ClientAttemptsPerRequest is the number of HTTP attempts one logical
+	// client call took (1 = first try succeeded); ClientRetryWaitMillis is
+	// the backoff waited before each re-attempt, in milliseconds.
+	ClientAttemptsPerRequest
+	ClientRetryWaitMillis
+
 	numHistograms
 )
 
@@ -260,6 +331,9 @@ var histogramNames = [numHistograms]string{
 	DispatchCycleEnergy:      "ftsched_dispatch_cycle_energy",
 	ServeRequestNanos:        "ftsched_serve_request_nanoseconds",
 	ServeBatchCycles:         "ftsched_serve_batch_cycles",
+
+	ClientAttemptsPerRequest: "ftsched_client_attempts_per_request",
+	ClientRetryWaitMillis:    "ftsched_client_retry_wait_milliseconds",
 }
 
 var histogramHelp = [numHistograms]string{
@@ -273,6 +347,9 @@ var histogramHelp = [numHistograms]string{
 	DispatchCycleEnergy:      "Total platform energy (active + idle, rounded) per dispatched cycle.",
 	ServeRequestNanos:        "Handler latency per admitted API request, nanoseconds.",
 	ServeBatchCycles:         "Cycles carried per batch dispatch request.",
+
+	ClientAttemptsPerRequest: "HTTP attempts per logical client call (1 = first try succeeded).",
+	ClientRetryWaitMillis:    "Backoff waited before each client re-attempt, milliseconds.",
 }
 
 // Name returns the stable metric name of the histogram ("" for an

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ftsched/internal/obs"
+)
+
+// OverloadConfig governs graceful degradation: when admission rejections
+// (rate-limit 429s and in-flight 503s) pile up inside a sliding window,
+// the server starts shedding whole endpoints — most expensive first —
+// with typed, retryable 503s, keeping the cheap real-time path alive.
+//
+// Two tiers, by endpoint cost:
+//
+//	degraded  (≥ DegradeAfter rejections): shed certify and chaos — the
+//	          exhaustive engines, worth minutes of CPU per request
+//	critical  (≥ CriticalAfter rejections): also shed synthesize and
+//	          reload — tree compilation is seconds of CPU
+//
+// dispatch and eval are never shed: they are the microsecond-per-cycle
+// paths embedded devices depend on, and the whole point of degrading is
+// to protect them. Shed responses bypass admission entirely, so they
+// never feed the rejection window back into itself — the window drains
+// as pressure falls and the server re-enters ok on its own.
+//
+// The zero value disables shedding (DegradeAfter 0).
+type OverloadConfig struct {
+	// Window is the sliding window rejections are counted over
+	// (default 10s).
+	Window time.Duration
+	// DegradeAfter is the rejection count within Window at which the
+	// server enters degraded state (0 disables shedding entirely).
+	DegradeAfter int
+	// CriticalAfter is the count at which the server enters critical
+	// state (default 4× DegradeAfter).
+	CriticalAfter int
+	// RetryAfterMillis is the retry hint on shed responses
+	// (default 250).
+	RetryAfterMillis int64
+}
+
+// withDefaults fills unset knobs.
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.CriticalAfter <= 0 {
+		c.CriticalAfter = 4 * c.DegradeAfter
+	}
+	if c.RetryAfterMillis <= 0 {
+		c.RetryAfterMillis = 250
+	}
+	return c
+}
+
+// Health states of the shedding state machine, surfaced on /v1/healthz.
+// Both shed tiers report "degraded" on the wire; the Shedding list says
+// how deep the degradation goes.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+	HealthDraining = "draining"
+)
+
+// shedClass maps each endpoint to the overload level at which it is
+// shed; endpoints absent from the map are never shed.
+var shedClass = map[string]int{
+	"certify":    1,
+	"chaos":      1,
+	"synthesize": 2,
+	"reload":     2,
+}
+
+// shedder tracks admission rejections over a sliding window and decides
+// the overload level. It is deliberately simple — a pruned timestamp
+// list under a mutex — because it only sees rejections, which are rare
+// by construction, never the request hot path.
+type shedder struct {
+	cfg  OverloadConfig
+	sink obs.Sink
+
+	mu        sync.Mutex
+	times     []time.Time
+	lastLevel int
+}
+
+func newShedder(cfg OverloadConfig, sink obs.Sink) *shedder {
+	return &shedder{cfg: cfg.withDefaults(), sink: sink}
+}
+
+// enabled reports whether shedding is configured at all.
+func (sh *shedder) enabled() bool { return sh.cfg.DegradeAfter > 0 }
+
+// prune drops rejections older than the window. Callers hold sh.mu.
+func (sh *shedder) prune(now time.Time) {
+	cut := now.Add(-sh.cfg.Window)
+	i := 0
+	for i < len(sh.times) && !sh.times[i].After(cut) {
+		i++
+	}
+	if i > 0 {
+		sh.times = append(sh.times[:0], sh.times[i:]...)
+	}
+}
+
+// record notes one admission rejection.
+func (sh *shedder) record(now time.Time) {
+	if !sh.enabled() {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.prune(now)
+	sh.times = append(sh.times, now)
+}
+
+// level returns the current overload level: 0 ok, 1 degraded,
+// 2 critical. Entering a degraded or critical state from below emits
+// ServeDegraded.
+func (sh *shedder) level(now time.Time) int {
+	if !sh.enabled() {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.prune(now)
+	lvl := 0
+	switch n := len(sh.times); {
+	case n >= sh.cfg.CriticalAfter:
+		lvl = 2
+	case n >= sh.cfg.DegradeAfter:
+		lvl = 1
+	}
+	if lvl > sh.lastLevel {
+		sh.sink.Add(obs.ServeDegraded, 1)
+	}
+	sh.lastLevel = lvl
+	return lvl
+}
+
+// shedding lists the endpoints shed at a level, sorted for stable wire
+// output.
+func shedding(level int) []string {
+	if level <= 0 {
+		return nil
+	}
+	var names []string
+	for name, min := range shedClass {
+		if level >= min {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// healthStatus names a level (draining is decided by the caller).
+func healthStatus(level int) string {
+	if level > 0 {
+		return HealthDegraded
+	}
+	return HealthOK
+}

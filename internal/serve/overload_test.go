@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ftsched/internal/obs"
+	"ftsched/internal/serveapi"
+)
+
+// overloadServer builds a server with a fake clock, a tight rate limit
+// (so rejections are easy to provoke) and shedding enabled at 3
+// rejections per 10s window (critical at 12).
+func overloadServer(t *testing.T) (*Server, *httptest.Server, *time.Time) {
+	t.Helper()
+	clock := time.Unix(1_700_000_000, 0)
+	s, ts := newTestServer(t, Config{
+		Limits:   Limits{RatePerSec: 1, Burst: 1},
+		Overload: OverloadConfig{Window: 10 * time.Second, DegradeAfter: 3},
+		Now:      func() time.Time { return clock },
+	})
+	return s, ts, &clock
+}
+
+// health fetches /v1/healthz.
+func health(t *testing.T, url string) serveapi.HealthResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h serveapi.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	return h
+}
+
+// reject provokes n admission rejections (the burst-1 bucket rejects
+// every request after the first in the same instant).
+func reject(t *testing.T, url string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		code := post(t, url+"/v1/eval", "", serveapi.EvalRequest{Format: serveapi.FormatV1}, nil)
+		if code != http.StatusTooManyRequests && code != http.StatusNotFound && code != http.StatusBadRequest {
+			t.Fatalf("rejection probe %d returned %d", i, code)
+		}
+	}
+}
+
+func TestOverloadShedsExpensiveBeforeCheap(t *testing.T) {
+	s, ts, clock := overloadServer(t)
+
+	if h := health(t, ts.URL); h.Status != HealthOK || len(h.Shedding) != 0 {
+		t.Fatalf("fresh server health = %+v, want ok with no shedding", h)
+	}
+
+	// Burn the single token, then provoke 3 rate-limit rejections:
+	// enough for degraded, not critical.
+	post(t, ts.URL+"/v1/eval", "", serveapi.EvalRequest{Format: serveapi.FormatV1}, nil)
+	reject(t, ts.URL, 3)
+
+	h := health(t, ts.URL)
+	if h.Status != HealthDegraded {
+		t.Fatalf("health after 3 rejections = %q, want degraded", h.Status)
+	}
+	if want := []string{"certify", "chaos"}; !equalStrings(h.Shedding, want) {
+		t.Fatalf("degraded shedding = %v, want %v", h.Shedding, want)
+	}
+
+	// Degraded: certify and chaos are refused with a retryable typed
+	// 503 before admission — even though the token bucket would also
+	// have rejected, the shed answer must not consume tokens or feed
+	// the rejection window.
+	werr := wireErr(t, ts.URL+"/v1/certify", "", serveapi.CertifyRequest{Format: serveapi.FormatV1},
+		http.StatusServiceUnavailable, serveapi.KindOverloaded)
+	if werr.RetryAfterMillis <= 0 {
+		t.Errorf("shed response carries no RetryAfterMillis: %+v", werr)
+	}
+	wireErr(t, ts.URL+"/v1/chaos", "", serveapi.ChaosRequest{Format: serveapi.FormatV1},
+		http.StatusServiceUnavailable, serveapi.KindOverloaded)
+	if got := s.Metrics().Counter(obs.ServeShed); got != 2 {
+		t.Errorf("ServeShed = %d, want 2", got)
+	}
+	if got := s.Metrics().Counter(obs.ServeDegraded); got == 0 {
+		t.Error("ServeDegraded never fired on the ok→degraded transition")
+	}
+
+	// Cheap endpoints still reach admission in degraded state: eval is
+	// answered by the token bucket (429), not the shedder (503).
+	wireErr(t, ts.URL+"/v1/eval", "", serveapi.EvalRequest{Format: serveapi.FormatV1},
+		http.StatusTooManyRequests, serveapi.KindRateLimited)
+
+	// Push to critical: synthesize and reload join the shed list, but
+	// dispatch and eval are never shed.
+	reject(t, ts.URL, 12)
+	h = health(t, ts.URL)
+	if want := []string{"certify", "chaos", "reload", "synthesize"}; !equalStrings(h.Shedding, want) {
+		t.Fatalf("critical shedding = %v, want %v", h.Shedding, want)
+	}
+	wireErr(t, ts.URL+"/v1/synthesize", "", serveapi.SynthesizeRequest{Format: serveapi.FormatV1},
+		http.StatusServiceUnavailable, serveapi.KindOverloaded)
+	wireErr(t, ts.URL+"/v1/eval", "", serveapi.EvalRequest{Format: serveapi.FormatV1},
+		http.StatusTooManyRequests, serveapi.KindRateLimited)
+
+	// The window drains with the clock: 11 fake seconds later the
+	// server is ok again and certify reaches admission.
+	*clock = clock.Add(11 * time.Second)
+	if h := health(t, ts.URL); h.Status != HealthOK || len(h.Shedding) != 0 {
+		t.Fatalf("health after window drain = %+v, want ok", h)
+	}
+	// The bucket refilled with the same clock advance, so certify now
+	// fails on decoding (bad request), proving it passed the shedder.
+	wireErr(t, ts.URL+"/v1/certify", "", serveapi.CertifyRequest{Format: serveapi.FormatV1},
+		http.StatusBadRequest, serveapi.KindBadRequest)
+}
+
+func TestDrainingTrumpsDegraded(t *testing.T) {
+	s, ts, _ := overloadServer(t)
+	post(t, ts.URL+"/v1/eval", "", serveapi.EvalRequest{Format: serveapi.FormatV1}, nil)
+	reject(t, ts.URL, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if h := health(t, ts.URL); h.Status != HealthDraining {
+		t.Fatalf("draining degraded server reports %q, want draining", h.Status)
+	}
+}
+
+func TestSheddingDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{Limits: Limits{RatePerSec: 1, Burst: 1}})
+	post(t, ts.URL+"/v1/eval", "", serveapi.EvalRequest{Format: serveapi.FormatV1}, nil)
+	for i := 0; i < 50; i++ {
+		post(t, ts.URL+"/v1/eval", "", serveapi.EvalRequest{Format: serveapi.FormatV1}, nil)
+	}
+	if h := health(t, ts.URL); h.Status != HealthOK {
+		t.Fatalf("zero-value Overload config degraded the server: %+v", h)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

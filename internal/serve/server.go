@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,9 @@ type Config struct {
 	// MaxWorkers clamps per-request worker hints (0 = no clamp). On a
 	// shared server this keeps one request from oversubscribing the host.
 	MaxWorkers int
+	// Overload governs graceful degradation under sustained admission
+	// pressure (zero value = shedding disabled).
+	Overload OverloadConfig
 	// Now overrides the admission clock (tests); nil = time.Now.
 	Now func() time.Time
 }
@@ -76,6 +80,7 @@ type Server struct {
 	metrics *obs.Metrics
 	cache   *Cache
 	tenants *tenants
+	shed    *shedder
 	now     func() time.Time
 
 	draining atomic.Bool
@@ -98,15 +103,16 @@ func New(cfg Config) *Server {
 		metrics: m,
 		cache:   NewCache(cfg.CacheSize, m),
 		tenants: newTenants(cfg.Limits),
+		shed:    newShedder(cfg.Overload, m),
 		now:     now,
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/synthesize", s.wrap(s.synthesize))
-	mux.HandleFunc("POST /v1/eval", s.wrap(s.eval))
-	mux.HandleFunc("POST /v1/certify", s.wrap(s.certify))
-	mux.HandleFunc("POST /v1/chaos", s.wrap(s.chaos))
-	mux.HandleFunc("POST /v1/dispatch", s.wrap(s.dispatch))
-	mux.HandleFunc("POST /v1/reload", s.wrap(s.reload))
+	mux.HandleFunc("POST /v1/synthesize", s.wrap("synthesize", s.synthesize))
+	mux.HandleFunc("POST /v1/eval", s.wrap("eval", s.eval))
+	mux.HandleFunc("POST /v1/certify", s.wrap("certify", s.certify))
+	mux.HandleFunc("POST /v1/chaos", s.wrap("chaos", s.chaos))
+	mux.HandleFunc("POST /v1/dispatch", s.wrap("dispatch", s.dispatch))
+	mux.HandleFunc("POST /v1/reload", s.wrap("reload", s.reload))
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	mux.HandleFunc("/v1/tenants/{tenant}/", s.tenantMetrics)
 	s.mux = mux
@@ -146,8 +152,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 type endpoint func(ctx context.Context, t *Tenant, body []byte) (any, *serveapi.Error)
 
 // wrap is the request gate shared by every POST endpoint: drain check,
-// admission control, bounded body read, execution, instrumentation.
-func (s *Server) wrap(fn endpoint) http.HandlerFunc {
+// overload shedding, admission control, bounded body read, execution,
+// instrumentation.
+func (s *Server) wrap(name string, fn endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// Admission order matters for the drain contract: the WaitGroup
 		// registration happens before the drain re-check, so Drain's
@@ -162,12 +169,39 @@ func (s *Server) wrap(fn endpoint) http.HandlerFunc {
 			})
 			return
 		}
+		// Shedding sits before admission so shed responses neither
+		// consume tenant tokens nor count as rejections — the window
+		// only measures genuine admission pressure, and therefore
+		// drains (and the server recovers) once clients back off.
+		if min, shed := shedClass[name]; shed && s.shed.level(s.now()) >= min {
+			s.metrics.Add(obs.ServeShed, 1)
+			writeError(w, &serveapi.Error{
+				Code: http.StatusServiceUnavailable, Kind: serveapi.KindOverloaded,
+				Message:          "shedding " + name + " under overload",
+				Tenant:           tenant.name,
+				RetryAfterMillis: s.shed.cfg.RetryAfterMillis,
+			})
+			return
+		}
 		done, werr := tenant.admit(s.now())
 		if werr != nil {
+			s.shed.record(s.now())
 			writeError(w, werr)
 			return
 		}
 		defer done()
+
+		ctx := r.Context()
+		if ms := r.Header.Get(serveapi.DeadlineHeader); ms != "" {
+			// The caller shipped its remaining budget: cancel engine
+			// work server-side once the client has given up on it.
+			if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
 
 		start := s.now()
 		body, err := io.ReadAll(io.LimitReader(r.Body, serveapi.MaxRequestBytes+1))
@@ -409,16 +443,22 @@ func (s *Server) reload(ctx context.Context, t *Tenant, body []byte) (any, *serv
 }
 
 // healthz is served outside the admission gate: load balancers and drain
-// watchers must see the server even when every tenant is saturated.
+// watchers must see the server even when every tenant is saturated. The
+// Status field walks the ok → degraded → draining state machine:
+// degraded while the overload shedder is active (Shedding lists the
+// endpoints currently refused), draining once Drain has begun
+// (terminal — a draining server never reports degraded recovery).
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
+	level := s.shed.level(s.now())
+	status := healthStatus(level)
 	if s.draining.Load() {
-		status = "draining"
+		status = HealthDraining
 	}
 	writeJSON(w, http.StatusOK, serveapi.HealthResponse{
 		Format:   serveapi.FormatV1,
 		Status:   status,
 		Draining: s.draining.Load(),
+		Shedding: shedding(level),
 		Trees:    s.cache.Len(),
 		Tenants:  s.tenants.count(),
 		InFlight: s.tenants.totalInFlight(),

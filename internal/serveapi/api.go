@@ -19,6 +19,12 @@ const TenantHeader = "X-FTSched-Tenant"
 // DefaultTenant is the tenant requests without a TenantHeader land in.
 const DefaultTenant = "default"
 
+// DeadlineHeader is the HTTP header carrying the caller's remaining
+// per-request budget in milliseconds. The server maps it onto the
+// request context so engine work the caller will never see is canceled
+// server-side instead of running to completion.
+const DeadlineHeader = "X-FTSched-Deadline-Millis"
+
 // Error kinds. Every non-2xx ftserved response body is an ErrorResponse
 // whose Error carries one of these kinds — clients branch on Kind, never
 // on message text.
@@ -55,6 +61,26 @@ const (
 	// KindInternal: an unexpected server-side failure (HTTP 500).
 	KindInternal = "internal"
 )
+
+// AllKinds lists every error kind of the taxonomy, in declaration order.
+// A lockstep test pins it against the Kind* constants so additions to
+// either are caught, and the client's retryable/non-retryable
+// classification is table-tested over exactly this list.
+func AllKinds() []string {
+	return []string{
+		KindBadRequest,
+		KindUnknownFormat,
+		KindInvalidConfig,
+		KindInvalidApp,
+		KindUnknownTree,
+		KindUnschedulable,
+		KindCounterexample,
+		KindRateLimited,
+		KindOverloaded,
+		KindDraining,
+		KindInternal,
+	}
+}
 
 // Error is the typed wire error: admission-control rejections, decode
 // failures and evaluation verdicts all surface as JSON bodies of this
@@ -363,12 +389,18 @@ type ReloadResponse struct {
 	Generation int `json:"generation"`
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// HealthResponse is the body of GET /v1/healthz. Status walks the
+// ok → degraded → draining state machine: "degraded" while the overload
+// shedder refuses the endpoints listed in Shedding, "draining" once
+// shutdown has begun.
 type HealthResponse struct {
 	Format   string `json:"format"`
 	Status   string `json:"status"`
 	Draining bool   `json:"draining"`
-	Trees    int    `json:"trees"`
-	Tenants  int    `json:"tenants"`
-	InFlight int64  `json:"in_flight"`
+	// Shedding lists the endpoints currently shed under overload
+	// (sorted; empty when Status is "ok" or "draining").
+	Shedding []string `json:"shedding,omitempty"`
+	Trees    int      `json:"trees"`
+	Tenants  int      `json:"tenants"`
+	InFlight int64    `json:"in_flight"`
 }
