@@ -25,6 +25,9 @@ var (
 	_ ftsched.Sink              = ftsched.NopSink{}
 	_ [3]ftsched.ProcessOutcome = [...]ftsched.ProcessOutcome{ftsched.NotScheduled, ftsched.Completed, ftsched.AbandonedByFault}
 	_ ftsched.TraceEventKind
+	_ [3]ftsched.RecoveryKind = [...]ftsched.RecoveryKind{ftsched.RecoverReExecution, ftsched.RecoverRestart, ftsched.RecoverCheckpoint}
+	_ ftsched.RecoveryModel
+	_ *ftsched.RecoveryError
 )
 
 // TestAPITreeLifecycle exercises the persistence, tracing and reporting

@@ -280,6 +280,80 @@ func TestHeteroCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRecoveryCLIEndToEnd runs the README's "Recovery models" walkthrough
+// verbatim (argument for argument; binaries are prebuilt instead of
+// `go run`): generate a checkpointing application, synthesise and verify
+// a v4 tree, evaluate it from the stored file, and attach a model to a
+// fixture via -recovery. Skipped with -short.
+func TestRecoveryCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	ftgen := build("ftgen")
+	ftsched := build("ftsched")
+	ftsim := build("ftsim")
+
+	run := func(binary string, args ...string) string {
+		cmd := exec.Command(binary, args...)
+		cmd.Dir = bin
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(binary), args, err, b)
+		}
+		return string(b)
+	}
+
+	run(ftgen, "-n", "12", "-seed", "7", "-recovery", "checkpoint:40:3:7", "-o", "cp.json")
+	app, err := os.ReadFile(filepath.Join(bin, "cp.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(app), `"model": "checkpoint"`) {
+		t.Errorf("generated application carries no checkpoint model:\n%.300s", app)
+	}
+	out := run(ftsched, "-app", "cp.json", "-algo", "ftqs", "-m", "8", "-verify",
+		"-tree-format", "compact", "-tree-out", "cp-tree.json")
+	if !strings.Contains(out, "tree verified") {
+		t.Errorf("recovery synthesis output: %q", out)
+	}
+	tree, err := os.ReadFile(filepath.Join(bin, "cp-tree.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tree), `"format":"ftsched-tree/v4"`) ||
+		!strings.Contains(string(tree), `"recovery"`) {
+		t.Errorf("stored recovering tree is not v4 with a recovery model:\n%.200s", tree)
+	}
+	out = run(ftsim, "-app", "cp.json", "-tree", "cp-tree.json", "-scenarios", "20000", "-workers", "4")
+	for _, want := range []string{"loaded and verified tree", "FTQS", "norm%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recovery ftsim output missing %q:\n%s", want, out)
+		}
+	}
+	// Attaching a model to a fixture on the command line.
+	out = run(ftsim, "-fixture", "fig1", "-recovery", "checkpoint:40:3:7", "-m", "8", "-scenarios", "5000")
+	if !strings.Contains(out, "paper-fig1") || !strings.Contains(out, "FTQS") {
+		t.Errorf("fixture recovery ftsim output:\n%s", out)
+	}
+	// A malformed spec is a typed, actionable failure.
+	cmd := exec.Command(ftsim, "-fixture", "fig1", "-recovery", "checkpoint:0:0:0")
+	if b, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("checkpoint:0:0:0 accepted:\n%s", b)
+	} else if !strings.Contains(string(b), "recovery") {
+		t.Errorf("rejection does not name the recovery field:\n%s", b)
+	}
+}
+
 // TestServeCLIEndToEnd runs the README's "Scheduling as a service"
 // walkthrough verbatim (argument for argument; binaries are prebuilt
 // instead of `go run`, and the listen address is an ephemeral port read

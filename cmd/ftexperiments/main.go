@@ -269,6 +269,32 @@ func main() {
 			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
 	}
 
+	runRecovery := func() {
+		cfg := experiments.DefaultRecovery()
+		if *apps > 0 {
+			cfg.Apps = *apps
+		}
+		if *scenarios > 0 {
+			cfg.Scenarios = *scenarios
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *m > 0 {
+			cfg.M = *m
+		}
+		cfg.Workers = *workers
+		cfg.Sink = sink
+		t0 := time.Now()
+		res, err := experiments.Recovery(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d generated apps × %d processes, %d scenarios, %s)\n\n",
+			cfg.Apps, cfg.Processes, cfg.Scenarios, time.Since(t0).Round(time.Millisecond))
+	}
+
 	runChaos := func() {
 		cfg := experiments.DefaultChaos()
 		if *scenarios > 0 {
@@ -309,6 +335,8 @@ func main() {
 		runFTCost()
 	case "energy":
 		runEnergy()
+	case "recovery":
+		runRecovery()
 	case "chaos":
 		runChaos()
 	case "all":
@@ -320,9 +348,10 @@ func main() {
 		runHardRatio()
 		runFTCost()
 		runEnergy()
+		runRecovery()
 		runChaos()
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want fig9, table1, cc, overhead, optgap, hardratio, ftcost, energy, chaos or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig9, table1, cc, overhead, optgap, hardratio, ftcost, energy, recovery, chaos or all)", *exp))
 	}
 	exit(0)
 }

@@ -39,6 +39,7 @@ func main() {
 		slackHi  = flag.Float64("slack-max", 1.15, "maximum period slack over the worst-case load")
 		cores    = flag.Int("cores", 0, "homogeneous platform with this many unit cores (0 keeps the canonical single-core model)")
 		coreSpec = flag.String("core-spec", "", "heterogeneous platform, name:speed:powerActive:powerIdle per core, comma-separated (overrides -cores)")
+		recSpec  = flag.String("recovery", "", cli.RecoveryFlagUsage)
 	)
 	flag.Parse()
 
@@ -94,6 +95,12 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+		}
+		// The recovery model, too, is attached before the probe: the
+		// generated application is certified under the model it ships with.
+		app, err = cli.ApplyRecoverySpec(app, *recSpec)
+		if err != nil {
+			fatal(err)
 		}
 		if !*ensure {
 			break

@@ -45,10 +45,15 @@ func main() {
 		doCert  = flag.Bool("certify", false, "exhaustively certify the result against <= -certify-faults faults through the compiled dispatcher")
 		certFl  = flag.Int("certify-faults", 0, "fault bound for -certify (0 = the application's k)")
 		ceOut   = flag.String("ce-out", "", "write the certification counterexample, if any, as JSON for ftsim -replay")
+		recSpec = flag.String("recovery", "", cli.RecoveryFlagUsage)
 	)
 	flag.Parse()
 
 	app, err := cli.LoadApp(*fixture, *appPath)
+	if err != nil {
+		fatal(err)
+	}
+	app, err = cli.ApplyRecoverySpec(app, *recSpec)
 	if err != nil {
 		fatal(err)
 	}

@@ -122,6 +122,7 @@ func main() {
 		policyName  = flag.String("policy", "", "degrade policy for -chaos and -replay: strict, shed-soft or best-effort (chaos default: shed-soft; replay default: no envelope)")
 		clamp       = flag.Bool("clamp", false, "with a policy: truncate out-of-model durations at WCET (watchdog semantics)")
 		ceOut       = flag.String("ce-out", "", "chaos: write the first offending cycle as a replayable counterexample JSON file")
+		recSpec     = flag.String("recovery", "", cli.RecoveryFlagUsage)
 	)
 	flag.Parse()
 
@@ -143,6 +144,10 @@ func main() {
 	}
 
 	app, err := cli.LoadApp(*fixture, *appPath)
+	if err != nil {
+		fatal(err)
+	}
+	app, err = cli.ApplyRecoverySpec(app, *recSpec)
 	if err != nil {
 		fatal(err)
 	}

@@ -118,6 +118,48 @@ func BiasedMapping(app *Application, p *Platform) Mapping { return model.BiasedM
 // description (the ftgen -core-spec flag syntax).
 func ParseCoreSpec(spec string) (*Platform, error) { return appio.ParseCoreSpec(spec) }
 
+// Recovery-model types. An application canonically recovers by
+// re-execution with overhead µ (the paper's model); WithRecovery attaches
+// a different model — full restart after a fixed latency, or
+// checkpoint-and-rollback — and the whole pipeline (synthesis, worst-case
+// analysis, certification, dispatch, chaos) honours its per-attempt and
+// per-fault costs.
+type (
+	// RecoveryKind discriminates the closed set of recovery models.
+	RecoveryKind = model.RecoveryKind
+	// RecoveryModel describes how a faulted process attempt is recovered;
+	// its zero value is the canonical re-execution model.
+	RecoveryModel = model.RecoveryModel
+	// RecoveryError reports an invalid recovery-model parameter.
+	RecoveryError = model.RecoveryError
+)
+
+// The recovery model kinds.
+const (
+	RecoverReExecution = model.RecoverReExecution
+	RecoverRestart     = model.RecoverRestart
+	RecoverCheckpoint  = model.RecoverCheckpoint
+)
+
+// ReExecutionModel returns the canonical re-execution recovery model.
+func ReExecutionModel() RecoveryModel { return model.ReExecutionModel() }
+
+// RestartModel returns a full-restart recovery model: every fault costs the
+// fixed latency plus a complete re-run.
+func RestartModel(latency Time) RecoveryModel { return model.RestartModel(latency) }
+
+// CheckpointModel returns a checkpoint-and-rollback recovery model:
+// checkpoints every spacing time units (each costing overhead), a fault
+// rolls back to the last checkpoint for rollback plus the final segment.
+func CheckpointModel(spacing, overhead, rollback Time) RecoveryModel {
+	return model.CheckpointModel(spacing, overhead, rollback)
+}
+
+// ParseRecoverySpec parses a "reexec" / "restart:LATENCY" /
+// "checkpoint:SPACING:OVERHEAD:ROLLBACK" recovery-model description (the
+// CLI -recovery flag syntax).
+func ParseRecoverySpec(spec string) (RecoveryModel, error) { return appio.ParseRecoverySpec(spec) }
+
 // Schedule types.
 type (
 	// Entry is one scheduled process with its recovery budget.

@@ -26,6 +26,12 @@ const compactTreeFormat = "ftsched-tree/v2"
 // v2, byte-identical to the pre-platform format.
 const compactTreeFormatV3 = "ftsched-tree/v3"
 
+// compactTreeFormatV4 tags the v4 tree encoding: the v2/v3 layout plus the
+// recovery model the tree's timing was synthesised under. Trees of
+// canonical (re-execution) applications keep encoding as v2 or v3,
+// byte-identical to the pre-recovery formats.
+const compactTreeFormatV4 = "ftsched-tree/v4"
+
 type compactTree struct {
 	Format string        `json:"format"`
 	App    string        `json:"app"`
@@ -38,6 +44,9 @@ type compactTree struct {
 	// indices. Omitted (and required absent) in v2.
 	Platform []jsonCore `json:"platform,omitempty"`
 	Mapping  [][2]int   `json:"mapping,omitempty"`
+	// Recovery is v4-only: the recovery model the tree's guard bounds and
+	// recovery budgets assume. Omitted (and required absent) in v2/v3.
+	Recovery *jsonRecovery `json:"recovery,omitempty"`
 }
 
 type compactNode struct {
@@ -67,8 +76,10 @@ type compactArc struct {
 
 // EncodeTreeCompact writes a quasi-static tree in the compact format:
 // v2 for canonically-mapped applications (byte-identical to the
-// pre-platform encoding) and v3 — v2 plus the platform and mapping the
-// tree's timing depends on — otherwise. DecodeTree reads all formats
+// pre-platform encoding), v3 — v2 plus the platform and mapping the
+// tree's timing depends on — for mapped ones, and v4 — additionally
+// carrying the recovery model — whenever the application's recovery model
+// is not the canonical re-execution. DecodeTree reads all formats
 // transparently.
 func EncodeTreeCompact(w io.Writer, tree *core.Tree) error {
 	app := tree.App
@@ -99,6 +110,10 @@ func EncodeTreeCompact(w io.Writer, tree *core.Tree) error {
 			pid := model.ProcessID(i)
 			ct.Mapping[i] = [2]int{int(app.CoreOf(pid)), int(app.RecoveryCoreOf(pid))}
 		}
+	}
+	if app.HasRecovery() {
+		ct.Format = compactTreeFormatV4
+		ct.Recovery = recoveryJSON(app.Recovery())
 	}
 	for id := range tree.Nodes {
 		n := &tree.Nodes[id]
@@ -158,6 +173,9 @@ func decodeTreeCompact(data []byte, app *model.Application) (*core.Tree, error) 
 		ids[i] = id
 	}
 	if err := checkTreePlatform(&ct, app, ids); err != nil {
+		return nil, err
+	}
+	if err := checkTreeRecovery(&ct, app); err != nil {
 		return nil, err
 	}
 	b := &treeBuilder{
@@ -266,7 +284,18 @@ func checkTreePlatform(ct *compactTree, app *model.Application, ids []model.Proc
 		return nil
 	}
 	if len(ct.Platform) == 0 {
-		return &DecodeError{Path: "platform", Msg: "v3 tree lacks a platform"}
+		if ct.Format == compactTreeFormatV3 {
+			return &DecodeError{Path: "platform", Msg: "v3 tree lacks a platform"}
+		}
+		// A v4 tree of a canonically-mapped application omits the platform,
+		// exactly like v2; it then binds only to such applications.
+		if len(ct.Mapping) > 0 {
+			return &DecodeError{Path: "mapping", Msg: "mapping field requires a platform"}
+		}
+		if mapped {
+			return &DecodeError{Path: "format", Msg: fmt.Sprintf("tree carries no platform but the application is mapped on %s; re-synthesise for the mapped application", app.Platform())}
+		}
+		return nil
 	}
 	plat, err := decodePlatform(ct.Platform)
 	if err != nil {
@@ -290,6 +319,36 @@ func checkTreePlatform(ct *compactTree, app *model.Application, ids []model.Proc
 			return &DecodeError{Path: path, Msg: fmt.Sprintf("process %q is mapped [%d %d] in the tree but [%d %d] in the application",
 				ct.Procs[i], pair[0], pair[1], int(app.CoreOf(pid)), int(app.RecoveryCoreOf(pid)))}
 		}
+	}
+	return nil
+}
+
+// checkTreeRecovery enforces the recovery contract between a compact tree
+// and the application it is being bound to. A tree's guard bounds bake in
+// the per-attempt checkpoint overheads and per-fault recovery costs of the
+// model it was synthesised under, so a mismatch would silently invalidate
+// every schedulability guarantee. v2/v3 trees carry no recovery model and
+// bind only to canonical (re-execution) applications; v4 trees must carry
+// one that matches the application's exactly.
+func checkTreeRecovery(ct *compactTree, app *model.Application) error {
+	if ct.Format != compactTreeFormatV4 {
+		if ct.Recovery != nil {
+			return &DecodeError{Path: "recovery", Msg: fmt.Sprintf("recovery field is not valid in a %q tree", ct.Format)}
+		}
+		if app.HasRecovery() {
+			return &DecodeError{Path: "format", Msg: fmt.Sprintf("tree predates the application's recovery model (%s); re-synthesise for it", app.Recovery())}
+		}
+		return nil
+	}
+	if ct.Recovery == nil {
+		return &DecodeError{Path: "recovery", Msg: "v4 tree lacks a recovery model"}
+	}
+	m, err := decodeRecovery("recovery", ct.Recovery)
+	if err != nil {
+		return err
+	}
+	if m != app.Recovery() {
+		return &DecodeError{Path: "recovery", Msg: fmt.Sprintf("tree was synthesised under recovery %s, application has %s", m, app.Recovery())}
 	}
 	return nil
 }

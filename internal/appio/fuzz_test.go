@@ -55,6 +55,19 @@ func FuzzDecodeApplication(f *testing.F) {
 	f.Add(hdr + `,"mapping":[{"proc":"A","core":"c","recovery":"c"}]}`)
 	f.Add(hdr + `,"platform":[{"name":"c","speed":1,"powerActive":1,"powerIdle":0}],"mapping":[{"proc":"A","core":"nope","recovery":"c"}]}`)
 	f.Add(hdr + `,"platform":[{"name":"c","speed":1,"powerActive":1,"powerIdle":0}],"mapping":[{"proc":"NOPE","core":"c","recovery":"c"}]}`)
+	// Recovery-model seeds: one valid document per model, then the
+	// adversarial rejections (negative latency, zero spacing, overhead at
+	// spacing, overflow-scale rollback, unknown model, muZero conflicts).
+	f.Add(hdr + `,"recovery":{"model":"restart","latency":25}}`)
+	f.Add(hdr + `,"recovery":{"model":"checkpoint","spacing":40,"overhead":3,"rollback":7}}`)
+	f.Add(hdr + `,"recovery":{"model":"re-execution"}}`)
+	f.Add(hdr + `,"recovery":{"model":"restart","latency":-1}}`)
+	f.Add(hdr + `,"recovery":{"model":"checkpoint","spacing":0}}`)
+	f.Add(hdr + `,"recovery":{"model":"checkpoint","spacing":10,"overhead":10}}`)
+	f.Add(hdr + `,"recovery":{"model":"checkpoint","spacing":10,"overhead":1,"rollback":1125899906842624}}`)
+	f.Add(hdr + `,"recovery":{"model":"martian"}}`)
+	f.Add(`{"name":"x","period":10,"k":1,"mu":1,"processes":[{"name":"A","kind":"hard","bcet":1,"aet":1,"wcet":1,"deadline":5,"muZero":true}],"edges":[]}`)
+	f.Add(`{"name":"x","period":10,"k":1,"mu":1,"processes":[{"name":"A","kind":"hard","bcet":1,"aet":1,"wcet":1,"deadline":5,"mu":3,"muZero":true}],"edges":[]}`)
 
 	f.Fuzz(func(t *testing.T, input string) {
 		app, err := DecodeApplication(strings.NewReader(input))
@@ -75,6 +88,9 @@ func FuzzDecodeApplication(f *testing.F) {
 		}
 		if back.N() != app.N() || back.Period() != app.Period() || back.K() != app.K() {
 			t.Fatal("round trip changed the application")
+		}
+		if back.Recovery() != app.Recovery() {
+			t.Fatalf("round trip changed the recovery model: %v -> %v", app.Recovery(), back.Recovery())
 		}
 	})
 }
@@ -210,6 +226,26 @@ func FuzzDecodeTree(f *testing.F) {
 	f.Add(`{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1"}],"arcs":[{"pos":0,"kind":"completion","lo":-5,"hi":10,"child":0}]}]}`)
 	f.Add(`{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1"}],"arcs":[{"pos":0,"kind":"completion","lo":0,"hi":99999999999999999,"child":0}]}]}`)
 	f.Add(`{"app":"paper-fig1","k":1,"nodes":[{"id":0,"parent":-1,"entries":[{"proc":"P1","recoveries":-2}]}]}`)
+	// Recovery-model seeds: a real v4 tree (which must be REJECTED against
+	// this canonical application), a v2 tree smuggling a recovery member,
+	// and v4 headers with missing/adversarial models.
+	cpApp, err := app.WithRecovery(model.CheckpointModel(40, 3, 7))
+	if err != nil {
+		f.Fatal(err)
+	}
+	cpTree, err := core.FTQS(cpApp, core.FTQSOptions{M: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf.Reset()
+	if err := EncodeTreeCompact(&buf, cpTree); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"format":"ftsched-tree/v2","app":"paper-fig1","k":1,"procs":["P1"],"recovery":{"model":"restart","latency":5},"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]]}]}`)
+	f.Add(`{"format":"ftsched-tree/v4","app":"paper-fig1","k":1,"procs":["P1"],"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]]}]}`)
+	f.Add(`{"format":"ftsched-tree/v4","app":"paper-fig1","k":1,"procs":["P1"],"recovery":{"model":"restart","latency":-3},"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]]}]}`)
+	f.Add(`{"format":"ftsched-tree/v4","app":"paper-fig1","k":1,"procs":["P1"],"recovery":{"model":"checkpoint","spacing":10,"overhead":1,"rollback":1125899906842624},"nodes":[{"parent":-1,"kRem":1,"suffix":[[0,1]]}]}`)
 
 	f.Fuzz(func(t *testing.T, input string) {
 		got, err := DecodeTree(strings.NewReader(input), app)

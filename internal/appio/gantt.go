@@ -64,9 +64,10 @@ func WriteGantt(w io.Writer, app *model.Application, events []sim.TraceEvent, sp
 		case sim.TraceFault:
 			segs[ev.Proc] = append(segs[ev.Proc], segment{pendingStart[ev.Proc], ev.At, 'x'})
 		case sim.TraceRecovery:
-			// Recovery lasts µ; find its end (the next start of the
-			// same process).
-			end := ev.At + app.MuOf(ev.Proc)
+			// The recovery glyph spans the per-fault overhead of the
+			// application's recovery model (µ, restart latency, or
+			// rollback cost); the re-run starts right after it.
+			end := ev.At + app.RecoveryOverhead(ev.Proc)
 			_ = i
 			segs[ev.Proc] = append(segs[ev.Proc], segment{ev.At, end, '.'})
 		case sim.TraceComplete:

@@ -24,6 +24,7 @@ type jsonApp struct {
 	Edges     [][2]string   `json:"edges"`
 	Platform  []jsonCore    `json:"platform,omitempty"`
 	Mapping   []jsonMapping `json:"mapping,omitempty"`
+	Recovery  *jsonRecovery `json:"recovery,omitempty"`
 }
 
 // jsonCore is one core of a heterogeneous platform.
@@ -49,6 +50,7 @@ type jsonProcess struct {
 	WCET     model.Time   `json:"wcet"`
 	Deadline model.Time   `json:"deadline,omitempty"`
 	Mu       model.Time   `json:"mu,omitempty"`
+	MuZero   bool         `json:"muZero,omitempty"` // explicit µ=0 (fault-free recovery), distinct from "inherit"
 	Release  model.Time   `json:"release,omitempty"`
 	Utility  *jsonUtility `json:"utility,omitempty"`
 }
@@ -82,6 +84,7 @@ func EncodeApplication(w io.Writer, app *model.Application) error {
 			AET:     p.AET,
 			WCET:    p.WCET,
 			Mu:      p.Mu,
+			MuZero:  p.MuExplicit && p.Mu == 0,
 			Release: p.Release,
 		}
 		switch p.Kind {
@@ -130,6 +133,7 @@ func EncodeApplication(w io.Writer, app *model.Application) error {
 			})
 		}
 	}
+	ja.Recovery = recoveryJSON(app.Recovery())
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(ja)
@@ -218,12 +222,17 @@ func DecodeApplication(r io.Reader) (*model.Application, error) {
 	ids := make(map[string]model.ProcessID, len(ja.Processes))
 	for _, jp := range ja.Processes {
 		p := model.Process{
-			Name:    jp.Name,
-			BCET:    jp.BCET,
-			AET:     jp.AET,
-			WCET:    jp.WCET,
-			Mu:      jp.Mu,
-			Release: jp.Release,
+			Name:       jp.Name,
+			BCET:       jp.BCET,
+			AET:        jp.AET,
+			WCET:       jp.WCET,
+			Mu:         jp.Mu,
+			MuExplicit: jp.MuZero,
+			Release:    jp.Release,
+		}
+		if jp.MuZero && jp.Mu != 0 {
+			return nil, &DecodeError{Path: fmt.Sprintf("processes[%s].muZero", jp.Name),
+				Msg: "muZero requires mu to be absent or 0"}
 		}
 		switch jp.Kind {
 		case "hard":
@@ -275,5 +284,9 @@ func DecodeApplication(r io.Reader) (*model.Application, error) {
 	if err := app.Validate(); err != nil {
 		return nil, fmt.Errorf("appio: %w", err)
 	}
-	return applyPlatform(app, ja.Platform, ja.Mapping)
+	app, err := applyPlatform(app, ja.Platform, ja.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	return applyRecovery(app, ja.Recovery)
 }

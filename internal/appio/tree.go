@@ -17,13 +17,16 @@ import (
 // application and the caller should run core.VerifyTree afterwards for the
 // full safety audit (the ftsched CLI does).
 //
-// Three formats exist: the original self-describing JSON (EncodeTree, kept
+// Four formats exist: the original self-describing JSON (EncodeTree, kept
 // byte-for-byte stable for existing files), the compact v2 encoding in
-// compact.go, which mirrors the in-memory arena, and v3 — v2 plus the
-// platform and process→core mapping for heterogeneous deployments.
-// DecodeTree detects the format from the leading "format" field; v1 and v2
-// files bind only to canonically-mapped (single-core) applications, because
-// a tree's guard bounds bake in the platform's scaled timing.
+// compact.go, which mirrors the in-memory arena, v3 — v2 plus the
+// platform and process→core mapping for heterogeneous deployments — and
+// v4, which additionally carries the recovery model. DecodeTree detects
+// the format from the leading "format" field; v1 and v2 files bind only
+// to canonically-mapped (single-core) applications, because a tree's
+// guard bounds bake in the platform's scaled timing, and only v4 files
+// bind to applications with a non-canonical recovery model, because the
+// bounds likewise bake in per-attempt and per-fault recovery costs.
 
 type jsonTree struct {
 	App   string     `json:"app"`
@@ -80,6 +83,9 @@ func EncodeTree(w io.Writer, tree *core.Tree) error {
 	if app.HasPlatform() && !app.Platform().IsCanonical() {
 		return fmt.Errorf("appio: the v1 tree format cannot carry platform %s; use EncodeTreeCompact", app.Platform())
 	}
+	if app.HasRecovery() {
+		return fmt.Errorf("appio: the v1 tree format cannot carry recovery model %s; use EncodeTreeCompact", app.Recovery())
+	}
 	jt := jsonTree{App: app.Name(), K: app.K()}
 	for id := range tree.Nodes {
 		n := &tree.Nodes[id]
@@ -135,7 +141,7 @@ func DecodeTree(r io.Reader, app *model.Application) (*core.Tree, error) {
 	switch probe.Format {
 	case "":
 		return decodeTreeV1(data, app)
-	case compactTreeFormat, compactTreeFormatV3:
+	case compactTreeFormat, compactTreeFormatV3, compactTreeFormatV4:
 		return decodeTreeCompact(data, app)
 	default:
 		return nil, &DecodeError{Path: "format", Msg: fmt.Sprintf("unsupported tree format %q", probe.Format)}
@@ -171,6 +177,9 @@ func (b *treeBuilder) build(app *model.Application) *core.Tree {
 func decodeTreeV1(data []byte, app *model.Application) (*core.Tree, error) {
 	if app.HasPlatform() && !app.Platform().IsCanonical() {
 		return nil, &DecodeError{Msg: fmt.Sprintf("a v1 tree predates the application's platform (%s); re-synthesise for the mapped application", app.Platform())}
+	}
+	if app.HasRecovery() {
+		return nil, &DecodeError{Msg: fmt.Sprintf("a v1 tree predates the application's recovery model (%s); re-synthesise for it", app.Recovery())}
 	}
 	var jt jsonTree
 	dec := json.NewDecoder(bytes.NewReader(data))

@@ -72,6 +72,7 @@ func cornerSets(ctx context.Context, d *runtime.Dispatcher, app *model.Applicati
 	n := app.N()
 	corners := make([][]model.Time, n)
 	pr := newProber(d, n)
+	rec := app.Recovery()
 	for p := 0; p < n; p++ {
 		if err := ctx.Err(); err != nil {
 			return nil, pr.runs, err
@@ -112,6 +113,29 @@ func cornerSets(ctx context.Context, d *runtime.Dispatcher, app *model.Applicati
 			}
 			if err := rec(proc.BCET, proc.WCET, sLo, sHi); err != nil {
 				return nil, pr.runs, err
+			}
+		}
+		// A checkpointing recovery model makes the fault path a sawtooth in
+		// the sampled duration: the final (re-run) segment resets at every
+		// multiple of Spacing — worst at the multiple itself, shortest just
+		// past it — and the attempt pays one more overhead. The zero-fault
+		// probes above cannot observe that boundary (it only matters when a
+		// fault hits), so both sides of the largest segment boundaries
+		// strictly inside (BCET, WCET) are added as corners unconditionally,
+		// under the same per-process cap as bisection.
+		if rec.Kind == model.RecoverCheckpoint && maxBoundaries > 0 {
+			s := rec.Spacing
+			added := 0
+			for m := (proc.WCET - 1) / s; m >= 1 && added < maxBoundaries; m-- {
+				b := m * s
+				if b <= proc.BCET {
+					break
+				}
+				if b >= proc.WCET {
+					continue
+				}
+				set = append(set, b, b+1)
+				added++
 			}
 		}
 		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })

@@ -1,0 +1,71 @@
+package chaos_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/chaos"
+	"ftsched/internal/model"
+	"ftsched/internal/runtime"
+)
+
+// TestCampaignRecoveryDeterministic: chaos campaigns — overruns, bursts and
+// all — must produce bit-identical reports across worker counts under the
+// restart and checkpoint recovery models, and uphold the shed-soft
+// containment contract. The overrun × partial-rollback interaction in the
+// checkpoint fault path is exactly the kind of state the merge must not
+// reorder.
+func TestCampaignRecoveryDeterministic(t *testing.T) {
+	base := apps.Fig8()
+	fixtures := []struct {
+		name string
+		m    model.RecoveryModel
+	}{
+		// Latency µ keeps the restart worst case identical to canonical
+		// re-execution, so Fig. 8 stays schedulable.
+		{"restart", model.RestartModel(base.Mu())},
+		{"checkpoint", model.CheckpointModel(maxWCET(base)/2+1, base.Mu()/2, base.Mu())},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			app, err := base.WithRecovery(fx.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree := synthesize(t, app, 16)
+			cfg := fullChaos(runtime.PolicyShedSoft, 400)
+
+			var reports []*chaos.Report
+			for _, workers := range []int{1, 4} {
+				cfg.Workers = workers
+				rep, err := chaos.Run(tree, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reports = append(reports, rep)
+			}
+			if !reflect.DeepEqual(reports[0], reports[1]) {
+				t.Fatalf("reports differ across worker counts under %s:\n  %+v\n  %+v",
+					fx.m, summarize(reports[0]), summarize(reports[1]))
+			}
+			rep := reports[0]
+			if rep.Injected == 0 {
+				t.Fatalf("vacuous campaign under %s: %+v", fx.m, summarize(rep))
+			}
+			if rep.Panics != 0 || rep.Breaches != 0 || rep.InModelMisses != 0 || rep.DetectionGaps != 0 {
+				t.Errorf("containment contract violated under %s: %+v", fx.m, summarize(rep))
+			}
+		})
+	}
+}
+
+func maxWCET(app *model.Application) model.Time {
+	var max model.Time
+	for _, id := range app.Topo() {
+		if w := app.Proc(id).WCET; w > max {
+			max = w
+		}
+	}
+	return max
+}

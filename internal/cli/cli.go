@@ -55,6 +55,24 @@ func LoadApp(fixture, path string) (*model.Application, error) {
 	}
 }
 
+// ApplyRecoverySpec parses a -recovery flag value and attaches the
+// resulting model to the application. The empty spec (and the explicit
+// "reexec") leaves the application on the canonical re-execution model,
+// unchanged.
+func ApplyRecoverySpec(app *model.Application, spec string) (*model.Application, error) {
+	m, err := appio.ParseRecoverySpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if m.IsCanonical() {
+		return app, nil
+	}
+	return app.WithRecovery(m)
+}
+
+// RecoveryFlagUsage is the shared help text of the -recovery flag.
+const RecoveryFlagUsage = "recovery model: reexec, restart:LATENCY or checkpoint:SPACING:OVERHEAD:ROLLBACK (default: the application's own)"
+
 // OutputWriter opens the output target: "-" or "" means stdout.
 func OutputWriter(path string) (*os.File, func(), error) {
 	if path == "" || path == "-" {

@@ -581,9 +581,13 @@ func (s *synthesizer) candidatesAt(n *bNode, pos int, droppedBase model.ProcSet)
 	// (a) Completion child.
 	addKind(Completion, bestFinish, n.KRem, executed, dropped, model.NoProcess)
 
-	// (b) Fault child with recovery.
+	// (b) Fault child with recovery. The earliest fault-recovered
+	// completion is the best-case attempt, the per-fault overhead, and
+	// the best-case re-run under the recovery model (the full BCET for
+	// re-execution and restart, the final checkpoint segment otherwise).
 	if e.Recoveries > 0 && n.KRem > 0 {
-		lo := bestStart + p.BCET + app.MuOf(e.Proc) + p.BCET
+		rec := app.Recovery()
+		lo := bestStart + rec.AttemptTime(p.BCET) + app.RecoveryOverhead(e.Proc) + rec.ResumeTime(p.BCET)
 		addKind(FaultRecovered, lo, n.KRem-1, executed, dropped, model.NoProcess)
 	}
 

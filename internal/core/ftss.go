@@ -106,17 +106,29 @@ func newFTSSState(app *model.Application, executed, dropped []bool, start Time, 
 	return st
 }
 
-// aetOn returns the expected execution time of p on its primary core. The
-// utility projections keep a scalar expected-time clock even on mapped
-// platforms — the projection is a ranking heuristic, and the exact mapped
-// timeline is enforced separately by schedule.CheckSchedulable — but the
-// durations feeding the clock are speed-scaled so low-power-core placements
-// are priced honestly. Identity on the canonical platform.
+// aetOn returns the expected fault-free attempt time of p on its primary
+// core. The utility projections keep a scalar expected-time clock even on
+// mapped platforms — the projection is a ranking heuristic, and the exact
+// mapped timeline is enforced separately by schedule.CheckSchedulable —
+// but the durations feeding the clock are speed-scaled and inflated by
+// the recovery model's per-attempt checkpoint overheads, so low-power-core
+// and checkpoint-heavy placements are priced honestly. Identity on the
+// canonical platform under re-execution.
 func (st *ftssState) aetOn(p model.ProcessID) Time {
+	return st.app.Recovery().AttemptTime(st.rawAETOn(p))
+}
+
+// rawAETOn is the speed-scaled expected execution time on the primary
+// core, without attempt overheads (the quantity checkpoint segment
+// geometry is computed over).
+func (st *ftssState) rawAETOn(p model.ProcessID) Time {
 	return st.app.Platform().Scale(st.app.CoreOf(p), st.app.Proc(p).AET)
 }
 
-// recAETOn is aetOn for re-executions, scaled on the recovery core.
+// recAETOn is the expected re-run time after a fault, scaled on the
+// recovery core. Recovery re-runs take no checkpoints (a checkpoint
+// rollback re-runs only the final, checkpoint-free segment — see
+// recoveryBeneficial), so no attempt inflation applies.
 func (st *ftssState) recAETOn(p model.ProcessID) Time {
 	return st.app.Platform().Scale(st.app.RecoveryCoreOf(p), st.app.Proc(p).AET)
 }
@@ -469,7 +481,7 @@ func (st *ftssState) stripOneRecovery() bool {
 		if e.Recoveries == 0 || st.app.Proc(e.Proc).Kind != model.Soft {
 			continue
 		}
-		cost := st.app.Platform().Scale(st.app.RecoveryCoreOf(e.Proc), st.app.Proc(e.Proc).WCET) + st.app.MuOf(e.Proc)
+		cost := st.app.WorstRecoveryCost(e.Proc)
 		if best < 0 || cost > bestCost || (cost == bestCost && i > best) {
 			best, bestCost = i, cost
 		}
@@ -635,25 +647,37 @@ func (st *ftssState) addRecoverySlack(idx int) {
 }
 
 // recoveryBeneficial compares, in the scenario where p's execution is hit
-// by its f-th fault, the projected utility of re-executing p against the
+// by its f-th fault, the projected utility of recovering p against the
 // projected utility of dropping it (the failed attempts' time is spent
-// either way; the recovery additionally costs µ plus another execution).
+// either way; the recovery additionally costs the per-fault overhead plus
+// another re-run under the application's recovery model).
 func (st *ftssState) recoveryBeneficial(p model.ProcessID, f int) bool {
 	app := st.app
-	// Time at which the f-th fault is detected: the process started at
-	// nowE - aet (it was just placed), ran its primary attempt plus f-1
-	// re-executions on the recovery core, each followed by the µ overhead.
-	aetP := st.aetOn(p)
-	aetR := st.recAETOn(p)
-	startP := st.nowE - aetP
-	failed := startP + aetP + app.MuOf(p) + Time(f-1)*(aetR+app.MuOf(p))
-	// Option A: re-execute; p completes at failed + aet.
+	rec := app.Recovery()
+	// Time at which recovery from the f-th fault would begin: the process
+	// started at nowE - attempt time (it was just placed), ran its primary
+	// attempt plus f-1 recovery re-runs, each followed by the per-fault
+	// overhead (µ, restart latency, or rollback cost). Re-execution and
+	// restart re-run the whole expected duration on the recovery core;
+	// a checkpoint rollback re-runs only the final segment of the
+	// primary-core attempt.
+	atP := st.aetOn(p)
+	oh := app.RecoveryOverhead(p)
+	var rerun Time
+	if rec.Kind == model.RecoverCheckpoint {
+		rerun = rec.ResumeTime(st.rawAETOn(p))
+	} else {
+		rerun = st.recAETOn(p)
+	}
+	startP := st.nowE - atP
+	failed := startP + atP + oh + Time(f-1)*(rerun+oh)
+	// Option A: recover; p completes at failed + rerun.
 	withAlpha := staleAlpha(app, st.dropped)
-	doneAt := failed + aetR
+	doneAt := failed + rerun
 	utilWith := withAlpha[p]*app.UtilityOf(p).Value(doneAt) + st.tailProjection(doneAt, model.NoProcess)
-	// Option B: abandon p (drop it); the rest starts at failed - µ (no
-	// recovery overhead is paid for a process that is not recovered).
-	utilWithout := st.tailProjection(failed-app.MuOf(p), p)
+	// Option B: abandon p (drop it); the rest starts at failed - overhead
+	// (no recovery overhead is paid for a process that is not recovered).
+	utilWithout := st.tailProjection(failed-oh, p)
 	return utilWith > utilWithout
 }
 

@@ -46,16 +46,21 @@ func newSuffixEval(app *model.Application, entries []schedule.Entry, dropped []b
 		scenarios = 1
 	}
 	e := &suffixEval{app: app, alpha: staleAlpha(app, dropped), entries: entries}
+	// The rows are wall-clock attempt times, so the recovery model's
+	// per-attempt checkpoint overheads are baked in at construction
+	// (identity under re-execution and restart) and the evaluation loop
+	// stays a plain sum.
+	rec := app.Recovery()
 	e.durs = make([][]Time, scenarios)
 	for j := range e.durs {
 		row := make([]Time, len(entries))
 		for i, en := range entries {
 			p := app.Proc(en.Proc)
 			if scenarios == 1 {
-				row[i] = p.AET
+				row[i] = rec.AttemptTime(p.AET)
 				continue
 			}
-			row[i] = p.BCET + Time(quadFrac(j, scenarios, en.Proc)*float64(p.WCET-p.BCET)+0.5)
+			row[i] = rec.AttemptTime(p.BCET + Time(quadFrac(j, scenarios, en.Proc)*float64(p.WCET-p.BCET)+0.5))
 		}
 		e.durs[j] = row
 	}

@@ -74,8 +74,13 @@ type Process struct {
 	Utility utility.Function
 	// Mu overrides the application-wide recovery overhead for this
 	// process when positive (used by the cruise-controller case study,
-	// where µ is 10% of each WCET). Zero means "use the application µ".
+	// where µ is 10% of each WCET). Zero means "use the application µ"
+	// unless MuExplicit is set.
 	Mu Time
+	// MuExplicit marks Mu as an explicit override even when it is zero,
+	// so a genuine zero-overhead recovery is expressible. Without it the
+	// legacy convention applies: Mu > 0 overrides, Mu == 0 inherits.
+	MuExplicit bool
 	// Release is the earliest start time of the process. It is zero for
 	// ordinary applications and j·T_G for the j-th hyper-period instance
 	// of a process from a graph with period T_G (see Merge).
@@ -103,6 +108,10 @@ type Application struct {
 	platform *Platform
 	primCore []CoreID
 	recCore  []CoreID
+
+	// recovery is the fault-recovery model; the zero value is the paper's
+	// re-execution-with-µ. See WithRecovery.
+	recovery RecoveryModel
 
 	validated bool
 	topo      []ProcessID
@@ -223,7 +232,7 @@ func (a *Application) Validate() error {
 				p.Name, p.BCET, p.AET, p.WCET)
 		}
 		if p.Mu < 0 {
-			return fmt.Errorf("model: %s: per-process µ must be non-negative (got %d)", p.Name, p.Mu)
+			return &ProcessMuError{Process: p.Name, Mu: p.Mu, Explicit: p.MuExplicit}
 		}
 		if p.Release < 0 {
 			return fmt.Errorf("model: %s: release must be non-negative (got %d)", p.Name, p.Release)
@@ -323,11 +332,29 @@ func (a *Application) Proc(id ProcessID) Process {
 	return a.procs[id]
 }
 
-// MuOf returns the effective recovery overhead of a process: its own Mu if
-// positive, the application default otherwise.
+// ProcessMuError is the typed Validate diagnostic for an invalid
+// per-process recovery overhead override.
+type ProcessMuError struct {
+	// Process is the offending process name.
+	Process string
+	// Mu is the rejected value.
+	Mu Time
+	// Explicit reports whether the override was marked MuExplicit.
+	Explicit bool
+}
+
+// Error implements error.
+func (e *ProcessMuError) Error() string {
+	return fmt.Sprintf("model: %s: per-process µ must be non-negative (got %d)", e.Process, e.Mu)
+}
+
+// MuOf returns the effective recovery overhead of a process: its own Mu
+// when the override is in effect (MuExplicit, or positive under the legacy
+// convention), the application default otherwise. A MuExplicit zero is a
+// genuine zero-overhead recovery.
 func (a *Application) MuOf(id ProcessID) Time {
 	p := a.Proc(id)
-	if p.Mu > 0 {
+	if p.MuExplicit || p.Mu > 0 {
 		return p.Mu
 	}
 	return a.mu
@@ -472,7 +499,66 @@ func (a *Application) WithFaults(k int, mu Time) (*Application, error) {
 	cp.platform = a.platform
 	cp.primCore = a.primCore
 	cp.recCore = a.recCore
+	cp.recovery = a.recovery
 	return cp, nil
+}
+
+// Recovery returns the application's fault-recovery model. Applications
+// built without WithRecovery report the canonical re-execution model.
+func (a *Application) Recovery() RecoveryModel { return a.recovery }
+
+// HasRecovery reports whether a non-canonical recovery model was attached
+// via WithRecovery. Serialisation uses it to keep canonical re-execution
+// applications byte-identical to the pre-recovery format.
+func (a *Application) HasRecovery() bool { return !a.recovery.IsCanonical() }
+
+// WithRecovery returns a copy of the (validated) application using the
+// given recovery model. The platform, mapping and fault parameters carry
+// over unchanged; the model is validated with RecoveryModel.Validate.
+func (a *Application) WithRecovery(m RecoveryModel) (*Application, error) {
+	a.mustBeValidated()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cp, err := a.WithFaults(a.k, a.mu)
+	if err != nil {
+		return nil, err
+	}
+	cp.recovery = m
+	return cp, nil
+}
+
+// RecoveryOverhead returns the fixed per-fault overhead paid before a
+// process resumes after a fault: µ for re-execution, the restart latency
+// for restart, and the rollback cost for checkpoints.
+func (a *Application) RecoveryOverhead(id ProcessID) Time {
+	switch a.recovery.Kind {
+	case RecoverRestart:
+		return a.recovery.Latency
+	case RecoverCheckpoint:
+		return a.recovery.Rollback
+	default:
+		return a.MuOf(id)
+	}
+}
+
+// WorstRecoveryCost returns the worst-case wall-clock cost one fault on
+// the process adds to the schedule: the per-fault overhead plus the
+// longest possible re-run. Re-execution and restart re-run the whole WCET
+// on the recovery core; a checkpoint rollback re-runs at most one segment
+// (min(Spacing, scaled WCET)) on the primary core, where the checkpoint
+// state lives.
+func (a *Application) WorstRecoveryCost(id ProcessID) Time {
+	p := a.Proc(id)
+	plat := a.Platform()
+	switch a.recovery.Kind {
+	case RecoverRestart:
+		return plat.Scale(a.RecoveryCoreOf(id), p.WCET) + a.recovery.Latency
+	case RecoverCheckpoint:
+		return a.recovery.WorstResumeTime(plat.Scale(a.CoreOf(id), p.WCET)) + a.recovery.Rollback
+	default:
+		return plat.Scale(a.RecoveryCoreOf(id), p.WCET) + a.MuOf(id)
+	}
 }
 
 // Platform returns the platform the application is mapped to. Applications

@@ -1,0 +1,194 @@
+package model
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecoveryModelValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		m     RecoveryModel
+		field string // "" = valid
+	}{
+		{"canonical", ReExecutionModel(), ""},
+		{"restart", RestartModel(25), ""},
+		{"restart zero latency", RestartModel(0), ""},
+		{"checkpoint", CheckpointModel(40, 3, 7), ""},
+		{"checkpoint zero overhead", CheckpointModel(40, 0, 7), ""},
+		{"negative latency", RestartModel(-1), "Latency"},
+		{"reexec with latency", RecoveryModel{Kind: RecoverReExecution, Latency: 3}, "Latency"},
+		{"restart with spacing", RecoveryModel{Kind: RecoverRestart, Spacing: 3}, "Spacing"},
+		{"checkpoint zero spacing", CheckpointModel(0, 0, 0), "Spacing"},
+		{"checkpoint negative spacing", CheckpointModel(-4, 0, 0), "Spacing"},
+		{"overhead at spacing", CheckpointModel(10, 10, 0), "Overhead"},
+		{"negative rollback", CheckpointModel(10, 1, -2), "Rollback"},
+		{"unknown kind", RecoveryModel{Kind: RecoveryKind(99)}, "Kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.m.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var rerr *RecoveryError
+			if !errors.As(err, &rerr) {
+				t.Fatalf("Validate() = %v, want *RecoveryError", err)
+			}
+			if rerr.Field != tc.field {
+				t.Fatalf("field = %q, want %q (err: %v)", rerr.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+func TestRecoveryModelTiming(t *testing.T) {
+	re := ReExecutionModel()
+	rs := RestartModel(25)
+	cp := CheckpointModel(10, 2, 7)
+
+	// Re-execution and restart leave attempt durations untouched and re-run
+	// everything.
+	for _, m := range []RecoveryModel{re, rs} {
+		for _, d := range []Time{0, 1, 9, 10, 11, 35} {
+			if got := m.AttemptTime(d); got != d {
+				t.Fatalf("%v.AttemptTime(%d) = %d, want %d", m, d, got, d)
+			}
+			if got := m.ResumeTime(d); got != d {
+				t.Fatalf("%v.ResumeTime(%d) = %d, want %d", m, d, got, d)
+			}
+			if got := m.WorstResumeTime(d); got != d {
+				t.Fatalf("%v.WorstResumeTime(%d) = %d, want %d", m, d, got, d)
+			}
+		}
+	}
+
+	// Checkpointing: a checkpoint every full 10 units completed before the
+	// end (none at completion itself), 2 overhead each; the resume re-runs
+	// only the final segment.
+	cpCases := []struct {
+		d, checkpoints, attempt, resume Time
+	}{
+		{1, 0, 1, 1},
+		{9, 0, 9, 9},
+		{10, 0, 10, 10}, // completion is not a checkpoint
+		{11, 1, 13, 1},
+		{20, 1, 22, 10},
+		{21, 2, 25, 1},
+		{35, 3, 41, 5},
+	}
+	for _, tc := range cpCases {
+		if got := Time(cp.Checkpoints(tc.d)); got != tc.checkpoints {
+			t.Errorf("Checkpoints(%d) = %d, want %d", tc.d, got, tc.checkpoints)
+		}
+		if got := cp.AttemptTime(tc.d); got != tc.attempt {
+			t.Errorf("AttemptTime(%d) = %d, want %d", tc.d, got, tc.attempt)
+		}
+		if got := cp.ResumeTime(tc.d); got != tc.resume {
+			t.Errorf("ResumeTime(%d) = %d, want %d", tc.d, got, tc.resume)
+		}
+	}
+	// The static bound dominates every in-range resume.
+	for d := Time(1); d <= 35; d++ {
+		if cp.ResumeTime(d) > cp.WorstResumeTime(35) {
+			t.Fatalf("ResumeTime(%d) = %d exceeds WorstResumeTime(35) = %d",
+				d, cp.ResumeTime(d), cp.WorstResumeTime(35))
+		}
+	}
+	if got := cp.WorstResumeTime(6); got != 6 {
+		t.Errorf("WorstResumeTime(6) = %d, want 6 (shorter than a full segment)", got)
+	}
+	if got := cp.WorstResumeTime(35); got != 10 {
+		t.Errorf("WorstResumeTime(35) = %d, want the full segment 10", got)
+	}
+	if !strings.Contains(cp.String(), "spacing=10") {
+		t.Errorf("String() = %q", cp.String())
+	}
+}
+
+func TestApplicationWithRecovery(t *testing.T) {
+	a, ids := fig1App(t)
+	if a.HasRecovery() || !a.Recovery().IsCanonical() {
+		t.Fatal("fresh application is not canonical")
+	}
+	cp := CheckpointModel(40, 3, 7)
+	b, err := a.WithRecovery(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasRecovery() || b.Recovery() != cp {
+		t.Fatalf("Recovery() = %v, want %v", b.Recovery(), cp)
+	}
+	if a.HasRecovery() {
+		t.Fatal("WithRecovery mutated the receiver")
+	}
+	if _, err := a.WithRecovery(CheckpointModel(0, 0, 0)); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	// WithFaults preserves the model.
+	c, err := b.WithFaults(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Recovery() != cp {
+		t.Fatalf("WithFaults dropped the recovery model: %v", c.Recovery())
+	}
+
+	// Per-fault overheads and worst-case recovery items, per model. Fig. 1:
+	// µ=10, P1 WCET 70.
+	p1 := ids[0]
+	if got := a.RecoveryOverhead(p1); got != 10 {
+		t.Errorf("canonical RecoveryOverhead = %d, want µ=10", got)
+	}
+	if got := a.WorstRecoveryCost(p1); got != 80 {
+		t.Errorf("canonical WorstRecoveryCost = %d, want 70+10", got)
+	}
+	rs, err := a.WithRecovery(RestartModel(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.RecoveryOverhead(p1); got != 25 {
+		t.Errorf("restart RecoveryOverhead = %d, want 25", got)
+	}
+	if got := rs.WorstRecoveryCost(p1); got != 95 {
+		t.Errorf("restart WorstRecoveryCost = %d, want 70+25", got)
+	}
+	if got := b.RecoveryOverhead(p1); got != 7 {
+		t.Errorf("checkpoint RecoveryOverhead = %d, want rollback 7", got)
+	}
+	// Worst resume within WCET 70 under spacing 40 is one full segment.
+	if got := b.WorstRecoveryCost(p1); got != 47 {
+		t.Errorf("checkpoint WorstRecoveryCost = %d, want min(40,70)+7", got)
+	}
+}
+
+func TestMuExplicitZero(t *testing.T) {
+	a := NewApplication("mu0", 100, 1, 15)
+	p1 := a.AddProcess(Process{Name: "A", Kind: Hard, BCET: 1, AET: 2, WCET: 3, Deadline: 50})
+	p2 := a.AddProcess(Process{Name: "B", Kind: Hard, BCET: 1, AET: 2, WCET: 3, Deadline: 60, Mu: 0, MuExplicit: true})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MuOf(p1); got != 15 {
+		t.Errorf("MuOf(A) = %d, want the application default 15", got)
+	}
+	if got := a.MuOf(p2); got != 0 {
+		t.Errorf("MuOf(B) = %d, want the explicit 0", got)
+	}
+
+	// A negative µ yields the typed diagnostic carrying the explicit flag.
+	bad := NewApplication("mu-", 100, 1, 15)
+	bad.AddProcess(Process{Name: "A", Kind: Hard, BCET: 1, AET: 2, WCET: 3, Deadline: 50, Mu: -4, MuExplicit: true})
+	err := bad.Validate()
+	var merr *ProcessMuError
+	if !errors.As(err, &merr) {
+		t.Fatalf("Validate() = %v, want *ProcessMuError", err)
+	}
+	if merr.Process != "A" || merr.Mu != -4 || !merr.Explicit {
+		t.Fatalf("ProcessMuError = %+v", merr)
+	}
+}

@@ -67,22 +67,26 @@ func Schedule(app *model.Application) (*Result, error) {
 	}
 	k := app.K()
 
-	// Per-process constants.
+	// Per-process constants. Attempt times (wcet/aet) are inflated by the
+	// recovery model's per-attempt checkpoint overheads, and the per-fault
+	// recovery item comes from the model's worst-case bound — identity
+	// with the paper's wcet+µ under canonical re-execution.
+	rec := app.Recovery()
 	wcet := make([]schedule.Time, n)
 	aet := make([]schedule.Time, n)
-	recCost := make([]schedule.Time, n) // wcet+µ, hard only (soft never recovers here)
+	recCost := make([]schedule.Time, n) // worst per-fault cost, hard only (soft never recovers here)
 	hard := make([]bool, n)
 	var hardMask uint32
 	predMask := make([]uint32, n)
 	succMask := make([]uint32, n)
 	for id := 0; id < n; id++ {
 		p := app.Proc(model.ProcessID(id))
-		wcet[id] = p.WCET
-		aet[id] = p.AET
+		wcet[id] = rec.AttemptTime(p.WCET)
+		aet[id] = rec.AttemptTime(p.AET)
 		if p.Kind == model.Hard {
 			hard[id] = true
 			hardMask |= 1 << id
-			recCost[id] = p.WCET + app.MuOf(model.ProcessID(id))
+			recCost[id] = app.WorstRecoveryCost(model.ProcessID(id))
 		}
 		for _, q := range app.Preds(model.ProcessID(id)) {
 			predMask[id] |= 1 << q

@@ -115,6 +115,16 @@ type Dispatcher struct {
 	powerI   []float64
 	period   model.Time
 
+	// Recovery-model caches. rec holds the application's recovery model;
+	// recOverheadOf[p] is the fixed per-fault overhead of process p under
+	// it (µ for re-execution, the restart latency, or the rollback cost),
+	// precomputed so the attempt loop pays one slice index. checkpointing
+	// short-circuits the per-attempt segment arithmetic for the two
+	// models that do not need it.
+	rec           model.RecoveryModel
+	checkpointing bool
+	recOverheadOf []model.Time
+
 	bufs sync.Pool
 }
 
@@ -217,6 +227,15 @@ func NewDispatcher(tree *core.Tree, opts ...Option) (*Dispatcher, error) {
 		d.speed[c] = cc.Speed
 		d.powerA[c] = cc.PowerActive
 		d.powerI[c] = cc.PowerIdle
+	}
+	d.rec = app.Recovery()
+	if err := d.rec.Validate(); err != nil {
+		return nil, &MalformedTreeError{Err: err}
+	}
+	d.checkpointing = d.rec.Kind == model.RecoverCheckpoint
+	d.recOverheadOf = make([]model.Time, n)
+	for id := 0; id < n; id++ {
+		d.recOverheadOf[id] = app.RecoveryOverhead(model.ProcessID(id))
 	}
 	ncores := d.ncores
 	d.bufs.New = func() any {
@@ -646,16 +665,39 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 			if events != nil {
 				*events = append(*events, TraceEvent{Kind: TraceStart, At: t, Proc: e.Proc, Attempt: attempt})
 			}
+			// Wall-clock time of this attempt on the attempt core. Under
+			// checkpointing the first attempt pays its checkpoint
+			// overheads; every later attempt re-runs only the final
+			// segment after the last checkpoint (the rollback point is
+			// determined by the sampled duration's segment geometry).
+			var w model.Time
 			if multi {
-				sd := d.scaleOn(ac, dur)
-				t += sd
-				busy[ac] += sd
+				w = d.scaleOn(ac, dur)
+			} else {
+				w = dur
+			}
+			if d.checkpointing {
+				if attempt == 0 {
+					w = d.rec.AttemptTime(w)
+				} else {
+					w = d.rec.ResumeTime(w)
+				}
+			}
+			t += w
+			if multi {
+				busy[ac] += w
 				ready[ac] = t
 			} else {
-				t += dur
-				busy[0] += dur
+				busy[0] += w
 			}
-			res.OverrunTotal += excess
+			// An injected overrun materialises in full on the first
+			// attempt; a checkpoint re-run repeats only its final segment,
+			// so at most that much of the excess recurs.
+			ex := excess
+			if attempt > 0 && d.checkpointing && ex > w {
+				ex = w
+			}
+			res.OverrunTotal += ex
 			if faultsLeft[e.Proc] > 0 {
 				// This attempt is hit by a transient fault,
 				// detected at the end of the execution.
@@ -680,26 +722,34 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 					}
 				}
 				if attempt < e.Recoveries || (shedding && p.Kind == model.Hard) {
-					// Re-execute after the recovery overhead µ. In shed
+					// Resume after the per-fault overhead of the recovery
+					// model (µ, restart latency, or rollback cost). In shed
 					// mode hard processes re-execute without budget: the
 					// envelope's promise is to finish them if time allows.
 					if events != nil {
 						*events = append(*events, TraceEvent{Kind: TraceRecovery, At: t, Proc: e.Proc, Attempt: attempt})
 					}
-					t += app.MuOf(e.Proc)
+					oh := d.recOverheadOf[e.Proc]
+					t += oh
 					res.Recoveries++
 					if multi {
-						// The restart overhead runs on the recovery core;
-						// the re-execution additionally waits for that
-						// core to come free.
-						rc := d.recCore[e.Proc]
-						busy[rc] += app.MuOf(e.Proc)
-						if ready[rc] > t {
-							t = ready[rc]
+						if d.checkpointing {
+							// A rollback restores local checkpoint state:
+							// the re-run stays on the primary core.
+							busy[ac] += oh
+						} else {
+							// The recovery overhead runs on the recovery
+							// core; the re-execution additionally waits
+							// for that core to come free.
+							rc := d.recCore[e.Proc]
+							busy[rc] += oh
+							if ready[rc] > t {
+								t = ready[rc]
+							}
+							ac = rc
 						}
-						ac = rc
 					} else {
-						busy[0] += app.MuOf(e.Proc)
+						busy[0] += oh
 					}
 					continue
 				}
@@ -766,7 +816,9 @@ func (d *Dispatcher) run(res *Result, sc Scenario, events *[]TraceEvent) error {
 				if sp.Kind == model.Hard {
 					break
 				}
-				res.ShedSlack += sp.WCET
+				// A shed soft entry returns its whole fault-free attempt,
+				// checkpoint overheads included (identity off checkpointing).
+				res.ShedSlack += d.rec.AttemptTime(sp.WCET)
 			}
 			entries = d.emergency.Suffix(node, pos+1)
 			onEmergency = true

@@ -1,0 +1,68 @@
+package schedule
+
+import (
+	"testing"
+
+	"ftsched/internal/model"
+)
+
+// TestCheckpointTwoFaultTiming pins the worst-case arithmetic of the
+// checkpoint model on a hand-computed two-fault timeline, mirroring the
+// paper's Fig. 3 re-execution calculation.
+//
+// P1: WCET 30, k = 2, checkpoint(spacing=10, overhead=2, rollback=3).
+// The no-fault attempt takes 30 plus 2 checkpoints (at 10 and 20; none at
+// completion) × 2 = 34. Each worst-case fault rolls back to the last
+// checkpoint: 3 rollback + a full 10-unit final segment = 13.
+// Worst case: 34 + 13 + 13 = 60.
+func TestCheckpointTwoFaultTiming(t *testing.T) {
+	mk := func(deadline model.Time) (*model.Application, model.ProcessID) {
+		a := model.NewApplication("cp2f", 1000, 2, 5)
+		p1 := a.AddProcess(model.Process{Name: "P1", Kind: model.Hard, BCET: 30, AET: 30, WCET: 30, Deadline: deadline})
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return a, p1
+	}
+	app, p1 := mk(60)
+	app, err := app.WithRecovery(model.CheckpointModel(10, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []Entry{{Proc: p1, Recoveries: 2}}
+	c := WorstCaseCompletions(app, entries, 0, 2)
+	if c.Finish[0] != 34 {
+		t.Errorf("no-fault finish = %d, want 30 + 2 checkpoints × 2", c.Finish[0])
+	}
+	if c.WorstCase[0] != 60 {
+		t.Errorf("worst-case completion = %d, want 34 + 2 × (3+10)", c.WorstCase[0])
+	}
+	if err := CheckSchedulable(app, entries, 0, 2); err != nil {
+		t.Errorf("should be schedulable exactly at the deadline: %v", err)
+	}
+
+	// One more unit of rollback cost and both faults miss by 2.
+	tight, q1 := mk(60)
+	tight, err = tight.WithRecovery(model.CheckpointModel(10, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSchedulable(tight, []Entry{{Proc: q1, Recoveries: 2}}, 0, 2); err == nil {
+		t.Error("rollback 4 should miss the 60 deadline (worst case 62)")
+	}
+
+	// The restart model on the same timeline: no checkpoint overheads, but
+	// each fault costs latency + a full re-run: 30 + 2 × (7+30) = 104.
+	rs, r1 := mk(104)
+	rs, err = rs.WithRecovery(model.RestartModel(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = WorstCaseCompletions(rs, []Entry{{Proc: r1, Recoveries: 2}}, 0, 2)
+	if c.Finish[0] != 30 {
+		t.Errorf("restart no-fault finish = %d, want 30", c.Finish[0])
+	}
+	if c.WorstCase[0] != 104 {
+		t.Errorf("restart worst case = %d, want 30 + 2 × (7+30)", c.WorstCase[0])
+	}
+}

@@ -211,6 +211,12 @@ func sequential(app *model.Application, entries []Entry, start Time, f timeOf) (
 	starts := make([]Time, len(entries))
 	finishes := make([]Time, len(entries))
 	plat := app.Platform()
+	// Fault-free attempts pay the recovery model's per-attempt cost:
+	// checkpointing inflates every execution by its checkpoint overheads
+	// (identity for re-execution and restart, so the canonical timing is
+	// byte-identical). Applied after speed scaling — checkpoint geometry
+	// lives in wall time on the executing core.
+	rec := app.Recovery()
 	if plat.IsDefault() {
 		// Exact pre-platform fast path: one core at speed 1. Precedence
 		// needs no explicit check — predecessors appear earlier in the
@@ -223,7 +229,7 @@ func sequential(app *model.Application, entries []Entry, start Time, f timeOf) (
 				s = p.Release
 			}
 			starts[i] = s
-			now = s + f(p)
+			now = s + rec.AttemptTime(f(p))
 			finishes[i] = now
 		}
 		return starts, finishes
@@ -247,7 +253,7 @@ func sequential(app *model.Application, entries []Entry, start Time, f timeOf) (
 			}
 		}
 		starts[i] = s
-		fin := s + plat.Scale(pc, f(p))
+		fin := s + rec.AttemptTime(plat.Scale(pc, f(p)))
 		ready[pc] = fin
 		done[e.Proc] = fin
 		seen[e.Proc] = true
@@ -277,15 +283,16 @@ func sequential(app *model.Application, entries []Entry, start Time, f timeOf) (
 // exactly to the paper's shared-slack bound.
 func WorstCaseCompletions(app *model.Application, entries []Entry, start Time, k int) Completions {
 	starts, finishes := sequential(app, entries, start, func(p model.Process) Time { return p.WCET })
-	plat := app.Platform()
 	wc := make([]Time, len(entries))
 	items := make([]recoveryItem, 0, len(entries))
 	var makespan Time
 	for i, e := range entries {
-		p := app.Proc(e.Proc)
 		if e.Recoveries > 0 {
-			rc := plat.Scale(app.RecoveryCoreOf(e.Proc), p.WCET) + app.MuOf(e.Proc)
-			items = append(items, recoveryItem{cost: rc, max: e.Recoveries})
+			// Per-fault worst-case cost under the application's recovery
+			// model: WCET+µ re-execution, WCET+latency restart, or one
+			// checkpoint segment plus the rollback cost. The bound
+			// dominates the simulated cost for every duration ≤ WCET.
+			items = append(items, recoveryItem{cost: app.WorstRecoveryCost(e.Proc), max: e.Recoveries})
 		}
 		if finishes[i] > makespan {
 			makespan = finishes[i]

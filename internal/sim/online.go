@@ -70,14 +70,24 @@ func RunOnlineReschedule(app *model.Application, root *schedule.FSchedule, sc Sc
 
 		completed := false
 		t := start
+		rec := app.Recovery()
+		dur := sc.Durations[e.Proc]
 		for attempt := 0; ; attempt++ {
-			t += sc.Durations[e.Proc]
+			// First attempt pays the recovery model's per-attempt cost
+			// (checkpoint overheads); later attempts re-run only what the
+			// model requires (the full duration, or the final checkpoint
+			// segment). Identity under canonical re-execution.
+			if attempt == 0 {
+				t += rec.AttemptTime(dur)
+			} else {
+				t += rec.ResumeTime(dur)
+			}
 			if faultsLeft[e.Proc] > 0 {
 				faultsLeft[e.Proc]--
 				res.FaultsConsumed++
 				kRem--
 				if attempt < e.Recoveries {
-					t += app.MuOf(e.Proc)
+					t += app.RecoveryOverhead(e.Proc)
 					res.Recoveries++
 					continue
 				}

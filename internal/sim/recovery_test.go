@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"ftsched/internal/apps"
+	"ftsched/internal/core"
+	"ftsched/internal/model"
+)
+
+// TestMonteCarloRecoveryWorkerInvariance: MCStats must stay bit-identical
+// across worker counts under the non-canonical recovery models too — the
+// counter-stable merge makes no assumption about the fault-path arithmetic.
+func TestMonteCarloRecoveryWorkerInvariance(t *testing.T) {
+	base := apps.Fig1()
+	fixtures := []struct {
+		name string
+		m    model.RecoveryModel
+	}{
+		{"restart", model.RestartModel(2 * base.Mu())},
+		{"checkpoint", model.CheckpointModel(36, 5, base.Mu())},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			app, err := base.WithRecovery(fx.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := core.FTQS(app, core.FTQSOptions{M: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := MCConfig{Scenarios: 1500, Faults: 1, Seed: 21}
+			cfg.Workers = 1
+			baseStats, err := MonteCarlo(tree, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if baseStats.HardViolations != 0 {
+				t.Fatalf("hard violations under %s: %+v", fx.m, baseStats)
+			}
+			if baseStats.MeanRecoveries == 0 {
+				t.Fatalf("vacuous campaign under %s: no recoveries triggered", fx.m)
+			}
+			for _, w := range []int{2, 8} {
+				cfg.Workers = w
+				got, err := MonteCarlo(tree, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != baseStats {
+					t.Errorf("workers=%d: stats differ:\n  got  %+v\n  want %+v", w, got, baseStats)
+				}
+			}
+		})
+	}
+}
